@@ -1,0 +1,47 @@
+//! E5 — the exponential growth caused by chained conditional deletions with
+//! complex dependencies, and the cost of keeping it in check with the
+//! simplifier.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pxml_bench::{deletion_growth_document, deletion_growth_step};
+use pxml_core::Simplifier;
+
+fn bench_deletion_growth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_deletion_growth");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    for rounds in [4usize, 6, 8] {
+        group.bench_with_input(BenchmarkId::new("raw", rounds), &rounds, |b, &rounds| {
+            b.iter(|| {
+                let mut fuzzy = deletion_growth_document(rounds);
+                for k in 1..=rounds {
+                    deletion_growth_step(k).apply_to_fuzzy(&mut fuzzy).unwrap();
+                }
+                fuzzy.node_count()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("with_simplification", rounds),
+            &rounds,
+            |b, &rounds| {
+                b.iter(|| {
+                    let mut fuzzy = deletion_growth_document(rounds);
+                    for k in 1..=rounds {
+                        deletion_growth_step(k).apply_to_fuzzy(&mut fuzzy).unwrap();
+                        Simplifier::new().run(&mut fuzzy).unwrap();
+                    }
+                    fuzzy.node_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_deletion_growth);
+criterion_main!(benches);

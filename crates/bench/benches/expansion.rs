@@ -1,0 +1,32 @@
+//! E2 — cost of expanding a fuzzy tree into its possible worlds, as a
+//! function of the number of probabilistic events (exponential, by design:
+//! this is the cost the fuzzy-tree representation avoids).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pxml_bench::{fuzzy_document, slide12, BENCH_SEED};
+
+fn bench_expansion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_expansion");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    group.bench_function("slide12", |b| {
+        let fuzzy = slide12();
+        b.iter(|| fuzzy.to_possible_worlds().unwrap().len())
+    });
+
+    for events in [4usize, 8, 12] {
+        let fuzzy = fuzzy_document(40, events, BENCH_SEED + events as u64);
+        group.bench_with_input(BenchmarkId::new("events", events), &fuzzy, |b, fuzzy| {
+            b.iter(|| fuzzy.to_possible_worlds().unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_expansion);
+criterion_main!(benches);

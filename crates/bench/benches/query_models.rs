@@ -1,0 +1,37 @@
+//! E3 — querying the fuzzy tree directly versus materialising the possible
+//! worlds and querying each of them (the paper's motivation for the
+//! fuzzy-tree representation).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pxml_bench::{fuzzy_document, query_for, BENCH_SEED};
+
+fn bench_query_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_query_models");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    for events in [4usize, 8, 12] {
+        let fuzzy = fuzzy_document(60, events, BENCH_SEED + 100 + events as u64);
+        let query = query_for(fuzzy.tree(), 3, BENCH_SEED + events as u64);
+        group.bench_with_input(
+            BenchmarkId::new("fuzzy_query", events),
+            &(&fuzzy, &query),
+            |b, (fuzzy, query)| b.iter(|| fuzzy.query(query).len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("worlds_query", events),
+            &(&fuzzy, &query),
+            |b, (fuzzy, query)| {
+                b.iter(|| fuzzy.to_possible_worlds().unwrap().query(query).len())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_models);
+criterion_main!(benches);

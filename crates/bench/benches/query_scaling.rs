@@ -1,0 +1,41 @@
+//! E9 — TPWJ evaluation scaling with document size and pattern size, plus the
+//! naive-versus-indexed matcher ablation.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pxml_bench::{document, query_for, BENCH_SEED};
+use pxml_query::MatchStrategy;
+
+fn bench_query_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_query_scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    for size in [200usize, 2000, 10_000] {
+        let tree = document(size, BENCH_SEED + size as u64);
+        for pattern_nodes in [2usize, 4] {
+            let query = query_for(&tree, pattern_nodes, BENCH_SEED + pattern_nodes as u64);
+            group.bench_with_input(
+                BenchmarkId::new(format!("naive_p{pattern_nodes}"), size),
+                &(&tree, &query),
+                |b, (tree, query)| {
+                    b.iter(|| query.find_matches_with(tree, MatchStrategy::Naive).len())
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("indexed_p{pattern_nodes}"), size),
+                &(&tree, &query),
+                |b, (tree, query)| {
+                    b.iter(|| query.find_matches_with(tree, MatchStrategy::Indexed).len())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_scaling);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! E8 — simplification effectiveness and cost on documents grown by update
+//! histories.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pxml_bench::{deletion_growth_document, deletion_growth_step, BENCH_SEED};
+use pxml_core::{FuzzyTree, Simplifier};
+use pxml_gen::scenarios::{extraction_update, people_directory, PeopleScenarioConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn grown_by_extraction(updates: usize) -> FuzzyTree {
+    let scenario = PeopleScenarioConfig {
+        people: 20,
+        ..PeopleScenarioConfig::default()
+    };
+    let mut fuzzy = FuzzyTree::from_tree(people_directory(&scenario));
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    for _ in 0..updates {
+        let (update, _) = extraction_update(&mut rng, &scenario);
+        update.apply_to_fuzzy(&mut fuzzy).unwrap();
+    }
+    fuzzy
+}
+
+fn grown_by_deletions(rounds: usize) -> FuzzyTree {
+    let mut fuzzy = deletion_growth_document(rounds);
+    for k in 1..=rounds {
+        deletion_growth_step(k).apply_to_fuzzy(&mut fuzzy).unwrap();
+    }
+    fuzzy
+}
+
+fn bench_simplify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_simplify");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    for updates in [20usize, 60] {
+        let fuzzy = grown_by_extraction(updates);
+        group.bench_with_input(
+            BenchmarkId::new("extraction_history", updates),
+            &fuzzy,
+            |b, fuzzy| {
+                b.iter(|| {
+                    let mut copy = fuzzy.clone();
+                    Simplifier::new().run(&mut copy).unwrap();
+                    copy.condition_literal_count()
+                })
+            },
+        );
+    }
+    for rounds in [6usize, 8] {
+        let fuzzy = grown_by_deletions(rounds);
+        group.bench_with_input(
+            BenchmarkId::new("deletion_history", rounds),
+            &fuzzy,
+            |b, fuzzy| {
+                b.iter(|| {
+                    let mut copy = fuzzy.clone();
+                    Simplifier::new().run(&mut copy).unwrap();
+                    copy.node_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simplify);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E4 — cost of probabilistic update transactions on fuzzy trees: insert-only
+//! transactions (the easy case the paper highlights) versus mixed
+//! insert/delete transactions, as the document grows.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pxml_bench::{document, insert_update_for, update_for, BENCH_SEED};
+use pxml_core::FuzzyTree;
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_updates");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    for size in [100usize, 1000, 4000] {
+        let tree = document(size, BENCH_SEED + size as u64);
+        let insert = insert_update_for(&tree, BENCH_SEED + 1);
+        let mixed = update_for(&tree, BENCH_SEED + 2);
+        group.bench_with_input(
+            BenchmarkId::new("insert_only", size),
+            &(&tree, &insert),
+            |b, (tree, update)| {
+                b.iter(|| {
+                    let mut fuzzy = FuzzyTree::from_tree((*tree).clone());
+                    update.apply_to_fuzzy(&mut fuzzy).unwrap().inserted_nodes
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("insert_and_delete", size),
+            &(&tree, &mixed),
+            |b, (tree, update)| {
+                b.iter(|| {
+                    let mut fuzzy = FuzzyTree::from_tree((*tree).clone());
+                    update.apply_to_fuzzy(&mut fuzzy).unwrap().applied_matches
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! E7 — warehouse end-to-end: update ingestion, query evaluation and recovery
+//! on the people-directory scenario.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pxml_bench::BENCH_SEED;
+use pxml_gen::scenarios::{extraction_update, people_directory, PeopleScenarioConfig};
+use pxml_query::Pattern;
+use pxml_warehouse::{Warehouse, WarehouseConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("pxml-bench-warehouse-{}-{tag}", std::process::id()))
+}
+
+fn bench_warehouse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_warehouse");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+
+    for people in [50usize, 200] {
+        let scenario = PeopleScenarioConfig {
+            people,
+            ..PeopleScenarioConfig::default()
+        };
+
+        // Ingest a batch of extraction updates.
+        group.bench_with_input(
+            BenchmarkId::new("ingest_20_updates", people),
+            &scenario,
+            |b, scenario| {
+                b.iter(|| {
+                    let dir = scratch(&format!("ingest-{people}"));
+                    let _ = std::fs::remove_dir_all(&dir);
+                    let warehouse = Warehouse::open(&dir, WarehouseConfig::default()).unwrap();
+                    warehouse
+                        .create_document("people", people_directory(scenario))
+                        .unwrap();
+                    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+                    for _ in 0..20 {
+                        let (update, _) = extraction_update(&mut rng, scenario);
+                        warehouse.update("people", &update).unwrap();
+                    }
+                    let count = warehouse.stats().updates_applied;
+                    let _ = std::fs::remove_dir_all(&dir);
+                    count
+                })
+            },
+        );
+
+        // Query a warehouse that already absorbed a workload.
+        let dir = scratch(&format!("query-{people}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let warehouse = Warehouse::open(&dir, WarehouseConfig::default()).unwrap();
+        warehouse
+            .create_document("people", people_directory(&scenario))
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(BENCH_SEED + 1);
+        for _ in 0..40 {
+            let (update, _) = extraction_update(&mut rng, &scenario);
+            warehouse.update("people", &update).unwrap();
+        }
+        let query = Pattern::parse("person { phone }").unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("query_phone", people),
+            &(&warehouse, &query),
+            |b, (warehouse, query)| b.iter(|| warehouse.query("people", query).unwrap().len()),
+        );
+        drop(warehouse);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_warehouse);
+criterion_main!(benches);

@@ -1,0 +1,583 @@
+//! The experiment harness: re-runs every experiment of `DESIGN.md` §5 and
+//! prints the paper-style tables recorded in `EXPERIMENTS.md`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p pxml-bench --bin harness            # all experiments
+//! cargo run --release -p pxml-bench --bin harness e3 e5      # a selection
+//! cargo run --release -p pxml-bench --bin harness --quick    # smaller sweeps
+//! ```
+
+use std::time::{Duration, Instant};
+
+use pxml_bench::{
+    deletion_growth_document, deletion_growth_step, document, fuzzy_document, insert_update_for,
+    query_for, slide12, update_for, BENCH_SEED,
+};
+use pxml_core::{encode_possible_worlds, FuzzyTree, Simplifier, UpdateTransaction};
+use pxml_gen::scenarios::{extraction_update, people_directory, PeopleScenarioConfig};
+use pxml_query::{MatchStrategy, Pattern};
+use pxml_tree::parse_data_tree;
+use pxml_warehouse::{Warehouse, WarehouseConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+    let want = |name: &str| selected.is_empty() || selected.iter().any(|s| s == name);
+
+    println!("pxml experiment harness (quick = {quick})");
+    println!("=========================================\n");
+    if want("e1") {
+        e1_possible_worlds_example();
+    }
+    if want("e2") {
+        e2_expressiveness(quick);
+    }
+    if want("e3") {
+        e3_query_models(quick);
+    }
+    if want("e4") {
+        e4_updates(quick);
+    }
+    if want("e5") {
+        e5_deletion_growth(quick);
+    }
+    if want("e6") {
+        e6_conditional_replacement();
+    }
+    if want("e7") {
+        e7_warehouse(quick);
+    }
+    if want("e8") {
+        e8_simplification(quick);
+    }
+    if want("e9") {
+        e9_query_scaling(quick);
+    }
+    if want("e10") {
+        e10_complexity_summary(quick);
+    }
+}
+
+/// Runs `body` a few times and reports the median wall-clock time.
+fn time_it(repetitions: usize, mut body: impl FnMut()) -> Duration {
+    let mut samples = Vec::with_capacity(repetitions);
+    for _ in 0..repetitions {
+        let start = Instant::now();
+        body();
+        samples.push(start.elapsed());
+    }
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn ms(duration: Duration) -> f64 {
+    duration.as_secs_f64() * 1e3
+}
+
+fn header(id: &str, title: &str) {
+    println!("----------------------------------------------------------------");
+    println!("{id}: {title}");
+    println!("----------------------------------------------------------------");
+}
+
+// ---------------------------------------------------------------------------
+// E1 — slide 9.
+// ---------------------------------------------------------------------------
+
+fn e1_possible_worlds_example() {
+    header("E1", "possible-worlds example (slide 9)");
+    let worlds = pxml_core::PossibleWorlds::from_worlds(vec![
+        (parse_data_tree("<A><C/></A>").unwrap(), 0.06),
+        (parse_data_tree("<A><C/><D/></A>").unwrap(), 0.14),
+        (parse_data_tree("<A><B/><C/></A>").unwrap(), 0.24),
+        (parse_data_tree("<A><B/><C/><D/></A>").unwrap(), 0.56),
+    ])
+    .unwrap();
+    println!("{:<28} {:>12} {:>12}", "world", "paper P", "measured P");
+    for (xml, expected) in [
+        ("<A><C/></A>", 0.06),
+        ("<A><C/><D/></A>", 0.14),
+        ("<A><B/><C/></A>", 0.24),
+        ("<A><B/><C/><D/></A>", 0.56),
+    ] {
+        let tree = parse_data_tree(xml).unwrap();
+        println!(
+            "{:<28} {:>12.2} {:>12.2}",
+            xml,
+            expected,
+            worlds.probability_of_tree(&tree)
+        );
+    }
+    println!("total probability: {:.6}\n", worlds.total_probability());
+}
+
+// ---------------------------------------------------------------------------
+// E2 — slide 12 + expressiveness.
+// ---------------------------------------------------------------------------
+
+fn e2_expressiveness(quick: bool) {
+    header("E2", "fuzzy-tree semantics and expressiveness (slide 12)");
+    let fuzzy = slide12();
+    let worlds = fuzzy.to_possible_worlds().unwrap();
+    println!("{:<22} {:>12} {:>12}", "world", "paper P", "measured P");
+    for (xml, expected) in [
+        ("<A><C/></A>", 0.06),
+        ("<A><C/><D/></A>", 0.70),
+        ("<A><B/><C/></A>", 0.24),
+    ] {
+        let tree = parse_data_tree(xml).unwrap();
+        println!(
+            "{:<22} {:>12.2} {:>12.2}",
+            xml,
+            expected,
+            worlds.probability_of_tree(&tree)
+        );
+    }
+    let encoded = encode_possible_worlds(&worlds).unwrap();
+    println!(
+        "round trip PW -> fuzzy -> PW equivalent: {}",
+        encoded.to_possible_worlds().unwrap().equivalent(&worlds, 1e-9)
+    );
+
+    // Expansion cost vs number of events (the exponential the fuzzy-tree
+    // representation avoids paying until asked).
+    let max_events = if quick { 10 } else { 14 };
+    println!("\n{:>8} {:>10} {:>14}", "events", "worlds", "expand (ms)");
+    for events in (2..=max_events).step_by(2) {
+        let fuzzy = fuzzy_document(40, events, BENCH_SEED + events as u64);
+        let mut world_count = 0;
+        let elapsed = time_it(3, || {
+            world_count = fuzzy.to_possible_worlds().unwrap().len();
+        });
+        println!("{events:>8} {world_count:>10} {:>14.3}", ms(elapsed));
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------------------
+// E3 — query on fuzzy trees vs on possible worlds.
+// ---------------------------------------------------------------------------
+
+fn e3_query_models(quick: bool) {
+    header(
+        "E3",
+        "query commutation and fuzzy-vs-possible-worlds query cost (slide 13)",
+    );
+    let max_events = if quick { 10 } else { 14 };
+    println!(
+        "{:>8} {:>10} {:>16} {:>16} {:>10}",
+        "events", "worlds", "fuzzy qry (ms)", "worlds qry (ms)", "agree"
+    );
+    for events in (2..=max_events).step_by(2) {
+        let fuzzy = fuzzy_document(60, events, BENCH_SEED + 100 + events as u64);
+        let query = query_for(fuzzy.tree(), 3, BENCH_SEED + events as u64);
+        let mut fuzzy_answers = 0;
+        let fuzzy_time = time_it(3, || {
+            fuzzy_answers = fuzzy.query(&query).len();
+        });
+        let mut world_count = 0;
+        let worlds_time = time_it(3, || {
+            let worlds = fuzzy.to_possible_worlds().unwrap();
+            world_count = worlds.len();
+            let _ = worlds.query(&query);
+        });
+        let agree = {
+            let via_fuzzy = fuzzy.query(&query).as_possible_worlds(fuzzy.events());
+            let via_worlds = fuzzy.to_possible_worlds().unwrap().query(&query);
+            via_fuzzy.equivalent(&via_worlds, 1e-9)
+        };
+        println!(
+            "{events:>8} {world_count:>10} {:>16.3} {:>16.3} {agree:>10}",
+            ms(fuzzy_time),
+            ms(worlds_time)
+        );
+        let _ = fuzzy_answers;
+    }
+
+    println!("\nfuzzy query cost vs document size (events fixed at 8):");
+    println!("{:>10} {:>16}", "elements", "fuzzy qry (ms)");
+    let sizes: &[usize] = if quick {
+        &[100, 400, 1600]
+    } else {
+        &[100, 400, 1600, 6400]
+    };
+    for &size in sizes {
+        let fuzzy = fuzzy_document(size, 8, BENCH_SEED + size as u64);
+        let query = query_for(fuzzy.tree(), 3, BENCH_SEED + 7);
+        let elapsed = time_it(3, || {
+            let _ = fuzzy.query(&query);
+        });
+        println!("{size:>10} {:>16.3}", ms(elapsed));
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------------------
+// E4 — probabilistic updates.
+// ---------------------------------------------------------------------------
+
+fn e4_updates(quick: bool) {
+    header("E4", "probabilistic updates: insertion cost and commutation (slide 14)");
+    let sizes: &[usize] = if quick {
+        &[100, 400, 1600]
+    } else {
+        &[100, 400, 1600, 6400]
+    };
+    println!(
+        "{:>10} {:>18} {:>18}",
+        "elements", "insert tx (ms)", "mixed tx (ms)"
+    );
+    for &size in sizes {
+        let tree = document(size, BENCH_SEED + size as u64);
+        let insert = insert_update_for(&tree, BENCH_SEED + 1);
+        let mixed = update_for(&tree, BENCH_SEED + 2);
+        let insert_time = time_it(3, || {
+            let mut fuzzy = FuzzyTree::from_tree(tree.clone());
+            insert.apply_to_fuzzy(&mut fuzzy).unwrap();
+        });
+        let mixed_time = time_it(3, || {
+            let mut fuzzy = FuzzyTree::from_tree(tree.clone());
+            mixed.apply_to_fuzzy(&mut fuzzy).unwrap();
+        });
+        println!("{size:>10} {:>18.3} {:>18.3}", ms(insert_time), ms(mixed_time));
+    }
+
+    // Commutation spot check on small instances.
+    let mut agreements = 0;
+    let total = 10;
+    for seed in 0..total {
+        let fuzzy = fuzzy_document(15, 4, BENCH_SEED + 300 + seed);
+        let update = update_for(fuzzy.tree(), BENCH_SEED + 400 + seed);
+        let via_worlds = fuzzy.to_possible_worlds().unwrap().update(&update);
+        let mut updated = fuzzy.clone();
+        update.apply_to_fuzzy(&mut updated).unwrap();
+        if via_worlds.equivalent(&updated.to_possible_worlds().unwrap(), 1e-9) {
+            agreements += 1;
+        }
+    }
+    println!("\nupdate commutation diagram holds on {agreements}/{total} random instances\n");
+}
+
+// ---------------------------------------------------------------------------
+// E5 — deletion-induced growth.
+// ---------------------------------------------------------------------------
+
+fn e5_deletion_growth(quick: bool) {
+    header("E5", "exponential growth under conditional deletions (slide 14)");
+    let rounds = if quick { 8 } else { 10 };
+    println!(
+        "{:>8} {:>14} {:>14} {:>20} {:>20}",
+        "round", "copies of C", "nodes", "nodes (simplified)", "literals (simpl.)"
+    );
+    let mut raw = deletion_growth_document(rounds);
+    let mut simplified = deletion_growth_document(rounds);
+    for k in 1..=rounds {
+        deletion_growth_step(k).apply_to_fuzzy(&mut raw).unwrap();
+        deletion_growth_step(k)
+            .apply_to_fuzzy(&mut simplified)
+            .unwrap();
+        Simplifier::new().run(&mut simplified).unwrap();
+        println!(
+            "{k:>8} {:>14} {:>14} {:>20} {:>20}",
+            raw.tree().find_elements("C").len(),
+            raw.node_count(),
+            simplified.node_count(),
+            simplified.condition_literal_count()
+        );
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------------------
+// E6 — conditional replacement (slide 15).
+// ---------------------------------------------------------------------------
+
+fn e6_conditional_replacement() {
+    header("E6", "conditional replacement example (slide 15)");
+    let mut fuzzy = FuzzyTree::new("A");
+    let w1 = fuzzy.add_event("w1", 0.8).unwrap();
+    let w2 = fuzzy.add_event("w2", 0.7).unwrap();
+    let root = fuzzy.root();
+    let b = fuzzy.add_element(root, "B");
+    fuzzy
+        .set_condition(b, pxml_event::Condition::from_literal(pxml_event::Literal::pos(w1)))
+        .unwrap();
+    let c = fuzzy.add_element(root, "C");
+    fuzzy
+        .set_condition(c, pxml_event::Condition::from_literal(pxml_event::Literal::pos(w2)))
+        .unwrap();
+    let pattern = Pattern::parse("/A { B, C }").unwrap();
+    let ids: Vec<_> = pattern.node_ids().collect();
+    let tx = UpdateTransaction::new(pattern, 0.9)
+        .unwrap()
+        .with_insert(ids[0], parse_data_tree("<D/>").unwrap())
+        .with_delete(ids[2]);
+    tx.apply_to_fuzzy(&mut fuzzy).unwrap();
+
+    println!("{:<10} {:<30}", "node", "condition (paper: B[w1], C[!w1 w2], C[w1 w2 !w3], D[w1 w2 w3])");
+    for node in fuzzy.tree().nodes() {
+        if node == fuzzy.root() {
+            continue;
+        }
+        println!(
+            "{:<10} {:<30}",
+            fuzzy.tree().label(node).as_str(),
+            fuzzy.condition(node).display(fuzzy.events())
+        );
+    }
+    println!("{}", fuzzy.events());
+}
+
+// ---------------------------------------------------------------------------
+// E7 — warehouse end-to-end throughput.
+// ---------------------------------------------------------------------------
+
+fn e7_warehouse(quick: bool) {
+    header("E7", "warehouse architecture: update/query throughput and recovery (slides 3, 16)");
+    let sizes: &[usize] = if quick { &[50, 200] } else { &[50, 200, 1000] };
+    let updates = if quick { 100 } else { 200 };
+    let queries = 50;
+    println!(
+        "{:>10} {:>12} {:>14} {:>14} {:>14}",
+        "people", "updates", "updates/s", "queries/s", "recover (ms)"
+    );
+    for &people in sizes {
+        let dir = std::env::temp_dir().join(format!(
+            "pxml-harness-e7-{}-{}",
+            std::process::id(),
+            people
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let warehouse = Warehouse::open(
+            &dir,
+            WarehouseConfig {
+                auto_simplify_above_literals: Some(4096),
+                checkpoint_every: Some(64),
+            },
+        )
+        .unwrap();
+        let scenario = PeopleScenarioConfig {
+            people,
+            ..PeopleScenarioConfig::default()
+        };
+        warehouse
+            .create_document("people", people_directory(&scenario))
+            .unwrap();
+
+        let mut rng = StdRng::seed_from_u64(BENCH_SEED + people as u64);
+        let start = Instant::now();
+        for _ in 0..updates {
+            let (update, _) = extraction_update(&mut rng, &scenario);
+            warehouse.update("people", &update).unwrap();
+        }
+        let update_rate = updates as f64 / start.elapsed().as_secs_f64();
+
+        let patterns = [
+            Pattern::parse("person { phone }").unwrap(),
+            Pattern::parse("person { email }").unwrap(),
+            Pattern::parse("person { name, city }").unwrap(),
+        ];
+        let start = Instant::now();
+        for i in 0..queries {
+            let _ = warehouse.query("people", &patterns[i % patterns.len()]).unwrap();
+        }
+        let query_rate = queries as f64 / start.elapsed().as_secs_f64();
+
+        drop(warehouse);
+        let start = Instant::now();
+        let reopened = Warehouse::open(&dir, WarehouseConfig::default()).unwrap();
+        let recovery = start.elapsed();
+        let _ = reopened.document("people").unwrap();
+
+        println!(
+            "{people:>10} {updates:>12} {update_rate:>14.1} {query_rate:>14.1} {:>14.2}",
+            ms(recovery)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------------------
+// E8 — simplification effectiveness.
+// ---------------------------------------------------------------------------
+
+fn e8_simplification(quick: bool) {
+    header("E8", "fuzzy-data simplification (slide 19 perspective)");
+    let histories = if quick { 40 } else { 120 };
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>12} {:>14}",
+        "updates", "nodes", "nodes'", "literals", "literals'", "simplify (ms)"
+    );
+    for &updates in &[histories / 2, histories] {
+        let mut fuzzy = FuzzyTree::from_tree(people_directory(&PeopleScenarioConfig {
+            people: 20,
+            ..PeopleScenarioConfig::default()
+        }));
+        let scenario = PeopleScenarioConfig {
+            people: 20,
+            ..PeopleScenarioConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(BENCH_SEED + updates as u64);
+        for _ in 0..updates {
+            let (update, _) = extraction_update(&mut rng, &scenario);
+            update.apply_to_fuzzy(&mut fuzzy).unwrap();
+        }
+        let nodes_before = fuzzy.node_count();
+        let literals_before = fuzzy.condition_literal_count();
+        let mut simplified = fuzzy.clone();
+        let elapsed = time_it(3, || {
+            simplified = fuzzy.clone();
+            Simplifier::new().run(&mut simplified).unwrap();
+        });
+        println!(
+            "{updates:>10} {nodes_before:>12} {:>12} {literals_before:>12} {:>12} {:>14.3}",
+            simplified.node_count(),
+            simplified.condition_literal_count(),
+            ms(elapsed)
+        );
+    }
+
+    // Growth history (the E5 document) is where simplification matters most.
+    let rounds = if quick { 8 } else { 10 };
+    let mut grown = deletion_growth_document(rounds);
+    for k in 1..=rounds {
+        deletion_growth_step(k).apply_to_fuzzy(&mut grown).unwrap();
+    }
+    let before = (grown.node_count(), grown.condition_literal_count());
+    let mut simplified = grown.clone();
+    let report = Simplifier::new().run(&mut simplified).unwrap();
+    println!(
+        "\nafter {rounds} chained deletions: {} nodes / {} literals  →  {} nodes / {} literals ({} passes)\n",
+        before.0,
+        before.1,
+        simplified.node_count(),
+        simplified.condition_literal_count(),
+        report.passes
+    );
+}
+
+// ---------------------------------------------------------------------------
+// E9 — query evaluation scaling and the matcher ablation.
+// ---------------------------------------------------------------------------
+
+fn e9_query_scaling(quick: bool) {
+    header("E9", "TPWJ evaluation scaling and matcher ablation (slide 19 perspective)");
+    let sizes: &[usize] = if quick {
+        &[100, 1000, 5000]
+    } else {
+        &[100, 1000, 10_000]
+    };
+    println!(
+        "{:>10} {:>14} {:>16} {:>16} {:>10}",
+        "elements", "pattern size", "naive (ms)", "indexed (ms)", "speedup"
+    );
+    for &size in sizes {
+        let tree = document(size, BENCH_SEED + size as u64);
+        for &pattern_nodes in &[2usize, 4, 6] {
+            // Average over several derived queries to damp the variance of a
+            // single random pattern.
+            let queries: Vec<_> = (0..3)
+                .map(|i| query_for(&tree, pattern_nodes, BENCH_SEED + pattern_nodes as u64 + i))
+                .collect();
+            let naive = time_it(3, || {
+                for query in &queries {
+                    let _ = query.find_matches_with(&tree, MatchStrategy::Naive);
+                }
+            });
+            let indexed = time_it(3, || {
+                for query in &queries {
+                    let _ = query.find_matches_with(&tree, MatchStrategy::Indexed);
+                }
+            });
+            let speedup = if indexed.as_nanos() > 0 {
+                naive.as_secs_f64() / indexed.as_secs_f64()
+            } else {
+                f64::INFINITY
+            };
+            println!(
+                "{size:>10} {pattern_nodes:>14} {:>16.3} {:>16.3} {speedup:>10.1}",
+                ms(naive) / queries.len() as f64,
+                ms(indexed) / queries.len() as f64
+            );
+        }
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------------------
+// E10 — empirical complexity summary.
+// ---------------------------------------------------------------------------
+
+fn e10_complexity_summary(quick: bool) {
+    header("E10", "empirical complexity of query / update / simplification");
+    let sizes: &[usize] = if quick {
+        &[200, 800, 3200]
+    } else {
+        &[200, 800, 3200, 6400]
+    };
+    println!(
+        "{:>10} {:>14} {:>14} {:>16}",
+        "elements", "query (ms)", "update (ms)", "simplify (ms)"
+    );
+    let mut rows: Vec<(usize, f64, f64, f64)> = Vec::new();
+    for &size in sizes {
+        let fuzzy = fuzzy_document(size, 8, BENCH_SEED + size as u64);
+        // Average over several derived queries/updates to damp the variance
+        // of a single random pattern.
+        let queries: Vec<_> = (0..3)
+            .map(|i| query_for(fuzzy.tree(), 3, BENCH_SEED + i))
+            .collect();
+        let updates: Vec<_> = (0..3)
+            .map(|i| update_for(fuzzy.tree(), BENCH_SEED + i))
+            .collect();
+        let query_time = time_it(3, || {
+            for query in &queries {
+                let _ = fuzzy.query(query);
+            }
+        })
+        .div_f64(queries.len() as f64);
+        let update_time = time_it(3, || {
+            for update in &updates {
+                let mut copy = fuzzy.clone();
+                update.apply_to_fuzzy(&mut copy).unwrap();
+            }
+        })
+        .div_f64(updates.len() as f64);
+        let simplify_time = time_it(3, || {
+            let mut copy = fuzzy.clone();
+            Simplifier::new().run(&mut copy).unwrap();
+        });
+        println!(
+            "{size:>10} {:>14.3} {:>14.3} {:>16.3}",
+            ms(query_time),
+            ms(update_time),
+            ms(simplify_time)
+        );
+        rows.push((size, ms(query_time), ms(update_time), ms(simplify_time)));
+    }
+    if rows.len() >= 2 {
+        let slope = |get: &dyn Fn(&(usize, f64, f64, f64)) -> f64| {
+            let first = &rows[0];
+            let last = &rows[rows.len() - 1];
+            let dx = (last.0 as f64 / first.0 as f64).ln();
+            let dy = (get(last).max(1e-6) / get(first).max(1e-6)).ln();
+            dy / dx
+        };
+        println!(
+            "\napparent growth exponents (1.0 = linear): query {:.2}, update {:.2}, simplify {:.2}\n",
+            slope(&|r| r.1),
+            slope(&|r| r.2),
+            slope(&|r| r.3)
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Shared workload builders for the benchmarks and the experiment harness.
+//!
+//! Every experiment of `DESIGN.md` §5 gets its inputs from here so that the
+//! Criterion benches (`benches/`) and the table-printing harness
+//! (`src/bin/harness.rs`) measure exactly the same workloads.
+
+use pxml_core::{FuzzyTree, UpdateTransaction};
+use pxml_event::{Condition, Literal};
+use pxml_gen::{
+    derived_query, random_fuzzy_tree, random_tree, random_update, FuzzyGenConfig, QueryGenConfig,
+    TreeGenConfig, UpdateGenConfig,
+};
+use pxml_query::{PNodeId, Pattern};
+use pxml_tree::Tree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The fixed seed used by every benchmark workload (reproducibility).
+pub const BENCH_SEED: u64 = 0x5eed_cafe;
+
+/// A random plain document with roughly `elements` element nodes.
+pub fn document(elements: usize, seed: u64) -> Tree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_tree(&mut rng, &TreeGenConfig::sized(elements))
+}
+
+/// A random fuzzy document with roughly `elements` element nodes and
+/// `events` probabilistic events.
+pub fn fuzzy_document(elements: usize, events: usize, seed: u64) -> FuzzyTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_fuzzy_tree(&mut rng, &FuzzyGenConfig::sized(elements, events))
+}
+
+/// A query derived from `tree` (guaranteed to match) with the given number of
+/// pattern nodes.
+pub fn query_for(tree: &Tree, pattern_nodes: usize, seed: u64) -> Pattern {
+    let mut rng = StdRng::seed_from_u64(seed);
+    derived_query(
+        &mut rng,
+        tree,
+        &QueryGenConfig {
+            pattern_nodes,
+            descendant_probability: 0.3,
+            value_probability: 0.2,
+            join_probability: 0.1,
+            wildcard_probability: 0.1,
+        },
+    )
+}
+
+/// A random probabilistic update derived from `tree`.
+pub fn update_for(tree: &Tree, seed: u64) -> UpdateTransaction {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_update(&mut rng, tree, &UpdateGenConfig::default())
+}
+
+/// An insert-only probabilistic update derived from `tree` (used by E4 where
+/// the paper notes that insertions are the easy case).
+pub fn insert_update_for(tree: &Tree, seed: u64) -> UpdateTransaction {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_update(
+        &mut rng,
+        tree,
+        &UpdateGenConfig {
+            insert_probability: 1.0,
+            delete_probability: 0.0,
+            ..UpdateGenConfig::default()
+        },
+    )
+}
+
+/// The slide-12 example document.
+pub fn slide12() -> FuzzyTree {
+    let mut fuzzy = FuzzyTree::new("A");
+    let w1 = fuzzy.add_event("w1", 0.8).expect("fresh table");
+    let w2 = fuzzy.add_event("w2", 0.7).expect("fresh table");
+    let root = fuzzy.root();
+    let b = fuzzy.add_element(root, "B");
+    fuzzy
+        .set_condition(b, Condition::from_literals([Literal::pos(w1), Literal::neg(w2)]))
+        .expect("not the root");
+    fuzzy.add_element(root, "C");
+    let d = fuzzy.add_element(root, "D");
+    fuzzy
+        .set_condition(d, Condition::from_literal(Literal::pos(w2)))
+        .expect("not the root");
+    fuzzy
+}
+
+/// The document used by the deletion-growth experiment (E5): a root with
+/// `rounds` independent uncertain `B_k` children and a single `C` child.
+pub fn deletion_growth_document(rounds: usize) -> FuzzyTree {
+    let mut fuzzy = FuzzyTree::new("A");
+    let root = fuzzy.root();
+    for k in 1..=rounds {
+        let event = fuzzy
+            .add_event(format!("x{k}"), 0.5)
+            .expect("fresh event names");
+        let b = fuzzy.add_element(root, format!("B{k}"));
+        fuzzy
+            .set_condition(b, Condition::from_literal(Literal::pos(event)))
+            .expect("not the root");
+    }
+    fuzzy.add_element(root, "C");
+    fuzzy
+}
+
+/// The `k`-th chained conditional deletion of the growth experiment.
+pub fn deletion_growth_step(k: usize) -> UpdateTransaction {
+    let pattern = Pattern::parse(&format!("/A {{ B{k}, C }}")).expect("static query");
+    let ids: Vec<PNodeId> = pattern.node_ids().collect();
+    UpdateTransaction::new(pattern, 0.5)
+        .expect("valid confidence")
+        .with_delete(ids[2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_reproducible() {
+        let a = document(100, 1);
+        let b = document(100, 1);
+        assert!(a.isomorphic(&b));
+        let fa = fuzzy_document(50, 4, 2);
+        let fb = fuzzy_document(50, 4, 2);
+        assert!(fa.semantically_equivalent(&fb, 1e-12).unwrap());
+    }
+
+    #[test]
+    fn derived_queries_and_updates_select_their_documents() {
+        let tree = document(150, 3);
+        let query = query_for(&tree, 4, 4);
+        assert!(!query.find_matches(&tree).is_empty());
+        let update = update_for(&tree, 5);
+        assert!(!update.pattern().find_matches(&tree).is_empty());
+        let insert = insert_update_for(&tree, 6);
+        assert!(insert
+            .operations()
+            .iter()
+            .all(|op| matches!(op, pxml_core::UpdateOperation::Insert { .. })));
+    }
+
+    #[test]
+    fn growth_workload_doubles_copies() {
+        let mut fuzzy = deletion_growth_document(3);
+        for k in 1..=3 {
+            deletion_growth_step(k).apply_to_fuzzy(&mut fuzzy).unwrap();
+        }
+        assert_eq!(fuzzy.tree().find_elements("C").len(), 8);
+    }
+}

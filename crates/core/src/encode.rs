@@ -1,0 +1,179 @@
+//! Expressiveness: encoding a possible-worlds set as a fuzzy tree.
+//!
+//! Slide 12 states that *the fuzzy tree model is as expressive as the
+//! possible-worlds model*. One direction is [`crate::fuzzy::FuzzyTree::to_possible_worlds`];
+//! this module provides the other: given any finite set of worlds sharing a
+//! root label, build a fuzzy tree whose possible-worlds semantics is exactly
+//! that set.
+//!
+//! The construction introduces `n − 1` *selector* events `s₁ … s_{n−1}` for
+//! `n` worlds and attaches world `i`'s children under the common root with
+//! the mutually exclusive condition `¬s₁ ∧ … ∧ ¬s_{i−1} ∧ sᵢ` (the last world
+//! uses `¬s₁ ∧ … ∧ ¬s_{n−1}`). The selector probabilities are chosen so that
+//! each world keeps its probability ("stick-breaking"):
+//! `P(sᵢ) = pᵢ / (1 − p₁ − … − p_{i−1})`.
+
+use pxml_event::{Condition, Literal};
+
+use crate::error::CoreError;
+use crate::fuzzy::FuzzyTree;
+use crate::worlds::PossibleWorlds;
+
+/// Encodes a (non-empty) possible-worlds set as a fuzzy tree with the same
+/// semantics. The input is normalised and rescaled to a probability
+/// distribution first; all worlds must share the same root label.
+pub fn encode_possible_worlds(worlds: &PossibleWorlds) -> Result<FuzzyTree, CoreError> {
+    let worlds = worlds.rescaled()?;
+    let mut iter = worlds.iter();
+    let (first_tree, _) = iter.next().ok_or(CoreError::EmptyWorldSet)?;
+    let root_label = first_tree.label(first_tree.root()).clone();
+    for (tree, _) in worlds.iter() {
+        if tree.label(tree.root()) != &root_label {
+            return Err(CoreError::HeterogeneousRoots);
+        }
+    }
+
+    let mut fuzzy = FuzzyTree::new(root_label);
+    let world_list: Vec<_> = worlds.iter().cloned().collect();
+    let count = world_list.len();
+
+    // Selector events with stick-breaking probabilities.
+    let mut selectors = Vec::new();
+    let mut remaining = 1.0_f64;
+    for (index, (_, probability)) in world_list.iter().enumerate() {
+        if index + 1 == count {
+            break; // the last world is selected when no selector fires
+        }
+        let conditional = if remaining <= f64::EPSILON {
+            0.0
+        } else {
+            (probability / remaining).clamp(0.0, 1.0)
+        };
+        let event = fuzzy.add_event(format!("s{}", index + 1), conditional)?;
+        selectors.push(event);
+        remaining -= probability;
+    }
+
+    // Attach each world's children under the shared root, conditioned on the
+    // world's selector condition.
+    for (index, (tree, _)) in world_list.iter().enumerate() {
+        let mut literals: Vec<Literal> = selectors
+            .iter()
+            .take(index)
+            .map(|&event| Literal::neg(event))
+            .collect();
+        if index < selectors.len() {
+            literals.push(Literal::pos(selectors[index]));
+        }
+        let condition = Condition::from_literals(literals);
+        for &child in tree.children(tree.root()) {
+            fuzzy.graft_subtree(fuzzy.root(), tree, child, condition.clone());
+        }
+        // A world consisting of the bare root contributes no children; its
+        // probability is still accounted for by the selector construction.
+    }
+    Ok(fuzzy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxml_tree::parse_data_tree;
+
+    fn slide9() -> PossibleWorlds {
+        PossibleWorlds::from_worlds(vec![
+            (parse_data_tree("<A><C/></A>").unwrap(), 0.06),
+            (parse_data_tree("<A><C/><D/></A>").unwrap(), 0.14),
+            (parse_data_tree("<A><B/><C/></A>").unwrap(), 0.24),
+            (parse_data_tree("<A><B/><C/><D/></A>").unwrap(), 0.56),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn encoding_round_trips_slide9() {
+        let worlds = slide9();
+        let fuzzy = encode_possible_worlds(&worlds).unwrap();
+        assert!(fuzzy.validate().is_ok());
+        assert_eq!(fuzzy.event_count(), 3);
+        let expanded = fuzzy.to_possible_worlds().unwrap();
+        assert!(expanded.equivalent(&worlds, 1e-9));
+    }
+
+    #[test]
+    fn encoding_a_single_world_needs_no_event() {
+        let tree = parse_data_tree("<r><a>1</a><b/></r>").unwrap();
+        let worlds = PossibleWorlds::certain(tree.clone());
+        let fuzzy = encode_possible_worlds(&worlds).unwrap();
+        assert_eq!(fuzzy.event_count(), 0);
+        assert!(fuzzy.tree().isomorphic(&tree));
+    }
+
+    #[test]
+    fn encoding_rescales_unnormalised_input() {
+        let mut worlds = PossibleWorlds::new();
+        worlds.push(parse_data_tree("<r><a/></r>").unwrap(), 2.0);
+        worlds.push(parse_data_tree("<r><b/></r>").unwrap(), 6.0);
+        let fuzzy = encode_possible_worlds(&worlds).unwrap();
+        let expanded = fuzzy.to_possible_worlds().unwrap();
+        let a = parse_data_tree("<r><a/></r>").unwrap();
+        assert!((expanded.probability_of_tree(&a) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn encoding_merges_isomorphic_worlds_first() {
+        let mut worlds = PossibleWorlds::new();
+        worlds.push(parse_data_tree("<r><a/><b/></r>").unwrap(), 0.3);
+        worlds.push(parse_data_tree("<r><b/><a/></r>").unwrap(), 0.3);
+        worlds.push(parse_data_tree("<r/>").unwrap(), 0.4);
+        let fuzzy = encode_possible_worlds(&worlds).unwrap();
+        // Two distinct worlds → a single selector event.
+        assert_eq!(fuzzy.event_count(), 1);
+        let expanded = fuzzy.to_possible_worlds().unwrap();
+        assert!(
+            (expanded.probability_of_tree(&parse_data_tree("<r><a/><b/></r>").unwrap()) - 0.6)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn worlds_with_bare_root_are_supported() {
+        let mut worlds = PossibleWorlds::new();
+        worlds.push(parse_data_tree("<r/>").unwrap(), 0.5);
+        worlds.push(parse_data_tree("<r><x/></r>").unwrap(), 0.5);
+        let fuzzy = encode_possible_worlds(&worlds).unwrap();
+        let expanded = fuzzy.to_possible_worlds().unwrap();
+        assert!(expanded.equivalent(&worlds, 1e-9));
+    }
+
+    #[test]
+    fn heterogeneous_roots_are_rejected() {
+        let mut worlds = PossibleWorlds::new();
+        worlds.push(parse_data_tree("<a/>").unwrap(), 0.5);
+        worlds.push(parse_data_tree("<b/>").unwrap(), 0.5);
+        assert!(matches!(
+            encode_possible_worlds(&worlds),
+            Err(CoreError::HeterogeneousRoots)
+        ));
+    }
+
+    #[test]
+    fn empty_world_set_is_rejected() {
+        assert!(matches!(
+            encode_possible_worlds(&PossibleWorlds::new()),
+            Err(CoreError::EmptyWorldSet)
+        ));
+    }
+
+    #[test]
+    fn queries_agree_after_encoding() {
+        use pxml_query::Pattern;
+        let worlds = slide9();
+        let fuzzy = encode_possible_worlds(&worlds).unwrap();
+        let query = Pattern::parse("A { B, D }").unwrap();
+        let direct = worlds.query(&query);
+        let via_fuzzy = fuzzy.query(&query).as_possible_worlds(fuzzy.events());
+        assert!(direct.equivalent(&via_fuzzy, 1e-9));
+    }
+}

@@ -1,0 +1,545 @@
+//! Fuzzy-data simplification (slide 19, "Perspectives").
+//!
+//! Updates — deletions in particular — make fuzzy trees grow: nodes get
+//! duplicated, conditions accumulate literals, events pile up in the table.
+//! The [`Simplifier`] shrinks a fuzzy tree **without changing its
+//! possible-worlds semantics**:
+//!
+//! 1. *prune impossible nodes* — nodes whose existence condition is
+//!    inconsistent exist in no world;
+//! 2. *strip implied literals* — a literal already guaranteed by an
+//!    ancestor's condition is redundant on a descendant;
+//! 3. *apply deterministic events* — events with probability exactly 0 or 1
+//!    are certain, so their literals can be resolved away;
+//! 4. *merge mergeable siblings* — two sibling subtrees that are identical
+//!    except that their root conditions differ in the sign of a single
+//!    literal are the two halves of a Shannon expansion and can be collapsed
+//!    back into one (the inverse of deletion-induced duplication);
+//! 5. *garbage-collect events* — events no longer mentioned anywhere are
+//!    dropped from the table.
+//!
+//! Every pass preserves semantics; `EXPERIMENTS.md` (experiment E8) measures
+//! how much of the growth caused by update histories the simplifier wins
+//! back.
+
+use std::collections::HashMap;
+
+use pxml_event::{Condition, EventId, EventTable, Literal};
+use pxml_tree::NodeId;
+
+use crate::error::CoreError;
+use crate::fuzzy::FuzzyTree;
+
+/// What a simplification run changed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimplifyReport {
+    /// Nodes removed because they exist in no world.
+    pub removed_impossible_nodes: usize,
+    /// Literals removed because an ancestor already guarantees them.
+    pub stripped_literals: usize,
+    /// Literals resolved because their event has probability 0 or 1.
+    pub resolved_deterministic_literals: usize,
+    /// Nodes removed by merging Shannon-complementary siblings.
+    pub merged_nodes: usize,
+    /// Events dropped from the table.
+    pub removed_events: usize,
+    /// Number of passes until fixpoint.
+    pub passes: usize,
+}
+
+impl SimplifyReport {
+    /// `true` when the run changed nothing.
+    pub fn is_noop(&self) -> bool {
+        self.removed_impossible_nodes == 0
+            && self.stripped_literals == 0
+            && self.resolved_deterministic_literals == 0
+            && self.merged_nodes == 0
+            && self.removed_events == 0
+    }
+
+    fn absorb(&mut self, other: &SimplifyReport) {
+        self.removed_impossible_nodes += other.removed_impossible_nodes;
+        self.stripped_literals += other.stripped_literals;
+        self.resolved_deterministic_literals += other.resolved_deterministic_literals;
+        self.merged_nodes += other.merged_nodes;
+        self.removed_events += other.removed_events;
+    }
+}
+
+/// Configurable simplification driver.
+#[derive(Debug, Clone)]
+pub struct Simplifier {
+    /// Upper bound on fixpoint iterations (a safety net; 2–3 passes normally
+    /// suffice).
+    pub max_passes: usize,
+    /// Whether to merge Shannon-complementary siblings.
+    pub merge_siblings: bool,
+    /// Whether to drop unused events from the table.
+    pub collect_events: bool,
+}
+
+impl Default for Simplifier {
+    fn default() -> Self {
+        Simplifier {
+            max_passes: 8,
+            merge_siblings: true,
+            collect_events: true,
+        }
+    }
+}
+
+impl Simplifier {
+    /// A simplifier with default settings.
+    pub fn new() -> Self {
+        Simplifier::default()
+    }
+
+    /// Runs simplification passes until nothing changes (or `max_passes` is
+    /// reached) and reports the cumulative effect.
+    pub fn run(&self, fuzzy: &mut FuzzyTree) -> Result<SimplifyReport, CoreError> {
+        let mut total = SimplifyReport::default();
+        for pass in 0..self.max_passes {
+            let mut report = SimplifyReport::default();
+            report.removed_impossible_nodes = prune_impossible_nodes(fuzzy)?;
+            report.resolved_deterministic_literals = resolve_deterministic_events(fuzzy)?;
+            report.stripped_literals = strip_implied_literals(fuzzy)?;
+            if self.merge_siblings {
+                report.merged_nodes = merge_complementary_siblings(fuzzy)?;
+            }
+            if self.collect_events {
+                report.removed_events = garbage_collect_events(fuzzy);
+            }
+            let changed = !report.is_noop();
+            total.absorb(&report);
+            total.passes = pass + 1;
+            if !changed {
+                break;
+            }
+        }
+        Ok(total)
+    }
+}
+
+/// Removes every node whose existence condition is (syntactically)
+/// inconsistent; returns the number of nodes removed.
+pub fn prune_impossible_nodes(fuzzy: &mut FuzzyTree) -> Result<usize, CoreError> {
+    let mut removed = 0;
+    loop {
+        let candidate = fuzzy
+            .tree()
+            .nodes()
+            .into_iter()
+            .skip(1) // never the root
+            .find(|&node| !fuzzy.existence_condition(node).is_consistent());
+        match candidate {
+            None => break,
+            Some(node) => {
+                removed += fuzzy.tree().subtree_size(node);
+                fuzzy.remove_subtree(node)?;
+            }
+        }
+    }
+    Ok(removed)
+}
+
+/// Removes, from every node's condition, the literals already guaranteed by
+/// its ancestors; returns the number of literals removed.
+pub fn strip_implied_literals(fuzzy: &mut FuzzyTree) -> Result<usize, CoreError> {
+    let mut stripped = 0;
+    for node in fuzzy.tree().nodes() {
+        if node == fuzzy.root() {
+            continue;
+        }
+        let own = fuzzy.condition(node);
+        if own.is_empty() {
+            continue;
+        }
+        let parent = fuzzy
+            .tree()
+            .parent(node)
+            .expect("non-root node has a parent");
+        let context = fuzzy.existence_condition(parent);
+        let reduced = own.without_implied_by(&context);
+        if reduced.len() < own.len() {
+            stripped += own.len() - reduced.len();
+            fuzzy.set_condition(node, reduced)?;
+        }
+    }
+    Ok(stripped)
+}
+
+/// Resolves literals over events whose probability is exactly 0 or 1:
+/// certainly-true literals are dropped, certainly-false literals make the
+/// node impossible (it is removed). Returns the number of literals resolved.
+pub fn resolve_deterministic_events(fuzzy: &mut FuzzyTree) -> Result<usize, CoreError> {
+    let deterministic: HashMap<EventId, bool> =
+        fuzzy.events().deterministic_events().into_iter().collect();
+    if deterministic.is_empty() {
+        return Ok(0);
+    }
+    let mut resolved = 0;
+    let mut doomed: Vec<NodeId> = Vec::new();
+    for node in fuzzy.tree().nodes() {
+        let condition = fuzzy.condition(node);
+        if condition.is_empty() {
+            continue;
+        }
+        let mut keep: Vec<Literal> = Vec::new();
+        let mut impossible = false;
+        for &literal in condition.literals() {
+            match deterministic.get(&literal.event) {
+                None => keep.push(literal),
+                Some(&value) => {
+                    resolved += 1;
+                    if literal.positive != value {
+                        impossible = true;
+                    }
+                }
+            }
+        }
+        if impossible {
+            doomed.push(node);
+        } else if keep.len() < condition.len() {
+            fuzzy.set_condition(node, Condition::from_literals(keep))?;
+        }
+    }
+    for node in doomed {
+        if fuzzy.tree().contains(node) && node != fuzzy.root() {
+            fuzzy.remove_subtree(node)?;
+        }
+    }
+    Ok(resolved)
+}
+
+/// Merges sibling subtrees that are identical except that their root
+/// conditions differ in the sign of exactly one literal (`X ∧ w` and
+/// `X ∧ ¬w` collapse to `X`). Returns the number of nodes removed by merging.
+pub fn merge_complementary_siblings(fuzzy: &mut FuzzyTree) -> Result<usize, CoreError> {
+    let mut merged_nodes = 0;
+    loop {
+        let Some((keep, drop, merged_condition)) = find_mergeable_pair(fuzzy) else {
+            break;
+        };
+        merged_nodes += fuzzy.tree().subtree_size(drop);
+        fuzzy.remove_subtree(drop)?;
+        fuzzy.set_condition(keep, merged_condition)?;
+    }
+    Ok(merged_nodes)
+}
+
+/// Finds one pair of mergeable siblings, if any.
+fn find_mergeable_pair(fuzzy: &FuzzyTree) -> Option<(NodeId, NodeId, Condition)> {
+    for parent in fuzzy.tree().nodes() {
+        let children = fuzzy.tree().children(parent).to_vec();
+        if children.len() < 2 {
+            continue;
+        }
+        // Group children by the canonical form of their subtree *below* the
+        // root condition (label + children's full fuzzy canonical forms).
+        let mut keyed: Vec<(String, NodeId)> = children
+            .iter()
+            .map(|&child| (body_key(fuzzy, child), child))
+            .collect();
+        keyed.sort();
+        for i in 0..keyed.len() {
+            for j in (i + 1)..keyed.len() {
+                if keyed[i].0 != keyed[j].0 {
+                    break;
+                }
+                let a = keyed[i].1;
+                let b = keyed[j].1;
+                if let Some(merged) = complementary_merge(&fuzzy.condition(a), &fuzzy.condition(b))
+                {
+                    return Some((a, b, merged));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// The canonical form of a node ignoring its own root condition.
+fn body_key(fuzzy: &FuzzyTree, node: NodeId) -> String {
+    let mut child_forms: Vec<String> = fuzzy
+        .tree()
+        .children(node)
+        .iter()
+        .map(|&child| fuzzy.fuzzy_canonical_string(child))
+        .collect();
+    child_forms.sort();
+    format!("{:?}({})", fuzzy.tree().label(node), child_forms.join(","))
+}
+
+/// If `a` and `b` differ in the sign of exactly one literal (and are
+/// otherwise equal), returns the common condition without that literal.
+fn complementary_merge(a: &Condition, b: &Condition) -> Option<Condition> {
+    if a.len() != b.len() || a.is_empty() {
+        return None;
+    }
+    let only_in_a: Vec<Literal> = a
+        .literals()
+        .iter()
+        .copied()
+        .filter(|lit| !b.contains(*lit))
+        .collect();
+    let only_in_b: Vec<Literal> = b
+        .literals()
+        .iter()
+        .copied()
+        .filter(|lit| !a.contains(*lit))
+        .collect();
+    if only_in_a.len() == 1 && only_in_b.len() == 1 && only_in_a[0] == only_in_b[0].negated() {
+        let common: Vec<Literal> = a
+            .literals()
+            .iter()
+            .copied()
+            .filter(|lit| *lit != only_in_a[0])
+            .collect();
+        Some(Condition::from_literals(common))
+    } else {
+        None
+    }
+}
+
+/// Rebuilds the event table keeping only the events mentioned by at least one
+/// condition, remapping conditions accordingly; returns the number of events
+/// dropped.
+pub fn garbage_collect_events(fuzzy: &mut FuzzyTree) -> usize {
+    let mentioned = fuzzy.mentioned_events();
+    let dropped = fuzzy.events().len() - mentioned.len();
+    if dropped == 0 {
+        return 0;
+    }
+    let mut new_table = EventTable::new();
+    let mut remap: HashMap<EventId, EventId> = HashMap::new();
+    for &old in &mentioned {
+        let name = fuzzy.events().name(old).to_string();
+        let probability = fuzzy.events().probability(old);
+        let new = new_table
+            .add_event(name, probability)
+            .expect("names and probabilities come from a valid table");
+        remap.insert(old, new);
+    }
+    let remapped: HashMap<NodeId, Condition> = fuzzy
+        .conditions
+        .iter()
+        .map(|(&node, condition)| {
+            let literals = condition.literals().iter().map(|lit| Literal {
+                event: remap[&lit.event],
+                positive: lit.positive,
+            });
+            (node, Condition::from_literals(literals))
+        })
+        .collect();
+    fuzzy.conditions = remapped;
+    fuzzy.events = new_table;
+    dropped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuzzy::slide12_example;
+    use crate::update::UpdateTransaction;
+    use pxml_query::Pattern;
+    use pxml_tree::parse_data_tree;
+
+    fn assert_semantics_preserved(before: &FuzzyTree, after: &FuzzyTree) {
+        assert!(
+            before.semantically_equivalent(after, 1e-9).unwrap(),
+            "simplification must preserve the possible-worlds semantics"
+        );
+    }
+
+    #[test]
+    fn simplifying_a_clean_document_is_a_noop() {
+        let mut fuzzy = slide12_example();
+        let before = fuzzy.clone();
+        let report = Simplifier::new().run(&mut fuzzy).unwrap();
+        assert!(report.is_noop());
+        assert_eq!(report.passes, 1);
+        assert_semantics_preserved(&before, &fuzzy);
+    }
+
+    #[test]
+    fn impossible_nodes_are_pruned() {
+        let mut fuzzy = FuzzyTree::new("r");
+        let w = fuzzy.add_event("w", 0.5).unwrap();
+        let a = fuzzy.add_element(fuzzy.root(), "a");
+        fuzzy
+            .set_condition(a, Condition::from_literals([Literal::pos(w), Literal::neg(w)]))
+            .unwrap();
+        fuzzy.add_element(a, "b");
+        let before = fuzzy.clone();
+        let report = Simplifier::new().run(&mut fuzzy).unwrap();
+        assert_eq!(report.removed_impossible_nodes, 2);
+        assert_eq!(fuzzy.node_count(), 1);
+        assert_semantics_preserved(&before, &fuzzy);
+    }
+
+    #[test]
+    fn nodes_conflicting_with_ancestors_are_pruned() {
+        let mut fuzzy = FuzzyTree::new("r");
+        let w = fuzzy.add_event("w", 0.5).unwrap();
+        let a = fuzzy.add_element(fuzzy.root(), "a");
+        fuzzy.set_condition(a, Condition::from_literal(Literal::pos(w))).unwrap();
+        let b = fuzzy.add_element(a, "b");
+        fuzzy.set_condition(b, Condition::from_literal(Literal::neg(w))).unwrap();
+        let before = fuzzy.clone();
+        let report = Simplifier::new().run(&mut fuzzy).unwrap();
+        assert_eq!(report.removed_impossible_nodes, 1);
+        assert_semantics_preserved(&before, &fuzzy);
+    }
+
+    #[test]
+    fn implied_literals_are_stripped() {
+        let mut fuzzy = FuzzyTree::new("r");
+        let w = fuzzy.add_event("w", 0.5).unwrap();
+        let v = fuzzy.add_event("v", 0.5).unwrap();
+        let a = fuzzy.add_element(fuzzy.root(), "a");
+        fuzzy.set_condition(a, Condition::from_literal(Literal::pos(w))).unwrap();
+        let b = fuzzy.add_element(a, "b");
+        fuzzy
+            .set_condition(
+                b,
+                Condition::from_literals([Literal::pos(w), Literal::pos(v)]),
+            )
+            .unwrap();
+        let before = fuzzy.clone();
+        let report = Simplifier::new().run(&mut fuzzy).unwrap();
+        assert_eq!(report.stripped_literals, 1);
+        assert_eq!(fuzzy.condition(b), Condition::from_literal(Literal::pos(v)));
+        assert_semantics_preserved(&before, &fuzzy);
+    }
+
+    #[test]
+    fn deterministic_events_are_resolved() {
+        let mut fuzzy = FuzzyTree::new("r");
+        let sure = fuzzy.add_event("sure", 1.0).unwrap();
+        let never = fuzzy.add_event("never", 0.0).unwrap();
+        let maybe = fuzzy.add_event("maybe", 0.5).unwrap();
+        let a = fuzzy.add_element(fuzzy.root(), "a");
+        fuzzy
+            .set_condition(
+                a,
+                Condition::from_literals([Literal::pos(sure), Literal::pos(maybe)]),
+            )
+            .unwrap();
+        let b = fuzzy.add_element(fuzzy.root(), "b");
+        fuzzy.set_condition(b, Condition::from_literal(Literal::pos(never))).unwrap();
+        let before = fuzzy.clone();
+        let report = Simplifier::new().run(&mut fuzzy).unwrap();
+        assert!(report.resolved_deterministic_literals >= 2);
+        // `a` keeps only the uncertain literal, `b` disappears. (Event ids
+        // may have been remapped by garbage collection, so look it up again.)
+        let maybe = fuzzy.events().lookup("maybe").unwrap();
+        assert_eq!(fuzzy.condition(a), Condition::from_literal(Literal::pos(maybe)));
+        assert!(fuzzy.tree().find_elements("b").is_empty());
+        // Unused events are garbage collected.
+        assert_eq!(fuzzy.event_count(), 1);
+        assert_semantics_preserved(&before, &fuzzy);
+    }
+
+    #[test]
+    fn complementary_siblings_are_merged() {
+        let mut fuzzy = FuzzyTree::new("r");
+        let w = fuzzy.add_event("w", 0.5).unwrap();
+        let v = fuzzy.add_event("v", 0.4).unwrap();
+        // Two copies of a(x) differing only in the sign of w.
+        let a1 = fuzzy.add_element(fuzzy.root(), "a");
+        fuzzy
+            .set_condition(a1, Condition::from_literals([Literal::pos(v), Literal::pos(w)]))
+            .unwrap();
+        fuzzy.add_element(a1, "x");
+        let a2 = fuzzy.add_element(fuzzy.root(), "a");
+        fuzzy
+            .set_condition(a2, Condition::from_literals([Literal::pos(v), Literal::neg(w)]))
+            .unwrap();
+        fuzzy.add_element(a2, "x");
+        let before = fuzzy.clone();
+        let report = Simplifier::new().run(&mut fuzzy).unwrap();
+        assert_eq!(report.merged_nodes, 2);
+        assert_eq!(fuzzy.tree().find_elements("a").len(), 1);
+        let a = fuzzy.tree().find_elements("a")[0];
+        // `w` was garbage collected, so re-resolve `v` by name.
+        let v = fuzzy.events().lookup("v").unwrap();
+        assert_eq!(fuzzy.condition(a), Condition::from_literal(Literal::pos(v)));
+        assert_semantics_preserved(&before, &fuzzy);
+    }
+
+    #[test]
+    fn siblings_with_different_bodies_are_not_merged() {
+        let mut fuzzy = FuzzyTree::new("r");
+        let w = fuzzy.add_event("w", 0.5).unwrap();
+        let a1 = fuzzy.add_element(fuzzy.root(), "a");
+        fuzzy.set_condition(a1, Condition::from_literal(Literal::pos(w))).unwrap();
+        fuzzy.add_element(a1, "x");
+        let a2 = fuzzy.add_element(fuzzy.root(), "a");
+        fuzzy.set_condition(a2, Condition::from_literal(Literal::neg(w))).unwrap();
+        fuzzy.add_element(a2, "y"); // different child
+        let report = Simplifier::new().run(&mut fuzzy).unwrap();
+        assert_eq!(report.merged_nodes, 0);
+        assert_eq!(fuzzy.tree().find_elements("a").len(), 2);
+    }
+
+    #[test]
+    fn simplification_undoes_vacuous_conditional_deletion() {
+        // Deleting C with confidence 1 when B[w] is present duplicates C; the
+        // simplifier must keep the result small and semantics intact.
+        let mut fuzzy = FuzzyTree::new("A");
+        let w = fuzzy.add_event("w", 0.5).unwrap();
+        let root = fuzzy.root();
+        let b = fuzzy.add_element(root, "B");
+        fuzzy.set_condition(b, Condition::from_literal(Literal::pos(w))).unwrap();
+        fuzzy.add_element(root, "C");
+        let pattern = Pattern::parse("/A { B, C }").unwrap();
+        let ids: Vec<_> = pattern.node_ids().collect();
+        let tx = UpdateTransaction::new(pattern, 0.8).unwrap().with_delete(ids[2]);
+        tx.apply_to_fuzzy(&mut fuzzy).unwrap();
+        let before = fuzzy.clone();
+        let report = Simplifier::new().run(&mut fuzzy).unwrap();
+        assert_semantics_preserved(&before, &fuzzy);
+        assert!(fuzzy.node_count() <= before.node_count());
+        assert!(report.passes >= 1);
+    }
+
+    #[test]
+    fn garbage_collection_drops_unused_events() {
+        let mut fuzzy = slide12_example();
+        fuzzy.add_event("orphan1", 0.4).unwrap();
+        fuzzy.add_event("orphan2", 0.9).unwrap();
+        let removed = garbage_collect_events(&mut fuzzy);
+        assert_eq!(removed, 2);
+        assert_eq!(fuzzy.event_count(), 2);
+        assert!(fuzzy.validate().is_ok());
+        // Conditions still refer to valid events with unchanged probabilities.
+        let worlds = fuzzy.to_possible_worlds().unwrap();
+        let abc = parse_data_tree("<A><B/><C/></A>").unwrap();
+        assert!((worlds.probability_of_tree(&abc) - 0.24).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simplification_after_update_history_preserves_semantics() {
+        // A short random-ish update history followed by simplification.
+        let mut fuzzy = slide12_example();
+        let insert_pattern = Pattern::parse("A { D }").unwrap();
+        let ins_target = insert_pattern.root();
+        UpdateTransaction::new(insert_pattern, 0.6)
+            .unwrap()
+            .with_insert(ins_target, parse_data_tree("<E>x</E>").unwrap())
+            .apply_to_fuzzy(&mut fuzzy)
+            .unwrap();
+        let delete_pattern = Pattern::parse("/A { B, C }").unwrap();
+        let ids: Vec<_> = delete_pattern.node_ids().collect();
+        UpdateTransaction::new(delete_pattern, 0.7)
+            .unwrap()
+            .with_delete(ids[2])
+            .apply_to_fuzzy(&mut fuzzy)
+            .unwrap();
+        let before = fuzzy.clone();
+        let report = Simplifier::new().run(&mut fuzzy).unwrap();
+        assert_semantics_preserved(&before, &fuzzy);
+        assert!(fuzzy.validate().is_ok());
+        assert!(report.passes <= 8);
+    }
+}

@@ -1,0 +1,47 @@
+//! # pxml-event
+//!
+//! Probabilistic events and event conditions — the probabilistic substrate of
+//! the fuzzy-tree model of *Querying and Updating Probabilistic Information
+//! in XML* (Abiteboul & Senellart, EDBT 2006).
+//!
+//! A fuzzy tree annotates every node with an **event condition**: a
+//! conjunction of *probabilistic events* or negations of probabilistic
+//! events (slide 12). Events are pairwise independent and each carries a
+//! probability, recorded in an [`EventTable`].
+//!
+//! This crate provides:
+//!
+//! * [`EventTable`], [`EventId`] — the set of events and their probabilities;
+//! * [`Literal`], [`Condition`] — conjunctions of (possibly negated) events,
+//!   with consistency checking, implication, simplification and exact
+//!   probability under independence;
+//! * [`Valuation`] and exhaustive valuation enumeration — used to expand a
+//!   fuzzy tree into its possible worlds;
+//! * [`Formula`] — arbitrary and/or/not combinations of events with exact
+//!   probability computation by Shannon expansion, used when several query
+//!   matches must be combined (probability of a *disjunction* of match
+//!   conditions) and by the simplifier.
+//!
+//! ```
+//! use pxml_event::{Condition, EventTable, Literal};
+//!
+//! let mut events = EventTable::new();
+//! let w1 = events.add_event("w1", 0.8).unwrap();
+//! let w2 = events.add_event("w2", 0.7).unwrap();
+//!
+//! // The condition of node B on slide 12:  w1 ∧ ¬w2.
+//! let cond = Condition::from_literals(vec![Literal::pos(w1), Literal::neg(w2)]);
+//! assert!((cond.probability(&events) - 0.8 * 0.3).abs() < 1e-12);
+//! ```
+
+pub mod condition;
+pub mod error;
+pub mod formula;
+pub mod table;
+pub mod valuation;
+
+pub use condition::{Condition, Literal};
+pub use error::EventError;
+pub use formula::Formula;
+pub use table::{EventId, EventTable};
+pub use valuation::{enumerate_valuations, enumerate_valuations_over, Valuation};

@@ -1,0 +1,149 @@
+//! Random fuzzy-tree generation.
+
+use pxml_core::FuzzyTree;
+use pxml_event::{Condition, Literal};
+use rand::Rng;
+
+use crate::trees::{random_tree, TreeGenConfig};
+
+/// Parameters for random fuzzy trees.
+#[derive(Debug, Clone)]
+pub struct FuzzyGenConfig {
+    /// Shape of the underlying data tree.
+    pub tree: TreeGenConfig,
+    /// Number of probabilistic events to create.
+    pub events: usize,
+    /// Probability that a (non-root) node receives a condition at all.
+    pub condition_probability: f64,
+    /// Maximum number of literals per condition.
+    pub max_literals: usize,
+    /// Probability that a literal is negative.
+    pub negation_probability: f64,
+}
+
+impl Default for FuzzyGenConfig {
+    fn default() -> Self {
+        FuzzyGenConfig {
+            tree: TreeGenConfig::default(),
+            events: 4,
+            condition_probability: 0.3,
+            max_literals: 2,
+            negation_probability: 0.3,
+        }
+    }
+}
+
+impl FuzzyGenConfig {
+    /// A configuration with the given document size and event count.
+    pub fn sized(target_elements: usize, events: usize) -> Self {
+        FuzzyGenConfig {
+            tree: TreeGenConfig::sized(target_elements),
+            events,
+            ..FuzzyGenConfig::default()
+        }
+    }
+}
+
+/// Generates a random fuzzy tree: a random document whose nodes carry random
+/// conditions over `config.events` independent events.
+pub fn random_fuzzy_tree(rng: &mut impl Rng, config: &FuzzyGenConfig) -> FuzzyTree {
+    let tree = random_tree(rng, &config.tree);
+    let mut fuzzy = FuzzyTree::from_tree(tree);
+    let mut events = Vec::with_capacity(config.events);
+    for index in 0..config.events {
+        // Probabilities away from 0/1 so nothing is trivially certain.
+        let probability = 0.05 + 0.9 * rng.gen::<f64>();
+        events.push(
+            fuzzy
+                .add_event(format!("w{index}"), probability)
+                .expect("fresh event names are unique"),
+        );
+    }
+    if events.is_empty() {
+        return fuzzy;
+    }
+    let nodes: Vec<_> = fuzzy.tree().nodes();
+    for node in nodes {
+        if node == fuzzy.root() || !rng.gen_bool(config.condition_probability) {
+            continue;
+        }
+        let literal_count = rng.gen_range(1..=config.max_literals.max(1));
+        let literals: Vec<Literal> = (0..literal_count)
+            .map(|_| {
+                let event = events[rng.gen_range(0..events.len())];
+                if rng.gen_bool(config.negation_probability) {
+                    Literal::neg(event)
+                } else {
+                    Literal::pos(event)
+                }
+            })
+            .collect();
+        let condition = Condition::from_literals(literals);
+        if condition.is_consistent() {
+            fuzzy
+                .set_condition(node, condition)
+                .expect("node is live and not the root");
+        }
+    }
+    fuzzy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_fuzzy_trees_are_valid() {
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let config = FuzzyGenConfig::sized(80, 5);
+            let fuzzy = random_fuzzy_tree(&mut rng, &config);
+            assert!(fuzzy.validate().is_ok());
+            assert_eq!(fuzzy.event_count(), 5);
+            assert!(fuzzy.condition(fuzzy.root()).is_empty());
+        }
+    }
+
+    #[test]
+    fn expansion_of_small_instances_is_a_distribution() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let config = FuzzyGenConfig::sized(25, 4);
+        let fuzzy = random_fuzzy_tree(&mut rng, &config);
+        let worlds = fuzzy.to_possible_worlds().unwrap();
+        assert!((worlds.total_probability() - 1.0).abs() < 1e-9);
+        assert!(worlds.len() >= 1);
+    }
+
+    #[test]
+    fn zero_events_gives_a_certain_document() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = FuzzyGenConfig::sized(30, 0);
+        let fuzzy = random_fuzzy_tree(&mut rng, &config);
+        assert_eq!(fuzzy.event_count(), 0);
+        assert_eq!(fuzzy.condition_literal_count(), 0);
+        assert_eq!(fuzzy.to_possible_worlds().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn condition_density_is_controlled() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let dense = FuzzyGenConfig {
+            condition_probability: 1.0,
+            ..FuzzyGenConfig::sized(60, 6)
+        };
+        let fuzzy = random_fuzzy_tree(&mut rng, &dense);
+        // Nearly every non-root node should carry a condition (a few may be
+        // skipped when the random condition is inconsistent).
+        assert!(fuzzy.condition_literal_count() >= fuzzy.node_count() / 2);
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let config = FuzzyGenConfig::sized(40, 3);
+        let a = random_fuzzy_tree(&mut StdRng::seed_from_u64(5), &config);
+        let b = random_fuzzy_tree(&mut StdRng::seed_from_u64(5), &config);
+        assert!(a.semantically_equivalent(&b, 1e-12).unwrap());
+    }
+}

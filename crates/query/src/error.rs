@@ -1,0 +1,67 @@
+//! Errors for TPWJ query construction and parsing.
+
+use std::fmt;
+
+/// Errors raised while building or parsing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A pattern node id does not belong to the pattern.
+    InvalidPatternNode(u32),
+    /// The textual query could not be parsed.
+    ParseError {
+        /// Description of the problem.
+        message: String,
+        /// Byte offset in the input where the problem was detected.
+        position: usize,
+    },
+    /// A join variable is used by a single pattern node only (a join needs at
+    /// least two participants to constrain anything).
+    DanglingJoinVariable(String),
+}
+
+impl QueryError {
+    pub(crate) fn parse(message: impl Into<String>, position: usize) -> Self {
+        QueryError::ParseError {
+            message: message.into(),
+            position,
+        }
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::InvalidPatternNode(id) => write!(f, "invalid pattern node id {id}"),
+            QueryError::ParseError { message, position } => {
+                write!(f, "query parse error at byte {position}: {message}")
+            }
+            QueryError::DanglingJoinVariable(name) => {
+                write!(f, "join variable ${name} is used by a single pattern node")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(QueryError::InvalidPatternNode(4).to_string().contains('4'));
+        let e = QueryError::parse("oops", 12);
+        assert!(e.to_string().contains("byte 12"));
+        assert!(e.to_string().contains("oops"));
+        assert!(QueryError::DanglingJoinVariable("x".into())
+            .to_string()
+            .contains("$x"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&QueryError::InvalidPatternNode(0));
+    }
+}

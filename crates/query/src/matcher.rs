@@ -1,0 +1,428 @@
+//! Evaluation of TPWJ patterns: finding all matches (homomorphisms).
+//!
+//! Two interchangeable strategies are provided; they return exactly the same
+//! set of matches and form the baseline / optimised pair of experiment E9:
+//!
+//! * [`MatchStrategy::Naive`] — for each pattern node, scan *all* element
+//!   nodes with a compatible label and check the structural edge afterwards;
+//! * [`MatchStrategy::Indexed`] — build a [`LabelIndex`] once, seed the root
+//!   from the index, and generate candidates for non-root pattern nodes
+//!   directly from the image of their parent (children or descendants),
+//!   which prunes the search space early.
+
+use std::collections::HashMap;
+
+use pxml_tree::{NodeId, Tree};
+
+use crate::pattern::{Axis, PNodeId, Pattern};
+
+/// How the matcher generates candidate nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchStrategy {
+    /// Scan all nodes for every pattern node (baseline).
+    Naive,
+    /// Use a label index and parent-image narrowing (optimised).
+    Indexed,
+}
+
+/// A complete match: the image of every pattern node in the data tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matching {
+    assignments: Vec<NodeId>,
+}
+
+impl Matching {
+    /// The data node mapped by a pattern node.
+    pub fn image(&self, node: PNodeId) -> NodeId {
+        self.assignments[node.index()]
+    }
+
+    /// The images of all pattern nodes, in pattern-node order.
+    pub fn images(&self) -> &[NodeId] {
+        &self.assignments
+    }
+
+    /// The set of distinct data nodes used by the match.
+    pub fn mapped_nodes(&self) -> Vec<NodeId> {
+        let mut nodes = self.assignments.clone();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+}
+
+/// An index from element names to the nodes bearing them.
+#[derive(Debug, Clone, Default)]
+pub struct LabelIndex {
+    by_label: HashMap<String, Vec<NodeId>>,
+    element_count: usize,
+}
+
+impl LabelIndex {
+    /// Builds the index for a tree (one pass).
+    pub fn build(tree: &Tree) -> Self {
+        let mut by_label: HashMap<String, Vec<NodeId>> = HashMap::new();
+        let mut element_count = 0;
+        for node in tree.nodes() {
+            if let Some(name) = tree.label(node).element_name() {
+                by_label.entry(name.to_string()).or_default().push(node);
+                element_count += 1;
+            }
+        }
+        LabelIndex {
+            by_label,
+            element_count,
+        }
+    }
+
+    /// The nodes carrying a given element name.
+    pub fn nodes_with_label(&self, label: &str) -> &[NodeId] {
+        self.by_label.get(label).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The number of nodes a label test would have to consider: the label's
+    /// occurrence count, or the total element count for a wildcard.
+    pub fn selectivity(&self, label: Option<&str>) -> usize {
+        match label {
+            Some(name) => self.nodes_with_label(name).len(),
+            None => self.element_count,
+        }
+    }
+
+    /// The number of element nodes in the indexed tree.
+    pub fn element_count(&self) -> usize {
+        self.element_count
+    }
+}
+
+/// Finds every match of `pattern` in `tree` using the requested strategy.
+pub fn find_matches(pattern: &Pattern, tree: &Tree, strategy: MatchStrategy) -> Vec<Matching> {
+    let index = match strategy {
+        MatchStrategy::Indexed => Some(LabelIndex::build(tree)),
+        MatchStrategy::Naive => None,
+    };
+    let all_elements: Vec<NodeId> = tree
+        .nodes()
+        .into_iter()
+        .filter(|&n| tree.is_element(n))
+        .collect();
+
+    let mut assignment: Vec<Option<NodeId>> = vec![None; pattern.len()];
+    let mut results = Vec::new();
+    assign(
+        pattern,
+        tree,
+        strategy,
+        index.as_ref(),
+        &all_elements,
+        0,
+        &mut assignment,
+        &mut results,
+    );
+    results
+}
+
+/// Checks whether the pattern has at least one match ("the tree is selected
+/// by the query", as the update semantics puts it).
+pub fn has_match(pattern: &Pattern, tree: &Tree) -> bool {
+    !find_matches(pattern, tree, MatchStrategy::Indexed).is_empty()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn assign(
+    pattern: &Pattern,
+    tree: &Tree,
+    strategy: MatchStrategy,
+    index: Option<&LabelIndex>,
+    all_elements: &[NodeId],
+    next: usize,
+    assignment: &mut Vec<Option<NodeId>>,
+    results: &mut Vec<Matching>,
+) {
+    if next == pattern.len() {
+        results.push(Matching {
+            assignments: assignment
+                .iter()
+                .map(|slot| slot.expect("complete assignment"))
+                .collect(),
+        });
+        return;
+    }
+    let pattern_node_id = crate::pattern::PNodeId(next as u32);
+    let pattern_node = pattern.node(pattern_node_id);
+
+    let candidates: Vec<NodeId> = match (strategy, pattern_node.parent) {
+        // Root candidates.
+        (_, None) if pattern.is_anchored() => vec![tree.root()],
+        (MatchStrategy::Naive, None) => all_elements.to_vec(),
+        (MatchStrategy::Indexed, None) => match &pattern_node.label {
+            Some(label) => index
+                .expect("indexed strategy builds an index")
+                .nodes_with_label(label)
+                .to_vec(),
+            None => all_elements.to_vec(),
+        },
+        // Non-root: the parent pattern node has an image already (pattern
+        // nodes are created parent-first, so its index is smaller).
+        (MatchStrategy::Naive, Some(_)) => all_elements.to_vec(),
+        (MatchStrategy::Indexed, Some((parent, axis))) => {
+            let parent_image = assignment[parent.index()].expect("parent assigned before child");
+            match axis {
+                Axis::Child => tree.children(parent_image).to_vec(),
+                Axis::Descendant => tree.descendants(parent_image),
+            }
+        }
+    };
+
+    for candidate in candidates {
+        if !node_satisfies_tests(pattern, pattern_node_id, tree, candidate) {
+            continue;
+        }
+        // Structural edge check (already guaranteed by construction for the
+        // indexed strategy, but cheap enough to keep uniform).
+        if let Some((parent, axis)) = pattern_node.parent {
+            let parent_image = assignment[parent.index()].expect("parent assigned before child");
+            let edge_ok = match axis {
+                Axis::Child => tree.parent(candidate) == Some(parent_image),
+                Axis::Descendant => tree.is_strict_ancestor(parent_image, candidate),
+            };
+            if !edge_ok {
+                continue;
+            }
+        }
+        // Join constraints against already-assigned members of the group.
+        if let Some(join) = pattern_node.join {
+            let candidate_value = tree.node_value(candidate);
+            if candidate_value.is_none() {
+                continue;
+            }
+            let mut consistent = true;
+            for other in pattern.node_ids() {
+                if other == pattern_node_id || pattern.node(other).join != Some(join) {
+                    continue;
+                }
+                if let Some(other_image) = assignment[other.index()] {
+                    if tree.node_value(other_image) != candidate_value {
+                        consistent = false;
+                        break;
+                    }
+                }
+            }
+            if !consistent {
+                continue;
+            }
+        }
+        assignment[next] = Some(candidate);
+        assign(
+            pattern,
+            tree,
+            strategy,
+            index,
+            all_elements,
+            next + 1,
+            assignment,
+            results,
+        );
+        assignment[next] = None;
+    }
+}
+
+fn node_satisfies_tests(
+    pattern: &Pattern,
+    pattern_node: PNodeId,
+    tree: &Tree,
+    node: NodeId,
+) -> bool {
+    let spec = pattern.node(pattern_node);
+    let Some(name) = tree.label(node).element_name() else {
+        // Pattern nodes match element nodes only.
+        return false;
+    };
+    if !spec.matches_label(name) {
+        return false;
+    }
+    if let Some(required) = &spec.value {
+        if tree.node_value(node) != Some(required.as_str()) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{Axis, Pattern};
+    use pxml_tree::parse_data_tree;
+
+    fn sample_tree() -> Tree {
+        parse_data_tree(
+            "<A>\
+               <B>k</B>\
+               <B>other</B>\
+               <C>v</C>\
+               <E><D>v</D><D>w</D></E>\
+             </A>",
+        )
+        .unwrap()
+    }
+
+    fn both_strategies(pattern: &Pattern, tree: &Tree) -> (Vec<Matching>, Vec<Matching>) {
+        (
+            find_matches(pattern, tree, MatchStrategy::Naive),
+            find_matches(pattern, tree, MatchStrategy::Indexed),
+        )
+    }
+
+    fn as_sets(matches: &[Matching]) -> std::collections::BTreeSet<Vec<NodeId>> {
+        matches.iter().map(|m| m.images().to_vec()).collect()
+    }
+
+    #[test]
+    fn single_label_pattern_matches_every_occurrence() {
+        let tree = sample_tree();
+        let pattern = Pattern::element("B");
+        let (naive, indexed) = both_strategies(&pattern, &tree);
+        assert_eq!(naive.len(), 2);
+        assert_eq!(as_sets(&naive), as_sets(&indexed));
+    }
+
+    #[test]
+    fn child_edges_are_respected() {
+        let tree = sample_tree();
+        let mut pattern = Pattern::element("A");
+        pattern.add_child(pattern.root(), Axis::Child, Some("D"));
+        // D is a grandchild of A, not a child.
+        assert!(find_matches(&pattern, &tree, MatchStrategy::Indexed).is_empty());
+        assert!(find_matches(&pattern, &tree, MatchStrategy::Naive).is_empty());
+    }
+
+    #[test]
+    fn descendant_edges_reach_deeper_nodes() {
+        let tree = sample_tree();
+        let mut pattern = Pattern::element("A");
+        pattern.add_child(pattern.root(), Axis::Descendant, Some("D"));
+        let (naive, indexed) = both_strategies(&pattern, &tree);
+        assert_eq!(naive.len(), 2);
+        assert_eq!(as_sets(&naive), as_sets(&indexed));
+    }
+
+    #[test]
+    fn value_tests_filter_matches() {
+        let tree = sample_tree();
+        let mut pattern = Pattern::element("A");
+        let d = pattern.add_child(pattern.root(), Axis::Descendant, Some("D"));
+        pattern.set_value(d, "v");
+        let matches = pattern.find_matches(&tree);
+        assert_eq!(matches.len(), 1);
+        let image = matches[0].image(d);
+        assert_eq!(tree.node_value(image), Some("v"));
+    }
+
+    #[test]
+    fn join_by_value_links_branches() {
+        let tree = sample_tree();
+        // C and some descendant D must carry the same value.
+        let mut pattern = Pattern::element("A");
+        let c = pattern.add_child(pattern.root(), Axis::Child, Some("C"));
+        let d = pattern.add_child(pattern.root(), Axis::Descendant, Some("D"));
+        let j = pattern.new_join("x");
+        pattern.join(c, j);
+        pattern.join(d, j);
+        let (naive, indexed) = both_strategies(&pattern, &tree);
+        assert_eq!(naive.len(), 1, "only D=v joins with C=v");
+        assert_eq!(as_sets(&naive), as_sets(&indexed));
+        let m = &indexed[0];
+        assert_eq!(tree.node_value(m.image(d)), Some("v"));
+    }
+
+    #[test]
+    fn join_requires_a_value() {
+        let tree = sample_tree();
+        // E has no value (its children are elements), so a join on E and C
+        // can never be satisfied.
+        let mut pattern = Pattern::element("A");
+        let c = pattern.add_child(pattern.root(), Axis::Child, Some("C"));
+        let e = pattern.add_child(pattern.root(), Axis::Child, Some("E"));
+        let j = pattern.new_join("x");
+        pattern.join(c, j);
+        pattern.join(e, j);
+        assert!(pattern.find_matches(&tree).is_empty());
+    }
+
+    #[test]
+    fn wildcard_matches_any_element() {
+        let tree = sample_tree();
+        let pattern = Pattern::new(None);
+        // Every element node matches (8 of them), but no text node.
+        let expected = tree
+            .nodes()
+            .into_iter()
+            .filter(|&n| tree.is_element(n))
+            .count();
+        assert_eq!(pattern.find_matches(&tree).len(), expected);
+    }
+
+    #[test]
+    fn anchored_pattern_only_matches_the_root() {
+        let tree = sample_tree();
+        let mut pattern = Pattern::new(None);
+        pattern.set_anchored(true);
+        let matches = pattern.find_matches(&tree);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].image(pattern.root()), tree.root());
+    }
+
+    #[test]
+    fn unanchored_root_matches_anywhere() {
+        let tree = sample_tree();
+        let pattern = Pattern::element("D");
+        assert_eq!(pattern.find_matches(&tree).len(), 2);
+    }
+
+    #[test]
+    fn strategies_agree_on_a_complex_pattern() {
+        let tree = parse_data_tree(
+            "<r><a><b>1</b><c>1</c></a><a><b>2</b><c>3</c></a><a><b>4</b><c>4</c><d/></a></r>",
+        )
+        .unwrap();
+        let mut pattern = Pattern::element("a");
+        let b = pattern.add_child(pattern.root(), Axis::Child, Some("b"));
+        let c = pattern.add_child(pattern.root(), Axis::Child, Some("c"));
+        let j = pattern.new_join("v");
+        pattern.join(b, j);
+        pattern.join(c, j);
+        let (naive, indexed) = both_strategies(&pattern, &tree);
+        assert_eq!(naive.len(), 2);
+        assert_eq!(as_sets(&naive), as_sets(&indexed));
+    }
+
+    #[test]
+    fn has_match_reports_selection() {
+        let tree = sample_tree();
+        assert!(has_match(&Pattern::element("C"), &tree));
+        assert!(!has_match(&Pattern::element("Z"), &tree));
+    }
+
+    #[test]
+    fn label_index_counts_and_lookup() {
+        let tree = sample_tree();
+        let index = LabelIndex::build(&tree);
+        assert_eq!(index.nodes_with_label("B").len(), 2);
+        assert_eq!(index.nodes_with_label("missing").len(), 0);
+        assert_eq!(index.selectivity(Some("D")), 2);
+        assert_eq!(index.selectivity(None), index.element_count());
+        assert_eq!(index.element_count(), 7);
+    }
+
+    #[test]
+    fn mapped_nodes_are_deduplicated() {
+        let tree = parse_data_tree("<a><b/></a>").unwrap();
+        // Two pattern nodes can map to the same data node via // + *.
+        let mut pattern = Pattern::element("a");
+        pattern.add_child(pattern.root(), Axis::Descendant, None);
+        let matches = pattern.find_matches(&tree);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].mapped_nodes().len(), 2);
+    }
+}

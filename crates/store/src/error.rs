@@ -1,0 +1,112 @@
+//! Errors of the storage layer.
+
+use std::fmt;
+
+use pxml_core::CoreError;
+use pxml_event::EventError;
+use pxml_query::QueryError;
+use pxml_tree::XmlError;
+
+/// Errors raised while reading or writing probabilistic XML documents.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not well-formed XML.
+    Xml(XmlError),
+    /// The file is well-formed XML but not a valid PrXML document or journal.
+    Format(String),
+    /// A condition or event table entry is invalid.
+    Event(EventError),
+    /// A journal entry carries an invalid query.
+    Query(QueryError),
+    /// A model-level error (bad confidence, root condition, …).
+    Core(CoreError),
+    /// The requested document does not exist in the store.
+    MissingDocument(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(err) => write!(f, "I/O error: {err}"),
+            StoreError::Xml(err) => write!(f, "{err}"),
+            StoreError::Format(msg) => write!(f, "invalid PrXML content: {msg}"),
+            StoreError::Event(err) => write!(f, "{err}"),
+            StoreError::Query(err) => write!(f, "{err}"),
+            StoreError::Core(err) => write!(f, "{err}"),
+            StoreError::MissingDocument(name) => {
+                write!(f, "document `{name}` does not exist in the store")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(err) => Some(err),
+            StoreError::Xml(err) => Some(err),
+            StoreError::Event(err) => Some(err),
+            StoreError::Query(err) => Some(err),
+            StoreError::Core(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(err: std::io::Error) -> Self {
+        StoreError::Io(err)
+    }
+}
+
+impl From<XmlError> for StoreError {
+    fn from(err: XmlError) -> Self {
+        StoreError::Xml(err)
+    }
+}
+
+impl From<EventError> for StoreError {
+    fn from(err: EventError) -> Self {
+        StoreError::Event(err)
+    }
+}
+
+impl From<QueryError> for StoreError {
+    fn from(err: QueryError) -> Self {
+        StoreError::Query(err)
+    }
+}
+
+impl From<CoreError> for StoreError {
+    fn from(err: CoreError) -> Self {
+        StoreError::Core(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        use std::error::Error;
+        let io: StoreError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(io.to_string().contains("gone"));
+        assert!(io.source().is_some());
+        let fmt = StoreError::Format("bad header".into());
+        assert!(fmt.to_string().contains("bad header"));
+        assert!(fmt.source().is_none());
+        let missing = StoreError::MissingDocument("people".into());
+        assert!(missing.to_string().contains("people"));
+        let xml: StoreError = XmlError::new("oops", 1, 2).into();
+        assert!(xml.to_string().contains("oops"));
+        let event: StoreError = EventError::UnknownEvent("w".into()).into();
+        assert!(event.to_string().contains('w'));
+        let core: StoreError = CoreError::CannotDeleteRoot.into();
+        assert!(core.to_string().contains("delete"));
+        let query: StoreError = QueryError::InvalidPatternNode(1).into();
+        assert!(query.to_string().contains('1'));
+    }
+}

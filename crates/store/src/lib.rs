@@ -1,0 +1,36 @@
+//! # pxml-store
+//!
+//! File-system storage for probabilistic XML documents.
+//!
+//! The paper's prototype stores fuzzy XML documents as plain files on the
+//! file system ("File system storage", slide 16). This crate provides that
+//! substrate in a durable form:
+//!
+//! * [`format`] — the **PrXML** textual format: a fuzzy tree is written as an
+//!   ordinary XML document whose uncertain nodes carry a `pxml:cond`
+//!   attribute and whose event table is stored in a `pxml:events` header;
+//! * [`journal`] — the textual form of probabilistic update transactions and
+//!   the append-only update journal;
+//! * [`store`] — the [`DocumentStore`]: a directory of named documents with
+//!   atomic saves (write-to-temp + rename), per-document update journals and
+//!   crash recovery by journal replay.
+//!
+//! ```no_run
+//! use pxml_core::FuzzyTree;
+//! use pxml_store::DocumentStore;
+//!
+//! let store = DocumentStore::open("/tmp/pxml-warehouse").unwrap();
+//! store.save_document("people", &FuzzyTree::new("directory")).unwrap();
+//! let loaded = store.load_document("people").unwrap();
+//! assert_eq!(loaded.node_count(), 1);
+//! ```
+
+pub mod error;
+pub mod format;
+pub mod journal;
+pub mod store;
+
+pub use error::StoreError;
+pub use format::{parse_fuzzy_document, serialize_fuzzy_document};
+pub use journal::{parse_update, serialize_update};
+pub use store::DocumentStore;

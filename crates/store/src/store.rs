@@ -1,0 +1,326 @@
+//! The document store: a directory of PrXML documents with atomic saves and
+//! per-document update journals.
+//!
+//! Layout of a store rooted at `dir`:
+//!
+//! ```text
+//! dir/
+//!   <name>.pxml        -- the last checkpointed fuzzy tree (PrXML format)
+//!   <name>.journal     -- updates applied since that checkpoint
+//! ```
+//!
+//! * [`DocumentStore::save_document`] writes atomically (temp file + rename);
+//! * [`DocumentStore::append_update`] appends a transaction to the journal;
+//! * [`DocumentStore::recover_document`] reloads the checkpoint and replays
+//!   the journal — the crash-recovery path;
+//! * [`DocumentStore::checkpoint`] folds the journal into a fresh checkpoint.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use pxml_core::{FuzzyTree, UpdateTransaction};
+
+use crate::error::StoreError;
+use crate::format::{parse_fuzzy_document, serialize_fuzzy_document};
+use crate::journal::{parse_journal, serialize_journal};
+
+/// A file-system store of probabilistic XML documents.
+#[derive(Debug, Clone)]
+pub struct DocumentStore {
+    root: PathBuf,
+}
+
+impl DocumentStore {
+    /// Opens (creating it if needed) a store rooted at `root`.
+    pub fn open(root: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root)?;
+        Ok(DocumentStore { root })
+    }
+
+    /// The directory backing this store.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn document_path(&self, name: &str) -> PathBuf {
+        self.root.join(format!("{name}.pxml"))
+    }
+
+    fn journal_path(&self, name: &str) -> PathBuf {
+        self.root.join(format!("{name}.journal"))
+    }
+
+    /// Lists the names of the stored documents (sorted).
+    pub fn list_documents(&self) -> Result<Vec<String>, StoreError> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().and_then(|ext| ext.to_str()) == Some("pxml") {
+                if let Some(stem) = path.file_stem().and_then(|stem| stem.to_str()) {
+                    names.push(stem.to_string());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    /// Returns `true` if a document with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.document_path(name).exists()
+    }
+
+    /// Saves a document checkpoint atomically (write to a temporary file in
+    /// the same directory, then rename over the target).
+    pub fn save_document(&self, name: &str, fuzzy: &FuzzyTree) -> Result<(), StoreError> {
+        let target = self.document_path(name);
+        let temporary = self.root.join(format!(".{name}.pxml.tmp"));
+        fs::write(&temporary, serialize_fuzzy_document(fuzzy, true))?;
+        fs::rename(&temporary, &target)?;
+        Ok(())
+    }
+
+    /// Loads the last checkpoint of a document (ignoring any journal).
+    pub fn load_document(&self, name: &str) -> Result<FuzzyTree, StoreError> {
+        let path = self.document_path(name);
+        if !path.exists() {
+            return Err(StoreError::MissingDocument(name.to_string()));
+        }
+        let text = fs::read_to_string(path)?;
+        parse_fuzzy_document(&text)
+    }
+
+    /// Deletes a document and its journal.
+    pub fn remove_document(&self, name: &str) -> Result<(), StoreError> {
+        let path = self.document_path(name);
+        if !path.exists() {
+            return Err(StoreError::MissingDocument(name.to_string()));
+        }
+        fs::remove_file(path)?;
+        let journal = self.journal_path(name);
+        if journal.exists() {
+            fs::remove_file(journal)?;
+        }
+        Ok(())
+    }
+
+    /// The updates recorded in a document's journal (empty when there is no
+    /// journal file).
+    pub fn read_journal(&self, name: &str) -> Result<Vec<UpdateTransaction>, StoreError> {
+        let path = self.journal_path(name);
+        if !path.exists() {
+            return Ok(Vec::new());
+        }
+        parse_journal(&fs::read_to_string(path)?)
+    }
+
+    /// Appends one update transaction to a document's journal. The whole
+    /// journal is rewritten atomically so a torn write cannot corrupt
+    /// previously journaled entries.
+    pub fn append_update(&self, name: &str, update: &UpdateTransaction) -> Result<(), StoreError> {
+        if !self.contains(name) {
+            return Err(StoreError::MissingDocument(name.to_string()));
+        }
+        let mut updates = self.read_journal(name)?;
+        updates.push(update.clone());
+        let temporary = self.root.join(format!(".{name}.journal.tmp"));
+        fs::write(&temporary, serialize_journal(&updates))?;
+        fs::rename(&temporary, self.journal_path(name))?;
+        Ok(())
+    }
+
+    /// Number of journaled updates awaiting a checkpoint.
+    pub fn journal_length(&self, name: &str) -> Result<usize, StoreError> {
+        Ok(self.read_journal(name)?.len())
+    }
+
+    /// Recovery: the last checkpoint with the journal replayed on top. This
+    /// is what the warehouse loads at start-up after a crash.
+    pub fn recover_document(&self, name: &str) -> Result<FuzzyTree, StoreError> {
+        let mut fuzzy = self.load_document(name)?;
+        for update in self.read_journal(name)? {
+            update.apply_to_fuzzy(&mut fuzzy)?;
+        }
+        Ok(fuzzy)
+    }
+
+    /// Checkpoints a document: writes `fuzzy` as the new checkpoint and
+    /// truncates the journal.
+    pub fn checkpoint(&self, name: &str, fuzzy: &FuzzyTree) -> Result<(), StoreError> {
+        self.save_document(name, fuzzy)?;
+        let journal = self.journal_path(name);
+        if journal.exists() {
+            fs::remove_file(journal)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxml_query::Pattern;
+    use pxml_tree::parse_data_tree;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    /// A unique scratch directory for one test.
+    fn scratch(label: &str) -> PathBuf {
+        let unique = format!(
+            "pxml-store-test-{}-{}-{}",
+            std::process::id(),
+            label,
+            COUNTER.fetch_add(1, Ordering::SeqCst)
+        );
+        std::env::temp_dir().join(unique)
+    }
+
+    fn sample_fuzzy() -> FuzzyTree {
+        use pxml_event::{Condition, Literal};
+        let mut fuzzy = FuzzyTree::new("directory");
+        let w = fuzzy.add_event("w", 0.6).unwrap();
+        let person = fuzzy.add_element(fuzzy.root(), "person");
+        let name = fuzzy.add_element(person, "name");
+        fuzzy.add_text(name, "alice");
+        let phone = fuzzy.add_element(person, "phone");
+        fuzzy.add_text(phone, "+33-1");
+        fuzzy.set_condition(phone, Condition::from_literal(Literal::pos(w))).unwrap();
+        fuzzy
+    }
+
+    fn sample_update() -> UpdateTransaction {
+        let pattern = Pattern::parse("person { name[=\"alice\"] }").unwrap();
+        let target = pattern.root();
+        UpdateTransaction::new(pattern, 0.8)
+            .unwrap()
+            .with_insert(target, parse_data_tree("<email>alice@example.org</email>").unwrap())
+    }
+
+    #[test]
+    fn open_save_load_round_trip() {
+        let dir = scratch("roundtrip");
+        let store = DocumentStore::open(&dir).unwrap();
+        assert!(store.list_documents().unwrap().is_empty());
+        let fuzzy = sample_fuzzy();
+        store.save_document("people", &fuzzy).unwrap();
+        assert!(store.contains("people"));
+        assert_eq!(store.list_documents().unwrap(), vec!["people"]);
+        let loaded = store.load_document("people").unwrap();
+        assert!(fuzzy.semantically_equivalent(&loaded, 1e-12).unwrap());
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn missing_documents_are_reported() {
+        let dir = scratch("missing");
+        let store = DocumentStore::open(&dir).unwrap();
+        assert!(matches!(
+            store.load_document("ghost"),
+            Err(StoreError::MissingDocument(_))
+        ));
+        assert!(matches!(
+            store.append_update("ghost", &sample_update()),
+            Err(StoreError::MissingDocument(_))
+        ));
+        assert!(matches!(
+            store.remove_document("ghost"),
+            Err(StoreError::MissingDocument(_))
+        ));
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn saving_twice_overwrites_atomically() {
+        let dir = scratch("overwrite");
+        let store = DocumentStore::open(&dir).unwrap();
+        store.save_document("doc", &sample_fuzzy()).unwrap();
+        let replacement = FuzzyTree::new("empty");
+        store.save_document("doc", &replacement).unwrap();
+        let loaded = store.load_document("doc").unwrap();
+        assert_eq!(loaded.node_count(), 1);
+        // No temporary files are left behind.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty());
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn journal_append_read_and_recover() {
+        let dir = scratch("journal");
+        let store = DocumentStore::open(&dir).unwrap();
+        let fuzzy = sample_fuzzy();
+        store.save_document("people", &fuzzy).unwrap();
+        assert_eq!(store.journal_length("people").unwrap(), 0);
+
+        let update = sample_update();
+        store.append_update("people", &update).unwrap();
+        store.append_update("people", &update).unwrap();
+        assert_eq!(store.journal_length("people").unwrap(), 2);
+
+        // Recovery replays the journal on top of the checkpoint.
+        let recovered = store.recover_document("people").unwrap();
+        assert_eq!(recovered.tree().find_elements("email").len(), 2);
+        // The checkpoint itself is untouched.
+        let checkpointed = store.load_document("people").unwrap();
+        assert!(checkpointed.tree().find_elements("email").is_empty());
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_equals_in_memory_application() {
+        let dir = scratch("recovery-equivalence");
+        let store = DocumentStore::open(&dir).unwrap();
+        let mut in_memory = sample_fuzzy();
+        store.save_document("people", &in_memory).unwrap();
+        let update = sample_update();
+        store.append_update("people", &update).unwrap();
+        update.apply_to_fuzzy(&mut in_memory).unwrap();
+        let recovered = store.recover_document("people").unwrap();
+        assert!(recovered.semantically_equivalent(&in_memory, 1e-9).unwrap());
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_folds_journal() {
+        let dir = scratch("checkpoint");
+        let store = DocumentStore::open(&dir).unwrap();
+        store.save_document("people", &sample_fuzzy()).unwrap();
+        store.append_update("people", &sample_update()).unwrap();
+        let recovered = store.recover_document("people").unwrap();
+        store.checkpoint("people", &recovered).unwrap();
+        assert_eq!(store.journal_length("people").unwrap(), 0);
+        let loaded = store.load_document("people").unwrap();
+        assert_eq!(loaded.tree().find_elements("email").len(), 1);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn remove_document_deletes_files() {
+        let dir = scratch("remove");
+        let store = DocumentStore::open(&dir).unwrap();
+        store.save_document("doc", &sample_fuzzy()).unwrap();
+        store.append_update("doc", &sample_update()).unwrap();
+        store.remove_document("doc").unwrap();
+        assert!(!store.contains("doc"));
+        assert!(store.list_documents().unwrap().is_empty());
+        assert_eq!(store.journal_length("doc").unwrap(), 0);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn multiple_documents_coexist() {
+        let dir = scratch("multi");
+        let store = DocumentStore::open(&dir).unwrap();
+        store.save_document("a", &sample_fuzzy()).unwrap();
+        store.save_document("b", &FuzzyTree::new("other")).unwrap();
+        assert_eq!(store.list_documents().unwrap(), vec!["a", "b"]);
+        fs::remove_dir_all(dir).unwrap();
+    }
+}

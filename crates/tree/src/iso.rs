@@ -1,0 +1,249 @@
+//! Unordered tree isomorphism via canonical forms.
+//!
+//! Because the paper's data trees are unordered, two trees are equal when one
+//! can be obtained from the other by permuting siblings. We decide this by
+//! computing a *canonical string* for every subtree: the canonical string of
+//! a node is its label followed by the **sorted** canonical strings of its
+//! children. Two subtrees are isomorphic iff their canonical strings are
+//! equal, and the canonical string also provides a stable hash and total
+//! order on trees (used to normalise possible-world sets deterministically).
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use crate::label::Label;
+use crate::tree::{NodeId, Tree};
+
+/// The canonical form of a tree: a string that is identical for isomorphic
+/// trees and different for non-isomorphic ones, plus a precomputed hash.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CanonicalForm {
+    repr: String,
+    hash: u64,
+}
+
+impl CanonicalForm {
+    /// Computes the canonical form of a whole tree.
+    pub fn of_tree(tree: &Tree) -> Self {
+        Self::of_subtree(tree, tree.root())
+    }
+
+    /// Computes the canonical form of the subtree rooted at `node`.
+    pub fn of_subtree(tree: &Tree, node: NodeId) -> Self {
+        let repr = subtree_canonical_string(tree, node);
+        let mut hasher = DefaultHasher::new();
+        repr.hash(&mut hasher);
+        CanonicalForm {
+            hash: hasher.finish(),
+            repr,
+        }
+    }
+
+    /// The canonical string itself.
+    pub fn as_str(&self) -> &str {
+        &self.repr
+    }
+
+    /// A 64-bit hash of the canonical string.
+    pub fn hash_value(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl Hash for CanonicalForm {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.hash.hash(state);
+    }
+}
+
+fn escape(label: &str, out: &mut String) {
+    // The canonical string uses '(', ')', ',' and '|' as structure characters;
+    // escape occurrences inside labels so distinct labels cannot collide.
+    for ch in label.chars() {
+        if matches!(ch, '(' | ')' | ',' | '|' | '\\') {
+            out.push('\\');
+        }
+        out.push(ch);
+    }
+}
+
+fn label_prefix(label: &Label, out: &mut String) {
+    match label {
+        Label::Element(name) => {
+            out.push('e');
+            out.push('|');
+            escape(name, out);
+        }
+        Label::Text(value) => {
+            out.push('t');
+            out.push('|');
+            escape(value, out);
+        }
+    }
+}
+
+/// The canonical string of the subtree of `tree` rooted at `node`.
+pub fn subtree_canonical_string(tree: &Tree, node: NodeId) -> String {
+    let mut out = String::new();
+    write_canonical(tree, node, &mut out);
+    out
+}
+
+/// The canonical string of the whole tree.
+pub fn canonical_string(tree: &Tree) -> String {
+    subtree_canonical_string(tree, tree.root())
+}
+
+fn write_canonical(tree: &Tree, node: NodeId, out: &mut String) {
+    label_prefix(tree.label(node), out);
+    let children = tree.children(node);
+    if children.is_empty() {
+        return;
+    }
+    let mut child_forms: Vec<String> = children
+        .iter()
+        .map(|&child| subtree_canonical_string(tree, child))
+        .collect();
+    child_forms.sort_unstable();
+    out.push('(');
+    for (i, form) in child_forms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(form);
+    }
+    out.push(')');
+}
+
+/// Unordered isomorphism between two whole trees.
+pub fn isomorphic(a: &Tree, b: &Tree) -> bool {
+    if a.node_count() != b.node_count() {
+        return false;
+    }
+    canonical_string(a) == canonical_string(b)
+}
+
+/// Unordered isomorphism between two subtrees (possibly of different trees).
+pub fn subtrees_isomorphic(a: &Tree, a_node: NodeId, b: &Tree, b_node: NodeId) -> bool {
+    if a.subtree_size(a_node) != b.subtree_size(b_node) {
+        return false;
+    }
+    subtree_canonical_string(a, a_node) == subtree_canonical_string(b, b_node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(labels: &[&str]) -> Tree {
+        let mut t = Tree::new(labels[0]);
+        let mut cur = t.root();
+        for &l in &labels[1..] {
+            cur = t.add_element(cur, l);
+        }
+        t
+    }
+
+    #[test]
+    fn sibling_order_does_not_matter() {
+        let mut t1 = Tree::new("a");
+        let b = t1.add_element(t1.root(), "b");
+        t1.add_text(b, "x");
+        t1.add_element(t1.root(), "c");
+
+        let mut t2 = Tree::new("a");
+        t2.add_element(t2.root(), "c");
+        let b2 = t2.add_element(t2.root(), "b");
+        t2.add_text(b2, "x");
+
+        assert!(isomorphic(&t1, &t2));
+        assert_eq!(canonical_string(&t1), canonical_string(&t2));
+    }
+
+    #[test]
+    fn label_differences_matter() {
+        let t1 = chain(&["a", "b", "c"]);
+        let t2 = chain(&["a", "b", "d"]);
+        assert!(!isomorphic(&t1, &t2));
+    }
+
+    #[test]
+    fn structure_differences_matter() {
+        // a(b(c)) vs a(b, c)
+        let t1 = chain(&["a", "b", "c"]);
+        let mut t2 = Tree::new("a");
+        t2.add_element(t2.root(), "b");
+        t2.add_element(t2.root(), "c");
+        assert!(!isomorphic(&t1, &t2));
+    }
+
+    #[test]
+    fn text_vs_element_labels_are_distinguished() {
+        let mut t1 = Tree::new("a");
+        t1.add_element(t1.root(), "x");
+        let mut t2 = Tree::new("a");
+        t2.add_text(t2.root(), "x");
+        assert!(!isomorphic(&t1, &t2));
+    }
+
+    #[test]
+    fn multiset_of_children_matters() {
+        // a(b, b, c) vs a(b, c, c)
+        let mut t1 = Tree::new("a");
+        t1.add_element(t1.root(), "b");
+        t1.add_element(t1.root(), "b");
+        t1.add_element(t1.root(), "c");
+        let mut t2 = Tree::new("a");
+        t2.add_element(t2.root(), "b");
+        t2.add_element(t2.root(), "c");
+        t2.add_element(t2.root(), "c");
+        assert!(!isomorphic(&t1, &t2));
+    }
+
+    #[test]
+    fn labels_with_structure_characters_do_not_collide() {
+        let mut t1 = Tree::new("a");
+        t1.add_element(t1.root(), "b(c");
+        let mut t2 = Tree::new("a");
+        let b = t2.add_element(t2.root(), "b");
+        t2.add_element(b, "c");
+        assert!(!isomorphic(&t1, &t2));
+    }
+
+    #[test]
+    fn subtree_isomorphism() {
+        let mut t = Tree::new("root");
+        let l = t.add_element(t.root(), "list");
+        let p1 = t.add_element(l, "p");
+        t.add_text(p1, "v");
+        let p2 = t.add_element(l, "p");
+        t.add_text(p2, "v");
+        let p3 = t.add_element(l, "p");
+        t.add_text(p3, "w");
+        assert!(subtrees_isomorphic(&t, p1, &t, p2));
+        assert!(!subtrees_isomorphic(&t, p1, &t, p3));
+    }
+
+    #[test]
+    fn canonical_form_hash_and_order() {
+        let t1 = chain(&["a", "b"]);
+        let t2 = chain(&["a", "b"]);
+        let t3 = chain(&["a", "c"]);
+        let c1 = CanonicalForm::of_tree(&t1);
+        let c2 = CanonicalForm::of_tree(&t2);
+        let c3 = CanonicalForm::of_tree(&t3);
+        assert_eq!(c1, c2);
+        assert_eq!(c1.hash_value(), c2.hash_value());
+        assert_ne!(c1, c3);
+        assert!(c1.as_str() < c3.as_str());
+    }
+
+    #[test]
+    fn isomorphism_is_symmetric_and_reflexive() {
+        let t1 = chain(&["a", "b", "c"]);
+        let t2 = chain(&["a", "b", "c"]);
+        assert!(isomorphic(&t1, &t1));
+        assert!(isomorphic(&t1, &t2));
+        assert!(isomorphic(&t2, &t1));
+    }
+}

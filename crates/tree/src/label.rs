@@ -1,0 +1,141 @@
+//! Node labels for data trees.
+
+use std::fmt;
+
+/// The label of a data-tree node.
+///
+/// Following the paper, a node is either an *element* node carrying a tag
+/// name, or a *text* node carrying a string value. There is no separate
+/// attribute kind: attributes of imported XML documents are turned into
+/// element children (see [`crate::convert`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Label {
+    /// An element node with a tag name such as `person` or `title`.
+    Element(String),
+    /// A text (value) node such as `"Alan Turing"`.
+    Text(String),
+}
+
+impl Label {
+    /// Creates an element label.
+    pub fn element(name: impl Into<String>) -> Self {
+        Label::Element(name.into())
+    }
+
+    /// Creates a text label.
+    pub fn text(value: impl Into<String>) -> Self {
+        Label::Text(value.into())
+    }
+
+    /// Returns `true` if this is an element label.
+    pub fn is_element(&self) -> bool {
+        matches!(self, Label::Element(_))
+    }
+
+    /// Returns `true` if this is a text label.
+    pub fn is_text(&self) -> bool {
+        matches!(self, Label::Text(_))
+    }
+
+    /// The element name, if this is an element label.
+    pub fn element_name(&self) -> Option<&str> {
+        match self {
+            Label::Element(name) => Some(name),
+            Label::Text(_) => None,
+        }
+    }
+
+    /// The text value, if this is a text label.
+    pub fn text_value(&self) -> Option<&str> {
+        match self {
+            Label::Text(value) => Some(value),
+            Label::Element(_) => None,
+        }
+    }
+
+    /// The underlying string, regardless of kind.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Label::Element(s) | Label::Text(s) => s,
+        }
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Label::Element(name) => write!(f, "<{name}>"),
+            Label::Text(value) => write!(f, "\"{value}\""),
+        }
+    }
+}
+
+impl From<&str> for Label {
+    /// Convenience: a bare string is interpreted as an element name.
+    fn from(name: &str) -> Self {
+        Label::Element(name.to_string())
+    }
+}
+
+impl From<String> for Label {
+    fn from(name: String) -> Self {
+        Label::Element(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_kind_predicates() {
+        let e = Label::element("person");
+        let t = Label::text("Alan");
+        assert!(e.is_element());
+        assert!(!e.is_text());
+        assert!(t.is_text());
+        assert!(!t.is_element());
+    }
+
+    #[test]
+    fn accessors() {
+        let e = Label::element("person");
+        let t = Label::text("Alan");
+        assert_eq!(e.element_name(), Some("person"));
+        assert_eq!(e.text_value(), None);
+        assert_eq!(t.text_value(), Some("Alan"));
+        assert_eq!(t.element_name(), None);
+        assert_eq!(e.as_str(), "person");
+        assert_eq!(t.as_str(), "Alan");
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Label::element("a").to_string(), "<a>");
+        assert_eq!(Label::text("v").to_string(), "\"v\"");
+    }
+
+    #[test]
+    fn from_str_is_element() {
+        let l: Label = "book".into();
+        assert_eq!(l, Label::Element("book".to_string()));
+        let l2: Label = String::from("book").into();
+        assert_eq!(l, l2);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut labels = vec![
+            Label::text("z"),
+            Label::element("a"),
+            Label::element("b"),
+            Label::text("a"),
+        ];
+        labels.sort();
+        // Elements sort before texts because of enum variant order.
+        assert_eq!(labels[0], Label::element("a"));
+        assert_eq!(labels[1], Label::element("b"));
+        assert_eq!(labels[2], Label::text("a"));
+        assert_eq!(labels[3], Label::text("z"));
+    }
+}

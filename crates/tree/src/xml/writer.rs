@@ -1,0 +1,182 @@
+//! XML serialization for the small DOM of [`super`].
+
+use super::{XmlElement, XmlNode};
+
+/// Escapes character data for use as element text.
+pub fn escape_text(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Escapes character data for use inside a double-quoted attribute value.
+pub fn escape_attribute(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+fn push_indent(out: &mut String, pretty: bool, indent: usize) {
+    if pretty {
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn push_newline(out: &mut String, pretty: bool) {
+    if pretty {
+        out.push('\n');
+    }
+}
+
+/// Writes `element` (recursively) into `out`.
+pub(super) fn write_element(element: &XmlElement, out: &mut String, pretty: bool, indent: usize) {
+    push_indent(out, pretty, indent);
+    out.push('<');
+    out.push_str(&element.name);
+    for (name, value) in &element.attributes {
+        out.push(' ');
+        out.push_str(name);
+        out.push_str("=\"");
+        out.push_str(&escape_attribute(value));
+        out.push('"');
+    }
+
+    if element.children.is_empty() {
+        out.push_str("/>");
+        push_newline(out, pretty);
+        return;
+    }
+
+    // An element whose only children are text nodes is written inline so that
+    // pretty-printing does not inject whitespace into values.
+    let only_text = element
+        .children
+        .iter()
+        .all(|child| matches!(child, XmlNode::Text(_)));
+    out.push('>');
+    if only_text {
+        for child in &element.children {
+            if let XmlNode::Text(text) = child {
+                out.push_str(&escape_text(text));
+            }
+        }
+        out.push_str("</");
+        out.push_str(&element.name);
+        out.push('>');
+        push_newline(out, pretty);
+        return;
+    }
+
+    push_newline(out, pretty);
+    for child in &element.children {
+        match child {
+            XmlNode::Element(el) => write_element(el, out, pretty, indent + 1),
+            XmlNode::Text(text) => {
+                push_indent(out, pretty, indent + 1);
+                out.push_str(&escape_text(text));
+                push_newline(out, pretty);
+            }
+            XmlNode::Comment(comment) => {
+                push_indent(out, pretty, indent + 1);
+                out.push_str("<!--");
+                out.push_str(comment);
+                out.push_str("-->");
+                push_newline(out, pretty);
+            }
+        }
+    }
+    push_indent(out, pretty, indent);
+    out.push_str("</");
+    out.push_str(&element.name);
+    out.push('>');
+    push_newline(out, pretty);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xml::{parse, XmlDocument};
+
+    #[test]
+    fn escaping_rules() {
+        assert_eq!(escape_text("a<b>&c"), "a&lt;b&gt;&amp;c");
+        assert_eq!(escape_attribute(r#"say "hi" & <go>"#), "say &quot;hi&quot; &amp; &lt;go&gt;");
+        assert_eq!(escape_attribute("line\nbreak"), "line&#10;break");
+    }
+
+    #[test]
+    fn empty_element_is_self_closed() {
+        let el = XmlElement::new("empty").with_attribute("k", "v");
+        let mut out = String::new();
+        el.write_xml(&mut out, false, 0);
+        assert_eq!(out, r#"<empty k="v"/>"#);
+    }
+
+    #[test]
+    fn text_only_elements_are_inlined() {
+        let el = XmlElement::new("name").with_text("Alan Turing");
+        let mut out = String::new();
+        el.write_xml(&mut out, true, 0);
+        assert_eq!(out, "<name>Alan Turing</name>\n");
+    }
+
+    #[test]
+    fn pretty_printing_indents_children() {
+        let el = XmlElement::new("a")
+            .with_child(XmlElement::new("b").with_text("x"))
+            .with_child(XmlElement::new("c"));
+        let mut out = String::new();
+        el.write_xml(&mut out, true, 0);
+        assert_eq!(out, "<a>\n  <b>x</b>\n  <c/>\n</a>\n");
+    }
+
+    #[test]
+    fn compact_printing_has_no_whitespace() {
+        let el = XmlElement::new("a")
+            .with_child(XmlElement::new("b").with_text("x"))
+            .with_child(XmlElement::new("c"));
+        let mut out = String::new();
+        el.write_xml(&mut out, false, 0);
+        assert_eq!(out, "<a><b>x</b><c/></a>");
+    }
+
+    #[test]
+    fn round_trip_with_special_characters() {
+        let doc = XmlDocument::new(
+            XmlElement::new("a")
+                .with_attribute("quote", "he said \"no\" & left")
+                .with_child(XmlElement::new("t").with_text("1 < 2 & 3 > 2")),
+        );
+        let serialized = doc.to_xml_string(true);
+        let reparsed = parse(&serialized).unwrap();
+        assert_eq!(doc, reparsed);
+    }
+
+    #[test]
+    fn comments_round_trip() {
+        let xml = "<a><!-- keep me --><b/></a>";
+        let doc = parse(xml).unwrap();
+        let serialized = doc.to_xml_string(false);
+        assert!(serialized.contains("<!-- keep me -->"));
+        let reparsed = parse(&serialized).unwrap();
+        assert_eq!(doc, reparsed);
+    }
+}

@@ -1,0 +1,35 @@
+//! # pxml-warehouse
+//!
+//! The probabilistic XML warehouse of the paper's architecture (slide 3):
+//! imprecise modules push **update transactions with confidences** into a
+//! shared store of probabilistic XML documents; users run **tree-pattern
+//! queries** against it and get answers with probabilities.
+//!
+//! * [`warehouse::Warehouse`] — the warehouse itself: named documents kept as
+//!   fuzzy trees, a query interface, an update interface, a configurable
+//!   auto-simplification/checkpoint policy, durable storage and crash
+//!   recovery through [`pxml_store::DocumentStore`];
+//! * [`modules`] — simulated imprecise source modules (information
+//!   extraction, NLP, data cleaning) standing in for the pipelines the paper
+//!   plugs into the warehouse.
+//!
+//! ```no_run
+//! use pxml_query::Pattern;
+//! use pxml_tree::parse_data_tree;
+//! use pxml_warehouse::{Warehouse, WarehouseConfig};
+//!
+//! let warehouse = Warehouse::open("/tmp/pxml-wh", WarehouseConfig::default()).unwrap();
+//! warehouse
+//!     .create_document("people", parse_data_tree("<directory/>").unwrap())
+//!     .unwrap();
+//! let answers = warehouse
+//!     .query("people", &Pattern::parse("person { name }").unwrap())
+//!     .unwrap();
+//! assert!(answers.is_empty());
+//! ```
+
+pub mod modules;
+pub mod warehouse;
+
+pub use modules::{run_modules, DataCleaningModule, ExtractionModule, SourceModule};
+pub use warehouse::{Warehouse, WarehouseConfig, WarehouseError, WarehouseStats};

@@ -1,0 +1,451 @@
+//! The probabilistic XML warehouse.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
+
+use parking_lot::{Mutex, RwLock};
+use pxml_core::{CoreError, FuzzyQueryResult, FuzzyTree, SimplifyReport, Simplifier, UpdateStats, UpdateTransaction};
+use pxml_query::Pattern;
+use pxml_store::{DocumentStore, StoreError};
+use pxml_tree::Tree;
+
+/// Errors raised by the warehouse.
+#[derive(Debug)]
+pub enum WarehouseError {
+    /// Propagated storage error.
+    Store(StoreError),
+    /// Propagated model error.
+    Core(CoreError),
+    /// The requested document is not loaded in the warehouse.
+    UnknownDocument(String),
+    /// A document with this name already exists.
+    DuplicateDocument(String),
+}
+
+impl fmt::Display for WarehouseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WarehouseError::Store(err) => write!(f, "{err}"),
+            WarehouseError::Core(err) => write!(f, "{err}"),
+            WarehouseError::UnknownDocument(name) => {
+                write!(f, "document `{name}` is not part of the warehouse")
+            }
+            WarehouseError::DuplicateDocument(name) => {
+                write!(f, "document `{name}` already exists in the warehouse")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WarehouseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WarehouseError::Store(err) => Some(err),
+            WarehouseError::Core(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for WarehouseError {
+    fn from(err: StoreError) -> Self {
+        WarehouseError::Store(err)
+    }
+}
+
+impl From<CoreError> for WarehouseError {
+    fn from(err: CoreError) -> Self {
+        WarehouseError::Core(err)
+    }
+}
+
+/// Maintenance policy of the warehouse.
+#[derive(Debug, Clone)]
+pub struct WarehouseConfig {
+    /// Run the simplifier automatically after an update once the document's
+    /// condition-literal count exceeds this threshold (`None` disables it).
+    pub auto_simplify_above_literals: Option<usize>,
+    /// Fold the journal into a fresh checkpoint after this many journaled
+    /// updates (`None` keeps the journal growing until an explicit
+    /// [`Warehouse::checkpoint`]).
+    pub checkpoint_every: Option<usize>,
+}
+
+impl Default for WarehouseConfig {
+    fn default() -> Self {
+        WarehouseConfig {
+            auto_simplify_above_literals: Some(512),
+            checkpoint_every: Some(64),
+        }
+    }
+}
+
+/// Running counters exposed by [`Warehouse::stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WarehouseStats {
+    /// Update transactions accepted.
+    pub updates_applied: usize,
+    /// Queries evaluated.
+    pub queries_evaluated: usize,
+    /// Automatic or explicit simplification runs.
+    pub simplifications: usize,
+    /// Checkpoints written.
+    pub checkpoints: usize,
+}
+
+/// The probabilistic XML warehouse: named fuzzy-tree documents with a query
+/// interface, a probabilistic update interface and durable storage.
+///
+/// All methods take `&self`; the warehouse is internally synchronised
+/// (per-warehouse read/write lock on the document map) so it can be shared
+/// behind an `Arc` by several module threads.
+pub struct Warehouse {
+    store: DocumentStore,
+    config: WarehouseConfig,
+    documents: RwLock<HashMap<String, FuzzyTree>>,
+    stats: Mutex<WarehouseStats>,
+}
+
+impl Warehouse {
+    /// Opens a warehouse backed by the given directory, recovering every
+    /// stored document (checkpoint + journal replay).
+    pub fn open(path: impl AsRef<Path>, config: WarehouseConfig) -> Result<Self, WarehouseError> {
+        let store = DocumentStore::open(path)?;
+        let mut documents = HashMap::new();
+        for name in store.list_documents()? {
+            let fuzzy = store.recover_document(&name)?;
+            documents.insert(name, fuzzy);
+        }
+        Ok(Warehouse {
+            store,
+            config,
+            documents: RwLock::new(documents),
+            stats: Mutex::new(WarehouseStats::default()),
+        })
+    }
+
+    /// The storage directory backing the warehouse.
+    pub fn storage_root(&self) -> &Path {
+        self.store.root()
+    }
+
+    /// The names of the loaded documents (sorted).
+    pub fn document_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.documents.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Creates a new document from a certain data tree.
+    pub fn create_document(&self, name: &str, tree: Tree) -> Result<(), WarehouseError> {
+        self.create_fuzzy_document(name, FuzzyTree::from_tree(tree))
+    }
+
+    /// Creates a new document from an existing fuzzy tree.
+    pub fn create_fuzzy_document(&self, name: &str, fuzzy: FuzzyTree) -> Result<(), WarehouseError> {
+        let mut documents = self.documents.write();
+        if documents.contains_key(name) {
+            return Err(WarehouseError::DuplicateDocument(name.to_string()));
+        }
+        self.store.save_document(name, &fuzzy)?;
+        documents.insert(name.to_string(), fuzzy);
+        Ok(())
+    }
+
+    /// Removes a document from the warehouse and from storage.
+    pub fn drop_document(&self, name: &str) -> Result<(), WarehouseError> {
+        let mut documents = self.documents.write();
+        if documents.remove(name).is_none() {
+            return Err(WarehouseError::UnknownDocument(name.to_string()));
+        }
+        self.store.remove_document(name)?;
+        Ok(())
+    }
+
+    /// A snapshot of a document's current fuzzy tree.
+    pub fn document(&self, name: &str) -> Result<FuzzyTree, WarehouseError> {
+        self.documents
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| WarehouseError::UnknownDocument(name.to_string()))
+    }
+
+    /// Evaluates a TPWJ query against a document (slide 3's query interface:
+    /// "query → results + confidence").
+    pub fn query(&self, name: &str, pattern: &Pattern) -> Result<FuzzyQueryResult, WarehouseError> {
+        let documents = self.documents.read();
+        let fuzzy = documents
+            .get(name)
+            .ok_or_else(|| WarehouseError::UnknownDocument(name.to_string()))?;
+        let result = fuzzy.query(pattern);
+        drop(documents);
+        self.stats.lock().queries_evaluated += 1;
+        Ok(result)
+    }
+
+    /// Applies a probabilistic update transaction to a document (slide 3's
+    /// update interface: "update transaction + confidence"), journals it, and
+    /// runs the configured maintenance (auto-simplification, checkpointing).
+    pub fn update(
+        &self,
+        name: &str,
+        transaction: &UpdateTransaction,
+    ) -> Result<UpdateStats, WarehouseError> {
+        let mut documents = self.documents.write();
+        let fuzzy = documents
+            .get_mut(name)
+            .ok_or_else(|| WarehouseError::UnknownDocument(name.to_string()))?;
+        let update_stats = transaction.apply_to_fuzzy(fuzzy)?;
+        self.store.append_update(name, transaction)?;
+
+        let mut simplified = false;
+        if let Some(threshold) = self.config.auto_simplify_above_literals {
+            if fuzzy.condition_literal_count() > threshold {
+                Simplifier::new().run(fuzzy)?;
+                simplified = true;
+            }
+        }
+        let mut checkpointed = false;
+        if let Some(every) = self.config.checkpoint_every {
+            if self.store.journal_length(name)? >= every {
+                self.store.checkpoint(name, fuzzy)?;
+                checkpointed = true;
+            }
+        }
+        drop(documents);
+
+        let mut stats = self.stats.lock();
+        stats.updates_applied += 1;
+        if simplified {
+            stats.simplifications += 1;
+        }
+        if checkpointed {
+            stats.checkpoints += 1;
+        }
+        Ok(update_stats)
+    }
+
+    /// Runs the simplifier on a document and persists the result as a fresh
+    /// checkpoint.
+    pub fn simplify(&self, name: &str) -> Result<SimplifyReport, WarehouseError> {
+        let mut documents = self.documents.write();
+        let fuzzy = documents
+            .get_mut(name)
+            .ok_or_else(|| WarehouseError::UnknownDocument(name.to_string()))?;
+        let report = Simplifier::new().run(fuzzy)?;
+        self.store.checkpoint(name, fuzzy)?;
+        drop(documents);
+        let mut stats = self.stats.lock();
+        stats.simplifications += 1;
+        stats.checkpoints += 1;
+        Ok(report)
+    }
+
+    /// Writes the current in-memory state of a document as a checkpoint and
+    /// truncates its journal.
+    pub fn checkpoint(&self, name: &str) -> Result<(), WarehouseError> {
+        let documents = self.documents.read();
+        let fuzzy = documents
+            .get(name)
+            .ok_or_else(|| WarehouseError::UnknownDocument(name.to_string()))?;
+        self.store.checkpoint(name, fuzzy)?;
+        drop(documents);
+        self.stats.lock().checkpoints += 1;
+        Ok(())
+    }
+
+    /// Running counters since the warehouse was opened.
+    pub fn stats(&self) -> WarehouseStats {
+        self.stats.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxml_query::PNodeId;
+    use pxml_tree::parse_data_tree;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    fn scratch(label: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "pxml-warehouse-test-{}-{}-{}",
+            std::process::id(),
+            label,
+            COUNTER.fetch_add(1, Ordering::SeqCst)
+        ))
+    }
+
+    fn directory() -> Tree {
+        parse_data_tree(
+            "<directory>\
+               <person><name>alice</name></person>\
+               <person><name>bob</name></person>\
+             </directory>",
+        )
+        .unwrap()
+    }
+
+    fn add_phone(name: &str, confidence: f64) -> UpdateTransaction {
+        let pattern = Pattern::parse(&format!("person {{ name[=\"{name}\"] }}")).unwrap();
+        let target = pattern.root();
+        UpdateTransaction::new(pattern, confidence)
+            .unwrap()
+            .with_insert(target, parse_data_tree("<phone>+33-1</phone>").unwrap())
+    }
+
+    #[test]
+    fn create_query_update_cycle() {
+        let dir = scratch("cycle");
+        let warehouse = Warehouse::open(&dir, WarehouseConfig::default()).unwrap();
+        warehouse.create_document("people", directory()).unwrap();
+        assert_eq!(warehouse.document_names(), vec!["people"]);
+
+        // Initially no phone.
+        let phones = Pattern::parse("person { phone }").unwrap();
+        assert!(warehouse.query("people", &phones).unwrap().is_empty());
+
+        // An extraction module reports a phone number for alice with
+        // confidence 0.8.
+        let stats = warehouse.update("people", &add_phone("alice", 0.8)).unwrap();
+        assert_eq!(stats.applied_matches, 1);
+
+        let result = warehouse.query("people", &phones).unwrap();
+        assert_eq!(result.len(), 1);
+        assert!((result.matches[0].probability - 0.8).abs() < 1e-12);
+
+        let totals = warehouse.stats();
+        assert_eq!(totals.updates_applied, 1);
+        assert_eq!(totals.queries_evaluated, 2);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_and_duplicate_documents_are_rejected() {
+        let dir = scratch("errors");
+        let warehouse = Warehouse::open(&dir, WarehouseConfig::default()).unwrap();
+        warehouse.create_document("people", directory()).unwrap();
+        assert!(matches!(
+            warehouse.create_document("people", directory()),
+            Err(WarehouseError::DuplicateDocument(_))
+        ));
+        let query = Pattern::parse("person").unwrap();
+        assert!(matches!(
+            warehouse.query("ghost", &query),
+            Err(WarehouseError::UnknownDocument(_))
+        ));
+        assert!(matches!(
+            warehouse.update("ghost", &add_phone("alice", 0.5)),
+            Err(WarehouseError::UnknownDocument(_))
+        ));
+        assert!(matches!(
+            warehouse.drop_document("ghost"),
+            Err(WarehouseError::UnknownDocument(_))
+        ));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn updates_survive_a_restart_via_journal_replay() {
+        let dir = scratch("restart");
+        {
+            let warehouse = Warehouse::open(&dir, WarehouseConfig {
+                checkpoint_every: None,
+                ..WarehouseConfig::default()
+            })
+            .unwrap();
+            warehouse.create_document("people", directory()).unwrap();
+            warehouse.update("people", &add_phone("alice", 0.8)).unwrap();
+            warehouse.update("people", &add_phone("bob", 0.6)).unwrap();
+        }
+        // Re-open: the checkpoint has no phones, the journal has both.
+        let reopened = Warehouse::open(&dir, WarehouseConfig::default()).unwrap();
+        let phones = Pattern::parse("person { phone }").unwrap();
+        let result = reopened.query("people", &phones).unwrap();
+        assert_eq!(result.len(), 2);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_policy_truncates_journal() {
+        let dir = scratch("checkpoint-policy");
+        let warehouse = Warehouse::open(&dir, WarehouseConfig {
+            checkpoint_every: Some(2),
+            auto_simplify_above_literals: None,
+        })
+        .unwrap();
+        warehouse.create_document("people", directory()).unwrap();
+        warehouse.update("people", &add_phone("alice", 0.8)).unwrap();
+        warehouse.update("people", &add_phone("bob", 0.9)).unwrap();
+        // After the second update the journal is folded into the checkpoint.
+        assert_eq!(warehouse.stats().checkpoints, 1);
+        let reopened = Warehouse::open(&dir, WarehouseConfig::default()).unwrap();
+        let phones = Pattern::parse("person { phone }").unwrap();
+        assert_eq!(reopened.query("people", &phones).unwrap().len(), 2);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn explicit_simplify_checkpoints_and_preserves_semantics() {
+        let dir = scratch("simplify");
+        let warehouse = Warehouse::open(&dir, WarehouseConfig {
+            auto_simplify_above_literals: None,
+            checkpoint_every: None,
+        })
+        .unwrap();
+        warehouse.create_document("people", directory()).unwrap();
+        // A conditional deletion that duplicates nodes.
+        let pattern = Pattern::parse("person { name[=\"alice\"], phone }").unwrap();
+        let ids: Vec<PNodeId> = pattern.node_ids().collect();
+        warehouse.update("people", &add_phone("alice", 0.8)).unwrap();
+        let retract = UpdateTransaction::new(pattern, 0.5).unwrap().with_delete(ids[2]);
+        warehouse.update("people", &retract).unwrap();
+
+        let before = warehouse.document("people").unwrap();
+        warehouse.simplify("people").unwrap();
+        let after = warehouse.document("people").unwrap();
+        assert!(before.semantically_equivalent(&after, 1e-9).unwrap());
+        assert!(after.condition_literal_count() <= before.condition_literal_count());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn drop_document_removes_it_everywhere() {
+        let dir = scratch("drop");
+        let warehouse = Warehouse::open(&dir, WarehouseConfig::default()).unwrap();
+        warehouse.create_document("people", directory()).unwrap();
+        warehouse.drop_document("people").unwrap();
+        assert!(warehouse.document_names().is_empty());
+        let reopened = Warehouse::open(&dir, WarehouseConfig::default()).unwrap();
+        assert!(reopened.document_names().is_empty());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn warehouse_is_shareable_across_threads() {
+        let dir = scratch("threads");
+        let warehouse =
+            std::sync::Arc::new(Warehouse::open(&dir, WarehouseConfig::default()).unwrap());
+        warehouse.create_document("people", directory()).unwrap();
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let shared = warehouse.clone();
+            handles.push(std::thread::spawn(move || {
+                let who = if i % 2 == 0 { "alice" } else { "bob" };
+                shared.update("people", &add_phone(who, 0.7)).unwrap();
+                let query = Pattern::parse("person { phone }").unwrap();
+                shared.query("people", &query).unwrap().len()
+            }));
+        }
+        for handle in handles {
+            assert!(handle.join().unwrap() >= 1);
+        }
+        assert_eq!(warehouse.stats().updates_applied, 4);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

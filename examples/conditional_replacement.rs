@@ -1,0 +1,80 @@
+//! The conditional-replacement example of slide 15: "replace C by D if B is
+//! present, with confidence 0.9", showing how deletions duplicate nodes and
+//! how simplification keeps documents small afterwards.
+//!
+//! Run with `cargo run --example conditional_replacement`.
+
+use pxml::prelude::*;
+
+fn print_document(title: &str, doc: &FuzzyTree) {
+    println!("== {title} ==");
+    for node in doc.tree().nodes() {
+        let indent = "  ".repeat(doc.tree().depth(node));
+        let condition = doc.condition(node);
+        let annotation = if condition.is_empty() {
+            String::new()
+        } else {
+            format!("   [{}]", condition.display(doc.events()))
+        };
+        println!("  {indent}{}{annotation}", doc.tree().label(node));
+    }
+    println!("{}", doc.events());
+}
+
+fn main() {
+    // The input document: A(B[w1], C[w2]) with P(w1)=0.8, P(w2)=0.7.
+    let mut doc = FuzzyTree::new("A");
+    let w1 = doc.add_event("w1", 0.8).expect("fresh event");
+    let w2 = doc.add_event("w2", 0.7).expect("fresh event");
+    let root = doc.root();
+    let b = doc.add_element(root, "B");
+    doc.set_condition(b, Condition::from_literal(Literal::pos(w1))).expect("not root");
+    let c = doc.add_element(root, "C");
+    doc.set_condition(c, Condition::from_literal(Literal::pos(w2))).expect("not root");
+    print_document("Before the update", &doc);
+
+    // The probabilistic replacement.
+    let pattern = Pattern::parse("/A { B, C }").expect("valid query");
+    let ids: Vec<_> = pattern.node_ids().collect();
+    let replacement = UpdateTransaction::new(pattern, 0.9)
+        .expect("valid confidence")
+        .with_insert(ids[0], parse_data_tree("<D/>").expect("valid XML"))
+        .with_delete(ids[2]);
+    let stats = replacement.apply_to_fuzzy(&mut doc).expect("update applies");
+    println!(
+        "applied: {} match(es), {} node(s) inserted, {} duplicated, {} removed\n",
+        stats.applied_matches, stats.inserted_nodes, stats.duplicated_nodes, stats.removed_nodes
+    );
+    print_document("After the conditional replacement (slide 15)", &doc);
+
+    // Chain more low-confidence replacements to show the growth the paper
+    // warns about, then simplify.
+    for round in 0..3 {
+        let pattern = Pattern::parse("/A { B, C }").expect("valid query");
+        let ids: Vec<_> = pattern.node_ids().collect();
+        let again = UpdateTransaction::new(pattern, 0.5)
+            .expect("valid confidence")
+            .with_delete(ids[2]);
+        again.apply_to_fuzzy(&mut doc).expect("update applies");
+        println!(
+            "after chained deletion #{round}: {} nodes, {} condition literals, {} events",
+            doc.node_count(),
+            doc.condition_literal_count(),
+            doc.event_count()
+        );
+    }
+
+    let before = (doc.node_count(), doc.condition_literal_count(), doc.event_count());
+    let report = Simplifier::new().run(&mut doc).expect("simplification succeeds");
+    println!(
+        "\nsimplification: {:?}\n  {} → {} nodes, {} → {} literals, {} → {} events",
+        report,
+        before.0,
+        doc.node_count(),
+        before.1,
+        doc.condition_literal_count(),
+        before.2,
+        doc.event_count()
+    );
+    print_document("After simplification", &doc);
+}

@@ -1,0 +1,111 @@
+//! Managing imprecise information-extraction output — the motivating use
+//! case of the paper's introduction.
+//!
+//! Several extraction modules report facts about people with confidence
+//! values; the fuzzy-tree document accumulates them, queries return answers
+//! with probabilities, and contradictory evidence (a data-cleaning pass) is
+//! handled by probabilistic deletion.
+//!
+//! Run with `cargo run --example information_extraction`.
+
+use pxml::prelude::*;
+
+/// One extracted fact: who, what, the value, and the extractor's confidence.
+struct ExtractedFact {
+    person: &'static str,
+    field: &'static str,
+    value: &'static str,
+    confidence: f64,
+    module: &'static str,
+}
+
+fn insert_fact(fact: &ExtractedFact) -> UpdateTransaction {
+    let pattern = Pattern::parse(&format!("person {{ name[=\"{}\"] }}", fact.person))
+        .expect("valid query");
+    let target = pattern.root();
+    let mut subtree = Tree::new(fact.field);
+    subtree.add_text(subtree.root(), fact.value);
+    UpdateTransaction::new(pattern, fact.confidence)
+        .expect("confidence within [0, 1]")
+        .with_insert(target, subtree)
+}
+
+fn main() {
+    // The initial directory holds two people whose names are certain
+    // (human-curated seed data).
+    let mut directory = FuzzyTree::from_tree(
+        parse_data_tree(
+            "<directory>\
+               <person><name>ada-lovelace</name></person>\
+               <person><name>alan-turing</name></person>\
+             </directory>",
+        )
+        .expect("valid XML"),
+    );
+
+    // A stream of extracted facts with heterogeneous confidences: a precise
+    // web extractor, a noisier NLP pipeline, and an OCR pass.
+    let facts = [
+        ExtractedFact { person: "alan-turing", field: "affiliation", value: "bletchley-park", confidence: 0.95, module: "web-extractor" },
+        ExtractedFact { person: "alan-turing", field: "email", value: "turing@npl.example", confidence: 0.55, module: "nlp-pipeline" },
+        ExtractedFact { person: "ada-lovelace", field: "affiliation", value: "analytical-engine-society", confidence: 0.7, module: "web-extractor" },
+        ExtractedFact { person: "ada-lovelace", field: "birth-year", value: "1815", confidence: 0.9, module: "ocr" },
+        ExtractedFact { person: "ada-lovelace", field: "birth-year", value: "1816", confidence: 0.4, module: "ocr" },
+    ];
+
+    println!("== Ingesting extracted facts ==");
+    for fact in &facts {
+        let stats = insert_fact(fact)
+            .apply_to_fuzzy(&mut directory)
+            .expect("update applies");
+        println!(
+            "  [{:<13}] {}/{} = {:<28} confidence {:.2}  ({} match)",
+            fact.module, fact.person, fact.field, fact.value, fact.confidence, stats.applied_matches
+        );
+    }
+
+    // Query the directory: per-answer probabilities.
+    println!("\n== What do we believe about birth years? ==");
+    let query = Pattern::parse("person { name, birth-year }").expect("valid query");
+    let birth_year_node = query.node_ids().nth(2).expect("birth-year is the third node");
+    let result = directory.query(&query);
+    for answer in &result.matches {
+        let original = answer.matching.image(birth_year_node);
+        let year = directory.tree().node_value(original).unwrap_or_default();
+        println!(
+            "  birth-year answer (value {year:?}) holds with probability {:.3}",
+            answer.probability
+        );
+    }
+
+    // A data-cleaning module decides the low-confidence e-mail was spurious
+    // and retracts it with confidence 0.8.
+    println!("\n== Data cleaning: retract alan-turing's e-mail (confidence 0.8) ==");
+    let retract_pattern =
+        Pattern::parse("person { name[=\"alan-turing\"], email }").expect("valid query");
+    let email_node = retract_pattern.node_ids().nth(2).expect("email is the third node");
+    let retraction = UpdateTransaction::new(retract_pattern, 0.8)
+        .expect("valid confidence")
+        .with_delete(email_node);
+    retraction.apply_to_fuzzy(&mut directory).expect("update applies");
+
+    let email_query = Pattern::parse("person { email }").expect("valid query");
+    println!(
+        "  P(the directory still records an e-mail) = {:.3}",
+        directory.selection_probability(&email_query)
+    );
+
+    // Housekeeping: simplification keeps the accumulated bookkeeping small.
+    let before = directory.condition_literal_count();
+    let report = Simplifier::new().run(&mut directory).expect("simplification succeeds");
+    println!(
+        "\nsimplified: {} → {} condition literals ({} node(s) merged, {} event(s) dropped)",
+        before,
+        directory.condition_literal_count(),
+        report.merged_nodes,
+        report.removed_events
+    );
+
+    println!("\n== Final document ==");
+    println!("{}", pxml::store::serialize_fuzzy_document(&directory, true));
+}

@@ -1,0 +1,81 @@
+//! # pxml — probabilistic XML
+//!
+//! A Rust implementation of *Querying and Updating Probabilistic Information
+//! in XML* (Abiteboul & Senellart, EDBT 2006): the possible-worlds and
+//! fuzzy-tree models for imprecise semi-structured data, tree-pattern-with-
+//! join queries, probabilistic update transactions, fuzzy-data
+//! simplification, and a file-backed probabilistic XML warehouse fed by
+//! imprecise source modules.
+//!
+//! This crate is a thin facade re-exporting the workspace crates:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`tree`] | `pxml-tree` | unordered data trees, XML parsing/serialization |
+//! | [`event`] | `pxml-event` | probabilistic events, conditions, formulas |
+//! | [`query`] | `pxml-query` | TPWJ queries: syntax, matcher, answers |
+//! | [`core`] | `pxml-core` | possible worlds, fuzzy trees, updates, simplification |
+//! | [`store`] | `pxml-store` | PrXML format, document store, update journal |
+//! | [`warehouse`] | `pxml-warehouse` | the probabilistic XML warehouse and source modules |
+//! | [`gen`] | `pxml-gen` | seeded workload generators |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pxml::prelude::*;
+//!
+//! // The fuzzy tree of slide 12: A(B[w1 ∧ ¬w2], C, D[w2]).
+//! let mut doc = FuzzyTree::new("A");
+//! let w1 = doc.add_event("w1", 0.8).unwrap();
+//! let w2 = doc.add_event("w2", 0.7).unwrap();
+//! let root = doc.root();
+//! let b = doc.add_element(root, "B");
+//! doc.set_condition(b, Condition::from_literals([Literal::pos(w1), Literal::neg(w2)])).unwrap();
+//! doc.add_element(root, "C");
+//! let d = doc.add_element(root, "D");
+//! doc.set_condition(d, Condition::from_literal(Literal::pos(w2))).unwrap();
+//!
+//! // Query it: what is the probability that A has a B child?
+//! let query = Pattern::parse("A { B }").unwrap();
+//! let result = doc.query(&query);
+//! assert!((result.matches[0].probability - 0.24).abs() < 1e-12);
+//!
+//! // Expand to possible worlds: the three worlds of the paper.
+//! let worlds = doc.to_possible_worlds().unwrap();
+//! assert_eq!(worlds.len(), 3);
+//! ```
+
+pub use pxml_core as core;
+pub use pxml_event as event;
+pub use pxml_gen as gen;
+pub use pxml_query as query;
+pub use pxml_store as store;
+pub use pxml_tree as tree;
+pub use pxml_warehouse as warehouse;
+
+/// The most commonly used types, importable in one line.
+pub mod prelude {
+    pub use pxml_core::{
+        encode_possible_worlds, CoreError, FuzzyQueryResult, FuzzyTree, PossibleWorlds,
+        ProbabilisticMatch, SimplifyReport, Simplifier, UpdateOperation, UpdateStats,
+        UpdateTransaction,
+    };
+    pub use pxml_event::{Condition, EventId, EventTable, Formula, Literal, Valuation};
+    pub use pxml_query::{Axis, MatchStrategy, Pattern, QueryAnswers};
+    pub use pxml_store::DocumentStore;
+    pub use pxml_tree::{parse_data_tree, write_data_tree, Label, NodeId, Tree};
+    pub use pxml_warehouse::{Warehouse, WarehouseConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_re_exports_are_usable() {
+        let tree = parse_data_tree("<a><b>1</b></a>").unwrap();
+        let fuzzy = FuzzyTree::from_tree(tree);
+        let query = Pattern::parse("a { b }").unwrap();
+        assert_eq!(fuzzy.query(&query).len(), 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Randomized checks of the paper's two commutation theorems (experiments E3
+//! and E4 of DESIGN.md):
+//!
+//! * slide 13 — querying a fuzzy tree then taking possible-worlds semantics
+//!   equals taking the semantics first and querying every world;
+//! * slide 14 — the same diagram for probabilistic update transactions.
+//!
+//! Instances, queries and updates are drawn from the seeded generators of
+//! `pxml-gen`, so failures are reproducible.
+
+use pxml::gen::{
+    derived_query, random_fuzzy_tree, random_update, FuzzyGenConfig, QueryGenConfig,
+    UpdateGenConfig,
+};
+use pxml::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Small instances keep the exhaustive possible-worlds side tractable while
+/// still exercising conditions on several events.
+fn small_instance(seed: u64) -> FuzzyTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = FuzzyGenConfig {
+        condition_probability: 0.45,
+        max_literals: 2,
+        ..FuzzyGenConfig::sized(18, 5)
+    };
+    random_fuzzy_tree(&mut rng, &config)
+}
+
+#[test]
+fn e3_query_commutes_on_random_instances() {
+    let query_config = QueryGenConfig {
+        pattern_nodes: 3,
+        descendant_probability: 0.4,
+        value_probability: 0.3,
+        join_probability: 0.2,
+        wildcard_probability: 0.15,
+    };
+    for seed in 0..25u64 {
+        let fuzzy = small_instance(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        let query = derived_query(&mut rng, fuzzy.tree(), &query_config);
+
+        let via_fuzzy = fuzzy.query(&query).as_possible_worlds(fuzzy.events());
+        let via_worlds = fuzzy.to_possible_worlds().unwrap().query(&query);
+        assert!(
+            via_fuzzy.equivalent(&via_worlds, 1e-9),
+            "query commutation failed (seed {seed}, query {query})"
+        );
+    }
+}
+
+#[test]
+fn e3_query_commutes_for_non_matching_queries() {
+    for seed in 0..5u64 {
+        let fuzzy = small_instance(seed);
+        let query = Pattern::parse("no_such_label { nothing }").unwrap();
+        let via_fuzzy = fuzzy.query(&query).as_possible_worlds(fuzzy.events());
+        let via_worlds = fuzzy.to_possible_worlds().unwrap().query(&query);
+        assert!(via_fuzzy.is_empty());
+        assert!(via_worlds.is_empty());
+    }
+}
+
+#[test]
+fn e4_update_commutes_on_random_instances() {
+    let update_config = UpdateGenConfig::default();
+    for seed in 0..25u64 {
+        let fuzzy = small_instance(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let update = random_update(&mut rng, fuzzy.tree(), &update_config);
+
+        let worlds_then_update = fuzzy.to_possible_worlds().unwrap().update(&update);
+        let mut updated = fuzzy.clone();
+        updated
+            .tree()
+            .validate()
+            .expect("generated instance is valid");
+        update.apply_to_fuzzy(&mut updated).unwrap();
+        let update_then_worlds = updated.to_possible_worlds().unwrap();
+
+        assert!(
+            worlds_then_update.equivalent(&update_then_worlds, 1e-9),
+            "update commutation failed (seed {seed}, query {}, confidence {})",
+            update.pattern(),
+            update.confidence()
+        );
+        assert!(updated.validate().is_ok());
+    }
+}
+
+#[test]
+fn e4_update_with_confidence_one_and_zero_behave_as_expected() {
+    for seed in 30..35u64 {
+        let fuzzy = small_instance(seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let update = random_update(&mut rng, fuzzy.tree(), &UpdateGenConfig::default());
+
+        // Confidence 1: the update is certain; the diagram still commutes.
+        let certain = update.with_confidence(1.0).unwrap();
+        let mut updated = fuzzy.clone();
+        certain.apply_to_fuzzy(&mut updated).unwrap();
+        assert!(fuzzy
+            .to_possible_worlds()
+            .unwrap()
+            .update(&certain)
+            .equivalent(&updated.to_possible_worlds().unwrap(), 1e-9));
+
+        // Confidence 0: the update never applies; semantics are unchanged.
+        let vacuous = update.with_confidence(0.0).unwrap();
+        let mut untouched = fuzzy.clone();
+        vacuous.apply_to_fuzzy(&mut untouched).unwrap();
+        assert!(fuzzy
+            .to_possible_worlds()
+            .unwrap()
+            .equivalent(&untouched.to_possible_worlds().unwrap(), 1e-9));
+    }
+}
+
+#[test]
+fn e4_sequences_of_updates_commute() {
+    // Applying two transactions in sequence must also commute with the
+    // possible-worlds semantics (the diagram composes).
+    for seed in 40..48u64 {
+        let fuzzy = small_instance(seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let first = random_update(&mut rng, fuzzy.tree(), &UpdateGenConfig::default());
+        let mut updated = fuzzy.clone();
+        first.apply_to_fuzzy(&mut updated).unwrap();
+        // The second update is derived from the *updated* document.
+        let second = random_update(&mut rng, updated.tree(), &UpdateGenConfig::default());
+
+        let via_worlds = fuzzy
+            .to_possible_worlds()
+            .unwrap()
+            .update(&first)
+            .update(&second);
+        second.apply_to_fuzzy(&mut updated).unwrap();
+        assert!(
+            via_worlds.equivalent(&updated.to_possible_worlds().unwrap(), 1e-9),
+            "sequence commutation failed (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn simplification_preserves_semantics_after_update_histories() {
+    // E8 correctness side: simplify(update*(F)) ≡ update*(F).
+    for seed in 50..60u64 {
+        let mut fuzzy = small_instance(seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..3 {
+            let update = random_update(&mut rng, fuzzy.tree(), &UpdateGenConfig::default());
+            update.apply_to_fuzzy(&mut fuzzy).unwrap();
+        }
+        let before = fuzzy.clone();
+        let report = Simplifier::new().run(&mut fuzzy).unwrap();
+        assert!(
+            before.semantically_equivalent(&fuzzy, 1e-9).unwrap(),
+            "simplification changed semantics (seed {seed}, report {report:?})"
+        );
+        assert!(fuzzy.node_count() <= before.node_count());
+        assert!(fuzzy.event_count() <= before.event_count());
+    }
+}
