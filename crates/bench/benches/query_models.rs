@@ -25,9 +25,7 @@ fn bench_query_models(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("worlds_query", events),
             &(&fuzzy, &query),
-            |b, (fuzzy, query)| {
-                b.iter(|| fuzzy.to_possible_worlds().unwrap().query(query).len())
-            },
+            |b, (fuzzy, query)| b.iter(|| fuzzy.to_possible_worlds().unwrap().query(query).len()),
         );
     }
     group.finish();

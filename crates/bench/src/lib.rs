@@ -1,8 +1,9 @@
 //! Shared workload builders for the benchmarks and the experiment harness.
 //!
-//! Every experiment of `DESIGN.md` §5 gets its inputs from here so that the
-//! Criterion benches (`benches/`) and the table-printing harness
-//! (`src/bin/harness.rs`) measure exactly the same workloads.
+//! Every experiment (E1–E10, described in the doc comments of
+//! `src/bin/harness.rs`) gets its inputs from here so that the Criterion
+//! benches (`benches/`) and the table-printing harness measure exactly the
+//! same workloads.
 
 use pxml_core::{FuzzyTree, UpdateTransaction};
 use pxml_event::{Condition, Literal};
@@ -77,7 +78,10 @@ pub fn slide12() -> FuzzyTree {
     let root = fuzzy.root();
     let b = fuzzy.add_element(root, "B");
     fuzzy
-        .set_condition(b, Condition::from_literals([Literal::pos(w1), Literal::neg(w2)]))
+        .set_condition(
+            b,
+            Condition::from_literals([Literal::pos(w1), Literal::neg(w2)]),
+        )
         .expect("not the root");
     fuzzy.add_element(root, "C");
     let d = fuzzy.add_element(root, "D");

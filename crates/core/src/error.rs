@@ -36,7 +36,10 @@ impl fmt::Display for CoreError {
             CoreError::Event(err) => write!(f, "{err}"),
             CoreError::Tree(err) => write!(f, "{err}"),
             CoreError::RootConditionNotAllowed => {
-                write!(f, "the root of a fuzzy tree must carry the empty (certain) condition")
+                write!(
+                    f,
+                    "the root of a fuzzy tree must carry the empty (certain) condition"
+                )
             }
             CoreError::InvalidNode(id) => write!(f, "node id {id} is not part of the fuzzy tree"),
             CoreError::InvalidConfidence(c) => {
@@ -51,7 +54,10 @@ impl fmt::Display for CoreError {
             ),
             CoreError::EmptyWorldSet => write!(f, "the possible-worlds set is empty"),
             CoreError::InvalidWorldProbability(p) => {
-                write!(f, "invalid world probability {p}: must be positive and finite")
+                write!(
+                    f,
+                    "invalid world probability {p}: must be positive and finite"
+                )
             }
         }
     }
@@ -89,13 +95,21 @@ mod tests {
         assert!(event.to_string().contains("3"));
         let tree: CoreError = TreeError::CannotRemoveRoot.into();
         assert!(tree.to_string().contains("root"));
-        assert!(CoreError::RootConditionNotAllowed.to_string().contains("fuzzy"));
-        assert!(CoreError::InvalidConfidence(-1.0).to_string().contains("-1"));
+        assert!(CoreError::RootConditionNotAllowed
+            .to_string()
+            .contains("fuzzy"));
+        assert!(CoreError::InvalidConfidence(-1.0)
+            .to_string()
+            .contains("-1"));
         assert!(CoreError::CannotDeleteRoot.to_string().contains("delete"));
-        assert!(CoreError::HeterogeneousRoots.to_string().contains("root labels"));
+        assert!(CoreError::HeterogeneousRoots
+            .to_string()
+            .contains("root labels"));
         assert!(CoreError::EmptyWorldSet.to_string().contains("empty"));
         assert!(CoreError::InvalidNode(9).to_string().contains('9'));
-        assert!(CoreError::InvalidWorldProbability(0.0).to_string().contains('0'));
+        assert!(CoreError::InvalidWorldProbability(0.0)
+            .to_string()
+            .contains('0'));
     }
 
     #[test]

@@ -87,7 +87,11 @@ impl FuzzyTree {
     }
 
     /// Adds a named probabilistic event.
-    pub fn add_event(&mut self, name: impl Into<String>, probability: f64) -> Result<EventId, EventError> {
+    pub fn add_event(
+        &mut self,
+        name: impl Into<String>,
+        probability: f64,
+    ) -> Result<EventId, EventError> {
         self.events.add_event(name, probability)
     }
 
@@ -219,11 +223,8 @@ impl FuzzyTree {
 
     /// The events actually mentioned by at least one node condition.
     pub fn mentioned_events(&self) -> Vec<EventId> {
-        let mut mentioned: Vec<EventId> = self
-            .conditions
-            .values()
-            .flat_map(|c| c.events())
-            .collect();
+        let mut mentioned: Vec<EventId> =
+            self.conditions.values().flat_map(|c| c.events()).collect();
         mentioned.sort_unstable();
         mentioned.dedup();
         mentioned
@@ -325,7 +326,11 @@ impl FuzzyTree {
 
     /// Semantic equality of two fuzzy trees: their possible-worlds expansions
     /// coincide (up to `epsilon` on probabilities).
-    pub fn semantically_equivalent(&self, other: &FuzzyTree, epsilon: f64) -> Result<bool, CoreError> {
+    pub fn semantically_equivalent(
+        &self,
+        other: &FuzzyTree,
+        epsilon: f64,
+    ) -> Result<bool, CoreError> {
         Ok(self
             .to_possible_worlds()?
             .equivalent(&other.to_possible_worlds()?, epsilon))
@@ -434,9 +439,13 @@ mod tests {
         let w1 = fuzzy.add_event("w1", 0.5).unwrap();
         let w2 = fuzzy.add_event("w2", 0.5).unwrap();
         let a = fuzzy.add_element(fuzzy.root(), "a");
-        fuzzy.set_condition(a, Condition::from_literal(Literal::pos(w1))).unwrap();
+        fuzzy
+            .set_condition(a, Condition::from_literal(Literal::pos(w1)))
+            .unwrap();
         let b = fuzzy.add_element(a, "b");
-        fuzzy.set_condition(b, Condition::from_literal(Literal::pos(w2))).unwrap();
+        fuzzy
+            .set_condition(b, Condition::from_literal(Literal::pos(w2)))
+            .unwrap();
         let existence = fuzzy.existence_condition(b);
         assert_eq!(existence.len(), 2);
         assert!(existence.contains(Literal::pos(w1)));
@@ -481,17 +490,24 @@ mod tests {
         let w = fuzzy.add_event("w", 0.6).unwrap();
         let v = fuzzy.add_event("v", 0.3).unwrap();
         let a = fuzzy.add_element(fuzzy.root(), "a");
-        fuzzy.set_condition(a, Condition::from_literal(Literal::pos(w))).unwrap();
+        fuzzy
+            .set_condition(a, Condition::from_literal(Literal::pos(w)))
+            .unwrap();
         let b = fuzzy.add_element(a, "b");
-        fuzzy.set_condition(b, Condition::from_literal(Literal::pos(v))).unwrap();
-        let copy = fuzzy.duplicate_subtree(
-            fuzzy.root(),
-            a,
-            Condition::from_literal(Literal::neg(w)),
+        fuzzy
+            .set_condition(b, Condition::from_literal(Literal::pos(v)))
+            .unwrap();
+        let copy =
+            fuzzy.duplicate_subtree(fuzzy.root(), a, Condition::from_literal(Literal::neg(w)));
+        assert_eq!(
+            fuzzy.condition(copy),
+            Condition::from_literal(Literal::neg(w))
         );
-        assert_eq!(fuzzy.condition(copy), Condition::from_literal(Literal::neg(w)));
         let copied_b = fuzzy.tree().children(copy)[0];
-        assert_eq!(fuzzy.condition(copied_b), Condition::from_literal(Literal::pos(v)));
+        assert_eq!(
+            fuzzy.condition(copied_b),
+            Condition::from_literal(Literal::pos(v))
+        );
         assert!(fuzzy.validate().is_ok());
     }
 
@@ -532,7 +548,9 @@ mod tests {
             fuzzy.fuzzy_canonical_string(a),
             fuzzy.fuzzy_canonical_string(b)
         );
-        fuzzy.set_condition(a, Condition::from_literal(Literal::pos(w))).unwrap();
+        fuzzy
+            .set_condition(a, Condition::from_literal(Literal::pos(w)))
+            .unwrap();
         assert_ne!(
             fuzzy.fuzzy_canonical_string(a),
             fuzzy.fuzzy_canonical_string(b)

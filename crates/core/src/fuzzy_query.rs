@@ -88,8 +88,7 @@ impl FuzzyQueryResult {
     /// The probability that the query matches at all (the document is
     /// *selected* by the query) — the disjunction of every match condition.
     pub fn selection_probability(&self, events: &EventTable) -> f64 {
-        let conditions: Vec<Condition> =
-            self.matches.iter().map(|m| m.condition.clone()).collect();
+        let conditions: Vec<Condition> = self.matches.iter().map(|m| m.condition.clone()).collect();
         Formula::any_of_conditions(&conditions).probability(events)
     }
 }
@@ -197,9 +196,13 @@ mod tests {
         let w = fuzzy.add_event("w", 0.5).unwrap();
         let v = fuzzy.add_event("v", 0.4).unwrap();
         let a = fuzzy.add_element(fuzzy.root(), "a");
-        fuzzy.set_condition(a, Condition::from_literal(Literal::pos(w))).unwrap();
+        fuzzy
+            .set_condition(a, Condition::from_literal(Literal::pos(w)))
+            .unwrap();
         let b = fuzzy.add_element(a, "b");
-        fuzzy.set_condition(b, Condition::from_literal(Literal::pos(v))).unwrap();
+        fuzzy
+            .set_condition(b, Condition::from_literal(Literal::pos(v)))
+            .unwrap();
         let query = Pattern::parse("b").unwrap();
         let result = fuzzy.query(&query);
         assert_eq!(result.len(), 1);
@@ -212,9 +215,13 @@ mod tests {
         let mut fuzzy = FuzzyTree::new("r");
         let w = fuzzy.add_event("w", 0.5).unwrap();
         let a = fuzzy.add_element(fuzzy.root(), "a");
-        fuzzy.set_condition(a, Condition::from_literal(Literal::pos(w))).unwrap();
+        fuzzy
+            .set_condition(a, Condition::from_literal(Literal::pos(w)))
+            .unwrap();
         let b = fuzzy.add_element(a, "b");
-        fuzzy.set_condition(b, Condition::from_literal(Literal::neg(w))).unwrap();
+        fuzzy
+            .set_condition(b, Condition::from_literal(Literal::neg(w)))
+            .unwrap();
         // b exists only when w and ¬w: never.
         let query = Pattern::parse("b").unwrap();
         assert!(fuzzy.query(&query).is_empty());
@@ -226,7 +233,9 @@ mod tests {
         let w = fuzzy.add_event("w", 0.3).unwrap();
         let name = fuzzy.add_element(fuzzy.root(), "name");
         let text = fuzzy.add_text(name, "Alan");
-        fuzzy.set_condition(text, Condition::from_literal(Literal::pos(w))).unwrap();
+        fuzzy
+            .set_condition(text, Condition::from_literal(Literal::pos(w)))
+            .unwrap();
         let query = Pattern::parse("name[=\"Alan\"]").unwrap();
         let result = fuzzy.query(&query);
         assert_eq!(result.len(), 1);
@@ -240,10 +249,14 @@ mod tests {
         let w = fuzzy.add_event("w", 0.5).unwrap();
         let v = fuzzy.add_event("v", 0.2).unwrap();
         let a = fuzzy.add_element(fuzzy.root(), "a");
-        fuzzy.set_condition(a, Condition::from_literal(Literal::pos(w))).unwrap();
+        fuzzy
+            .set_condition(a, Condition::from_literal(Literal::pos(w)))
+            .unwrap();
         fuzzy.add_text(a, "k");
         let b = fuzzy.add_element(fuzzy.root(), "b");
-        fuzzy.set_condition(b, Condition::from_literal(Literal::pos(v))).unwrap();
+        fuzzy
+            .set_condition(b, Condition::from_literal(Literal::pos(v)))
+            .unwrap();
         fuzzy.add_text(b, "k");
         let query = Pattern::parse("r { a[$x], b[$x] }").unwrap();
         let result = fuzzy.query(&query);
@@ -259,9 +272,13 @@ mod tests {
         let w = fuzzy.add_event("w", 0.6).unwrap();
         let v = fuzzy.add_event("v", 0.5).unwrap();
         let a1 = fuzzy.add_element(fuzzy.root(), "a");
-        fuzzy.set_condition(a1, Condition::from_literal(Literal::pos(w))).unwrap();
+        fuzzy
+            .set_condition(a1, Condition::from_literal(Literal::pos(w)))
+            .unwrap();
         let a2 = fuzzy.add_element(fuzzy.root(), "a");
-        fuzzy.set_condition(a2, Condition::from_literal(Literal::pos(v))).unwrap();
+        fuzzy
+            .set_condition(a2, Condition::from_literal(Literal::pos(v)))
+            .unwrap();
         let query = Pattern::parse("r { a }").unwrap();
         let result = fuzzy.query(&query);
         assert_eq!(result.len(), 2);
@@ -275,7 +292,14 @@ mod tests {
     #[test]
     fn query_commutes_with_possible_worlds_semantics_on_slide12() {
         let fuzzy = slide12_example();
-        for text in ["A { B }", "A { C }", "A { D }", "A { B, D }", "* { B }", "A { Z }"] {
+        for text in [
+            "A { B }",
+            "A { C }",
+            "A { D }",
+            "A { B, D }",
+            "* { B }",
+            "A { Z }",
+        ] {
             let query = Pattern::parse(text).unwrap();
             let via_fuzzy = fuzzy.query(&query).as_possible_worlds(fuzzy.events());
             let via_worlds = fuzzy.to_possible_worlds().unwrap().query(&query);

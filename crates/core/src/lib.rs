@@ -51,6 +51,6 @@ pub use encode::encode_possible_worlds;
 pub use error::CoreError;
 pub use fuzzy::FuzzyTree;
 pub use fuzzy_query::{FuzzyQueryResult, ProbabilisticMatch};
-pub use simplify::{SimplifyReport, Simplifier};
+pub use simplify::{Simplifier, SimplifyReport};
 pub use update::{UpdateOperation, UpdateStats, UpdateTransaction};
 pub use worlds::PossibleWorlds;

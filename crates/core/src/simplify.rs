@@ -99,10 +99,12 @@ impl Simplifier {
     pub fn run(&self, fuzzy: &mut FuzzyTree) -> Result<SimplifyReport, CoreError> {
         let mut total = SimplifyReport::default();
         for pass in 0..self.max_passes {
-            let mut report = SimplifyReport::default();
-            report.removed_impossible_nodes = prune_impossible_nodes(fuzzy)?;
-            report.resolved_deterministic_literals = resolve_deterministic_events(fuzzy)?;
-            report.stripped_literals = strip_implied_literals(fuzzy)?;
+            let mut report = SimplifyReport {
+                removed_impossible_nodes: prune_impossible_nodes(fuzzy)?,
+                resolved_deterministic_literals: resolve_deterministic_events(fuzzy)?,
+                stripped_literals: strip_implied_literals(fuzzy)?,
+                ..SimplifyReport::default()
+            };
             if self.merge_siblings {
                 report.merged_nodes = merge_complementary_siblings(fuzzy)?;
             }
@@ -216,10 +218,7 @@ pub fn resolve_deterministic_events(fuzzy: &mut FuzzyTree) -> Result<usize, Core
 /// `X ∧ ¬w` collapse to `X`). Returns the number of nodes removed by merging.
 pub fn merge_complementary_siblings(fuzzy: &mut FuzzyTree) -> Result<usize, CoreError> {
     let mut merged_nodes = 0;
-    loop {
-        let Some((keep, drop, merged_condition)) = find_mergeable_pair(fuzzy) else {
-            break;
-        };
+    while let Some((keep, drop, merged_condition)) = find_mergeable_pair(fuzzy) {
         merged_nodes += fuzzy.tree().subtree_size(drop);
         fuzzy.remove_subtree(drop)?;
         fuzzy.set_condition(keep, merged_condition)?;
@@ -367,7 +366,10 @@ mod tests {
         let w = fuzzy.add_event("w", 0.5).unwrap();
         let a = fuzzy.add_element(fuzzy.root(), "a");
         fuzzy
-            .set_condition(a, Condition::from_literals([Literal::pos(w), Literal::neg(w)]))
+            .set_condition(
+                a,
+                Condition::from_literals([Literal::pos(w), Literal::neg(w)]),
+            )
             .unwrap();
         fuzzy.add_element(a, "b");
         let before = fuzzy.clone();
@@ -382,9 +384,13 @@ mod tests {
         let mut fuzzy = FuzzyTree::new("r");
         let w = fuzzy.add_event("w", 0.5).unwrap();
         let a = fuzzy.add_element(fuzzy.root(), "a");
-        fuzzy.set_condition(a, Condition::from_literal(Literal::pos(w))).unwrap();
+        fuzzy
+            .set_condition(a, Condition::from_literal(Literal::pos(w)))
+            .unwrap();
         let b = fuzzy.add_element(a, "b");
-        fuzzy.set_condition(b, Condition::from_literal(Literal::neg(w))).unwrap();
+        fuzzy
+            .set_condition(b, Condition::from_literal(Literal::neg(w)))
+            .unwrap();
         let before = fuzzy.clone();
         let report = Simplifier::new().run(&mut fuzzy).unwrap();
         assert_eq!(report.removed_impossible_nodes, 1);
@@ -397,7 +403,9 @@ mod tests {
         let w = fuzzy.add_event("w", 0.5).unwrap();
         let v = fuzzy.add_event("v", 0.5).unwrap();
         let a = fuzzy.add_element(fuzzy.root(), "a");
-        fuzzy.set_condition(a, Condition::from_literal(Literal::pos(w))).unwrap();
+        fuzzy
+            .set_condition(a, Condition::from_literal(Literal::pos(w)))
+            .unwrap();
         let b = fuzzy.add_element(a, "b");
         fuzzy
             .set_condition(
@@ -426,14 +434,19 @@ mod tests {
             )
             .unwrap();
         let b = fuzzy.add_element(fuzzy.root(), "b");
-        fuzzy.set_condition(b, Condition::from_literal(Literal::pos(never))).unwrap();
+        fuzzy
+            .set_condition(b, Condition::from_literal(Literal::pos(never)))
+            .unwrap();
         let before = fuzzy.clone();
         let report = Simplifier::new().run(&mut fuzzy).unwrap();
         assert!(report.resolved_deterministic_literals >= 2);
         // `a` keeps only the uncertain literal, `b` disappears. (Event ids
         // may have been remapped by garbage collection, so look it up again.)
         let maybe = fuzzy.events().lookup("maybe").unwrap();
-        assert_eq!(fuzzy.condition(a), Condition::from_literal(Literal::pos(maybe)));
+        assert_eq!(
+            fuzzy.condition(a),
+            Condition::from_literal(Literal::pos(maybe))
+        );
         assert!(fuzzy.tree().find_elements("b").is_empty());
         // Unused events are garbage collected.
         assert_eq!(fuzzy.event_count(), 1);
@@ -448,12 +461,18 @@ mod tests {
         // Two copies of a(x) differing only in the sign of w.
         let a1 = fuzzy.add_element(fuzzy.root(), "a");
         fuzzy
-            .set_condition(a1, Condition::from_literals([Literal::pos(v), Literal::pos(w)]))
+            .set_condition(
+                a1,
+                Condition::from_literals([Literal::pos(v), Literal::pos(w)]),
+            )
             .unwrap();
         fuzzy.add_element(a1, "x");
         let a2 = fuzzy.add_element(fuzzy.root(), "a");
         fuzzy
-            .set_condition(a2, Condition::from_literals([Literal::pos(v), Literal::neg(w)]))
+            .set_condition(
+                a2,
+                Condition::from_literals([Literal::pos(v), Literal::neg(w)]),
+            )
             .unwrap();
         fuzzy.add_element(a2, "x");
         let before = fuzzy.clone();
@@ -472,10 +491,14 @@ mod tests {
         let mut fuzzy = FuzzyTree::new("r");
         let w = fuzzy.add_event("w", 0.5).unwrap();
         let a1 = fuzzy.add_element(fuzzy.root(), "a");
-        fuzzy.set_condition(a1, Condition::from_literal(Literal::pos(w))).unwrap();
+        fuzzy
+            .set_condition(a1, Condition::from_literal(Literal::pos(w)))
+            .unwrap();
         fuzzy.add_element(a1, "x");
         let a2 = fuzzy.add_element(fuzzy.root(), "a");
-        fuzzy.set_condition(a2, Condition::from_literal(Literal::neg(w))).unwrap();
+        fuzzy
+            .set_condition(a2, Condition::from_literal(Literal::neg(w)))
+            .unwrap();
         fuzzy.add_element(a2, "y"); // different child
         let report = Simplifier::new().run(&mut fuzzy).unwrap();
         assert_eq!(report.merged_nodes, 0);
@@ -490,11 +513,15 @@ mod tests {
         let w = fuzzy.add_event("w", 0.5).unwrap();
         let root = fuzzy.root();
         let b = fuzzy.add_element(root, "B");
-        fuzzy.set_condition(b, Condition::from_literal(Literal::pos(w))).unwrap();
+        fuzzy
+            .set_condition(b, Condition::from_literal(Literal::pos(w)))
+            .unwrap();
         fuzzy.add_element(root, "C");
         let pattern = Pattern::parse("/A { B, C }").unwrap();
         let ids: Vec<_> = pattern.node_ids().collect();
-        let tx = UpdateTransaction::new(pattern, 0.8).unwrap().with_delete(ids[2]);
+        let tx = UpdateTransaction::new(pattern, 0.8)
+            .unwrap()
+            .with_delete(ids[2]);
         tx.apply_to_fuzzy(&mut fuzzy).unwrap();
         let before = fuzzy.clone();
         let report = Simplifier::new().run(&mut fuzzy).unwrap();

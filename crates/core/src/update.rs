@@ -94,7 +94,8 @@ impl UpdateTransaction {
 
     /// Adds an insertion (builder style).
     pub fn with_insert(mut self, target: PNodeId, subtree: Tree) -> Self {
-        self.operations.push(UpdateOperation::Insert { target, subtree });
+        self.operations
+            .push(UpdateOperation::Insert { target, subtree });
         self
     }
 
@@ -423,9 +424,10 @@ mod tests {
         let mut fuzzy = slide12_example();
         let before_events = fuzzy.event_count();
         let pattern = Pattern::parse("Z").unwrap();
-        let tx = UpdateTransaction::new(pattern, 0.5)
-            .unwrap()
-            .with_insert(Pattern::parse("Z").unwrap().root(), parse_data_tree("<N/>").unwrap());
+        let tx = UpdateTransaction::new(pattern, 0.5).unwrap().with_insert(
+            Pattern::parse("Z").unwrap().root(),
+            parse_data_tree("<N/>").unwrap(),
+        );
         let stats = tx.apply_to_fuzzy(&mut fuzzy).unwrap();
         assert_eq!(stats.match_count, 0);
         assert_eq!(fuzzy.event_count(), before_events);
@@ -458,9 +460,13 @@ mod tests {
         let w2 = fuzzy.add_event("w2", 0.7).unwrap();
         let root = fuzzy.root();
         let b = fuzzy.add_element(root, "B");
-        fuzzy.set_condition(b, Condition::from_literal(Literal::pos(w1))).unwrap();
+        fuzzy
+            .set_condition(b, Condition::from_literal(Literal::pos(w1)))
+            .unwrap();
         let c = fuzzy.add_element(root, "C");
-        fuzzy.set_condition(c, Condition::from_literal(Literal::pos(w2))).unwrap();
+        fuzzy
+            .set_condition(c, Condition::from_literal(Literal::pos(w2)))
+            .unwrap();
 
         // Replacement: where A has children B and C, delete C and insert D.
         let pattern = Pattern::parse("/A { B, C }").unwrap();
@@ -473,14 +479,19 @@ mod tests {
         let stats = tx.apply_to_fuzzy(&mut fuzzy).unwrap();
 
         // One new event w3 with probability 0.9.
-        let w3 = stats.confidence_event.expect("confidence < 1 creates an event");
+        let w3 = stats
+            .confidence_event
+            .expect("confidence < 1 creates an event");
         assert!((fuzzy.events().probability(w3) - 0.9).abs() < 1e-12);
         assert_eq!(fuzzy.event_count(), 3);
 
         // The B node is untouched.
         let b_nodes = fuzzy.tree().find_elements("B");
         assert_eq!(b_nodes.len(), 1);
-        assert_eq!(fuzzy.condition(b_nodes[0]), Condition::from_literal(Literal::pos(w1)));
+        assert_eq!(
+            fuzzy.condition(b_nodes[0]),
+            Condition::from_literal(Literal::pos(w1))
+        );
 
         // C is duplicated into exactly the two copies of the slide:
         // C[¬w1, w2] and C[w1, w2, ¬w3].
@@ -489,8 +500,7 @@ mod tests {
         let mut c_conditions: Vec<Condition> =
             c_nodes.iter().map(|&n| fuzzy.condition(n)).collect();
         c_conditions.sort();
-        let expected_1 =
-            Condition::from_literals([Literal::neg(w1), Literal::pos(w2)]);
+        let expected_1 = Condition::from_literals([Literal::neg(w1), Literal::pos(w2)]);
         let expected_2 =
             Condition::from_literals([Literal::pos(w1), Literal::pos(w2), Literal::neg(w3)]);
         let mut expected = vec![expected_1, expected_2];
@@ -523,7 +533,9 @@ mod tests {
         // Transaction 2: delete B when B is present, confidence 0.5.
         let pattern2 = Pattern::parse("A { B }").unwrap();
         let b = pattern2.node_ids().nth(1).unwrap();
-        let tx2 = UpdateTransaction::new(pattern2, 0.5).unwrap().with_delete(b);
+        let tx2 = UpdateTransaction::new(pattern2, 0.5)
+            .unwrap()
+            .with_delete(b);
 
         // Transaction 3: certain replacement of C by F.
         let pattern3 = Pattern::parse("A { C }").unwrap();
@@ -533,8 +545,7 @@ mod tests {
             .with_delete(ids3[1]);
 
         for (index, tx) in [tx1, tx2, tx3].iter().enumerate() {
-            let worlds_then_update: PossibleWorlds =
-                base.to_possible_worlds().unwrap().update(tx);
+            let worlds_then_update: PossibleWorlds = base.to_possible_worlds().unwrap().update(tx);
             let mut updated_fuzzy = base.clone();
             tx.apply_to_fuzzy(&mut updated_fuzzy).unwrap();
             let update_then_worlds = updated_fuzzy.to_possible_worlds().unwrap();
@@ -585,7 +596,9 @@ mod tests {
         // copy before the original is removed.
         let pattern = Pattern::parse("/A { C, D }").unwrap();
         let ids: Vec<PNodeId> = pattern.node_ids().collect();
-        let tx = UpdateTransaction::new(pattern, 0.9).unwrap().with_delete(ids[2]);
+        let tx = UpdateTransaction::new(pattern, 0.9)
+            .unwrap()
+            .with_delete(ids[2]);
         let stats = tx.apply_to_fuzzy(&mut fuzzy).unwrap();
         assert_eq!(stats.match_count, 1);
         assert_eq!(stats.removed_nodes, 1);

@@ -1,0 +1,91 @@
+//! Property-based checks of the possible-worlds expansion: for any small
+//! fuzzy tree, `to_possible_worlds()` is a probability distribution (total
+//! mass 1) and never produces more worlds than there are valuations of the
+//! event table (2^|events|).
+
+use proptest::prelude::*;
+use pxml_core::FuzzyTree;
+use pxml_event::{EventId, Literal};
+
+/// Blueprint of a small random fuzzy tree:
+///
+/// * `nodes` — each entry adds an element whose parent is chosen (modulo)
+///   among the nodes created so far and whose label is drawn from a small
+///   alphabet, so trees of any shape up to 9 nodes appear;
+/// * `probabilities` — per-event probabilities, strictly inside (0, 1);
+/// * `annotations` — `(event, sign, node)` triples conjoined onto node
+///   conditions when the result stays consistent.
+fn fuzzy_strategy() -> impl Strategy<Value = FuzzyTree> {
+    (
+        proptest::collection::vec((0usize..8, 0u8..4), 0..8),
+        proptest::collection::vec(1u32..100, 0..5),
+        proptest::collection::vec((0usize..4, any::<bool>(), 1usize..9), 0..8),
+    )
+        .prop_map(|(nodes, probabilities, annotations)| {
+            let mut fuzzy = FuzzyTree::new("root");
+            let mut created = vec![fuzzy.root()];
+            for (parent_choice, label) in nodes {
+                let parent = created[parent_choice % created.len()];
+                created.push(fuzzy.add_element(parent, format!("l{label}")));
+            }
+            let events: Vec<EventId> = probabilities
+                .iter()
+                .map(|p| fuzzy.fresh_event(*p as f64 / 100.0).unwrap())
+                .collect();
+            if events.is_empty() {
+                return fuzzy;
+            }
+            for (event_choice, positive, node_choice) in annotations {
+                let node = created[node_choice % created.len()];
+                if node == fuzzy.root() {
+                    continue;
+                }
+                let event = events[event_choice % events.len()];
+                let literal = if positive {
+                    Literal::pos(event)
+                } else {
+                    Literal::neg(event)
+                };
+                let condition = fuzzy.condition(node).and_literal(literal);
+                if condition.is_consistent() {
+                    fuzzy.set_condition(node, condition).unwrap();
+                }
+            }
+            fuzzy
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `to_possible_worlds()` always yields a probability distribution.
+    #[test]
+    fn expansion_total_probability_is_one(fuzzy in fuzzy_strategy()) {
+        let worlds = fuzzy.to_possible_worlds().unwrap();
+        let total = worlds.total_probability();
+        prop_assert!(
+            (total - 1.0).abs() < 1e-9,
+            "total probability {total} for {} events, {} nodes",
+            fuzzy.event_count(),
+            fuzzy.node_count()
+        );
+    }
+
+    /// Distinct worlds are induced by valuations of the event table, so there
+    /// can never be more than 2^|events| of them.
+    #[test]
+    fn expansion_world_count_is_bounded_by_valuations(fuzzy in fuzzy_strategy()) {
+        let worlds = fuzzy.to_possible_worlds().unwrap();
+        let bound = 1usize << fuzzy.event_count().min(63);
+        prop_assert!(
+            worlds.len() <= bound,
+            "{} worlds from {} events (bound {bound})",
+            worlds.len(),
+            fuzzy.event_count()
+        );
+        // And each world's probability is itself a probability.
+        for &(_, probability) in worlds.iter() {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&probability));
+        }
+    }
+}

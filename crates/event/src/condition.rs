@@ -151,7 +151,12 @@ impl Condition {
 
     /// Conjunction with a single literal.
     pub fn and_literal(&self, literal: Literal) -> Condition {
-        Condition::from_literals(self.literals.iter().copied().chain(std::iter::once(literal)))
+        Condition::from_literals(
+            self.literals
+                .iter()
+                .copied()
+                .chain(std::iter::once(literal)),
+        )
     }
 
     /// Syntactic implication between conjunctions: `self ⇒ other` holds when
@@ -289,11 +294,8 @@ mod tests {
     #[test]
     fn construction_dedupes_and_sorts() {
         let (_, w1, w2, _) = table();
-        let c = Condition::from_literals(vec![
-            Literal::neg(w2),
-            Literal::pos(w1),
-            Literal::pos(w1),
-        ]);
+        let c =
+            Condition::from_literals(vec![Literal::neg(w2), Literal::pos(w1), Literal::pos(w1)]);
         assert_eq!(c.len(), 2);
         assert_eq!(c.literals()[0], Literal::pos(w1));
         assert_eq!(c.literals()[1], Literal::neg(w2));
@@ -349,11 +351,8 @@ mod tests {
     #[test]
     fn implication_and_context_reduction() {
         let (_, w1, w2, w3) = table();
-        let strong = Condition::from_literals(vec![
-            Literal::pos(w1),
-            Literal::neg(w2),
-            Literal::pos(w3),
-        ]);
+        let strong =
+            Condition::from_literals(vec![Literal::pos(w1), Literal::neg(w2), Literal::pos(w3)]);
         let weak = Condition::from_literals(vec![Literal::pos(w1), Literal::pos(w3)]);
         assert!(strong.implies(&weak));
         assert!(!weak.implies(&strong));
@@ -391,11 +390,8 @@ mod tests {
     #[test]
     fn parse_round_trip() {
         let (t, w1, w2, w3) = table();
-        let c = Condition::from_literals(vec![
-            Literal::pos(w1),
-            Literal::neg(w2),
-            Literal::pos(w3),
-        ]);
+        let c =
+            Condition::from_literals(vec![Literal::pos(w1), Literal::neg(w2), Literal::pos(w3)]);
         let text = c.display(&t);
         assert_eq!(text, "w1 !w2 w3");
         let reparsed = Condition::parse(&text, &t).unwrap();

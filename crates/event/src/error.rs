@@ -47,13 +47,19 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(EventError::InvalidProbability(1.5).to_string().contains("1.5"));
+        assert!(EventError::InvalidProbability(1.5)
+            .to_string()
+            .contains("1.5"));
         assert!(EventError::DuplicateEventName("w".into())
             .to_string()
             .contains("`w`"));
-        assert!(EventError::UnknownEvent("x".into()).to_string().contains("`x`"));
+        assert!(EventError::UnknownEvent("x".into())
+            .to_string()
+            .contains("`x`"));
         assert!(EventError::UnknownEventId(7).to_string().contains('7'));
-        assert!(EventError::ParseError("bad".into()).to_string().contains("bad"));
+        assert!(EventError::ParseError("bad".into())
+            .to_string()
+            .contains("bad"));
         let e = EventError::TooManyEvents {
             requested: 40,
             limit: 24,

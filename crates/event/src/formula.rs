@@ -49,7 +49,14 @@ impl Formula {
         if !condition.is_consistent() {
             return Formula::False;
         }
-        Formula::And(condition.literals().iter().copied().map(Formula::Lit).collect())
+        Formula::And(
+            condition
+                .literals()
+                .iter()
+                .copied()
+                .map(Formula::Lit)
+                .collect(),
+        )
     }
 
     /// The disjunction of a set of conjunctive conditions (a DNF), e.g. the
@@ -94,8 +101,8 @@ impl Formula {
         }
     }
 
-    /// Smart negation constructor.
-    pub fn not(part: Formula) -> Formula {
+    /// Smart negation constructor (also available as the `!` operator).
+    pub fn negate(part: Formula) -> Formula {
         match part {
             Formula::True => Formula::False,
             Formula::False => Formula::True,
@@ -155,13 +162,19 @@ impl Formula {
                     Formula::Lit(*lit)
                 }
             }
-            Formula::And(parts) => {
-                Formula::and(parts.iter().map(|part| part.restrict(event, value)).collect())
-            }
-            Formula::Or(parts) => {
-                Formula::or(parts.iter().map(|part| part.restrict(event, value)).collect())
-            }
-            Formula::Not(inner) => Formula::not(inner.restrict(event, value)),
+            Formula::And(parts) => Formula::and(
+                parts
+                    .iter()
+                    .map(|part| part.restrict(event, value))
+                    .collect(),
+            ),
+            Formula::Or(parts) => Formula::or(
+                parts
+                    .iter()
+                    .map(|part| part.restrict(event, value))
+                    .collect(),
+            ),
+            Formula::Not(inner) => Formula::negate(inner.restrict(event, value)),
         }
     }
 
@@ -210,14 +223,14 @@ impl Formula {
 
     /// `true` when the formula is unsatisfiable.
     pub fn is_contradiction(&self) -> bool {
-        Formula::not(self.clone()).is_tautology()
+        Formula::negate(self.clone()).is_tautology()
     }
 
     /// `true` when the two formulas are logically equivalent.
     pub fn equivalent(&self, other: &Formula) -> bool {
         let differs = Formula::or(vec![
-            Formula::and(vec![self.clone(), Formula::not(other.clone())]),
-            Formula::and(vec![Formula::not(self.clone()), other.clone()]),
+            Formula::and(vec![self.clone(), Formula::negate(other.clone())]),
+            Formula::and(vec![Formula::negate(self.clone()), other.clone()]),
         ]);
         differs.is_contradiction()
     }
@@ -228,6 +241,14 @@ impl Formula {
             Formula::False => Some(false),
             _ => None,
         }
+    }
+}
+
+impl std::ops::Not for Formula {
+    type Output = Formula;
+
+    fn not(self) -> Formula {
+        Formula::negate(self)
     }
 }
 
@@ -265,10 +286,10 @@ mod tests {
         );
         assert_eq!(Formula::or(vec![Formula::True, lit.clone()]), Formula::True);
         assert_eq!(Formula::or(vec![Formula::False, lit.clone()]), lit);
-        assert_eq!(Formula::not(Formula::True), Formula::False);
-        assert_eq!(Formula::not(Formula::not(lit.clone())), lit);
+        assert_eq!(Formula::negate(Formula::True), Formula::False);
+        assert_eq!(Formula::negate(Formula::negate(lit.clone())), lit);
         assert_eq!(
-            Formula::not(Formula::Lit(Literal::pos(w1))),
+            Formula::negate(Formula::Lit(Literal::pos(w1))),
             Formula::Lit(Literal::neg(w1))
         );
     }
@@ -358,7 +379,7 @@ mod tests {
         assert!(!a.is_tautology());
         assert!(!a.is_contradiction());
         // De Morgan: ¬(w1 ∧ w2) ≡ ¬w1 ∨ ¬w2.
-        let lhs = Formula::not(Formula::and(vec![
+        let lhs = Formula::negate(Formula::and(vec![
             Formula::Lit(Literal::pos(w1)),
             Formula::Lit(Literal::pos(w2)),
         ]));
@@ -375,7 +396,7 @@ mod tests {
         let (_, w1, w2, w3) = table();
         let f = Formula::and(vec![
             Formula::Lit(Literal::pos(w1)),
-            Formula::not(Formula::or(vec![
+            Formula::negate(Formula::or(vec![
                 Formula::Lit(Literal::neg(w2)),
                 Formula::Lit(Literal::pos(w3)),
             ])),

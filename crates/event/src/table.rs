@@ -233,7 +233,10 @@ mod tests {
     #[test]
     fn require_and_try_probability_report_errors() {
         let table = EventTable::new();
-        assert!(matches!(table.require("x"), Err(EventError::UnknownEvent(_))));
+        assert!(matches!(
+            table.require("x"),
+            Err(EventError::UnknownEvent(_))
+        ));
         assert!(matches!(
             table.try_probability(EventId(0)),
             Err(EventError::UnknownEventId(0))

@@ -113,7 +113,7 @@ mod tests {
         let fuzzy = random_fuzzy_tree(&mut rng, &config);
         let worlds = fuzzy.to_possible_worlds().unwrap();
         assert!((worlds.total_probability() - 1.0).abs() < 1e-9);
-        assert!(worlds.len() >= 1);
+        assert!(!worlds.is_empty());
     }
 
     #[test]

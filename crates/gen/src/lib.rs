@@ -29,8 +29,8 @@ pub mod scenarios;
 pub mod trees;
 pub mod updates;
 
-pub use fuzzy::{FuzzyGenConfig, random_fuzzy_tree};
+pub use fuzzy::{random_fuzzy_tree, FuzzyGenConfig};
 pub use queries::{derived_query, random_query, QueryGenConfig};
-pub use scenarios::{people_directory, extraction_update, PeopleScenarioConfig};
+pub use scenarios::{extraction_update, people_directory, PeopleScenarioConfig};
 pub use trees::{random_tree, TreeGenConfig};
 pub use updates::{random_update, UpdateGenConfig};

@@ -101,7 +101,11 @@ pub fn extraction_update(
                 Pattern::parse(&format!("person {{ name[=\"{name}\"] }}")).expect("static query");
             let target = pattern.root();
             let mut subtree = Tree::new("phone");
-            let number = format!("+33-1-{:04}-{:04}", rng.gen_range(0..10_000), rng.gen_range(0..10_000));
+            let number = format!(
+                "+33-1-{:04}-{:04}",
+                rng.gen_range(0..10_000),
+                rng.gen_range(0..10_000)
+            );
             subtree.add_text(subtree.root(), number);
             UpdateTransaction::new(pattern, confidence)
                 .expect("confidence in range")
@@ -129,10 +133,8 @@ pub fn extraction_update(
                 .with_insert(target, subtree)
         }
         ExtractionKind::RetractPhones => {
-            let pattern = Pattern::parse(&format!(
-                "person {{ name[=\"{name}\"], phone }}"
-            ))
-            .expect("static query");
+            let pattern = Pattern::parse(&format!("person {{ name[=\"{name}\"], phone }}"))
+                .expect("static query");
             let phone_node = pattern.node_ids().nth(2).expect("phone is the third node");
             UpdateTransaction::new(pattern, confidence)
                 .expect("confidence in range")

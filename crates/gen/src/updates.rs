@@ -49,7 +49,11 @@ impl Default for UpdateGenConfig {
 /// Generates a random update transaction anchored at a query derived from
 /// `tree` (so that it is guaranteed to select the document). The transaction
 /// always contains at least one operation.
-pub fn random_update(rng: &mut impl Rng, tree: &Tree, config: &UpdateGenConfig) -> UpdateTransaction {
+pub fn random_update(
+    rng: &mut impl Rng,
+    tree: &Tree,
+    config: &UpdateGenConfig,
+) -> UpdateTransaction {
     let pattern: Pattern = derived_query(rng, tree, &config.query);
     let confidence = if config.max_confidence > config.min_confidence {
         rng.gen_range(config.min_confidence..=config.max_confidence)
@@ -114,8 +118,16 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         let tree = random_tree(&mut StdRng::seed_from_u64(2), &TreeGenConfig::sized(50));
-        let a = random_update(&mut StdRng::seed_from_u64(3), &tree, &UpdateGenConfig::default());
-        let b = random_update(&mut StdRng::seed_from_u64(3), &tree, &UpdateGenConfig::default());
+        let a = random_update(
+            &mut StdRng::seed_from_u64(3),
+            &tree,
+            &UpdateGenConfig::default(),
+        );
+        let b = random_update(
+            &mut StdRng::seed_from_u64(3),
+            &tree,
+            &UpdateGenConfig::default(),
+        );
         assert_eq!(a.pattern().to_string(), b.pattern().to_string());
         assert_eq!(a.operations().len(), b.operations().len());
         assert!((a.confidence() - b.confidence()).abs() < 1e-15);

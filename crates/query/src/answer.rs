@@ -78,8 +78,7 @@ pub fn evaluate(pattern: &Pattern, tree: &Tree, strategy: MatchStrategy) -> Quer
 /// Builds the minimal-subtree answer for one match.
 pub fn answer_for(tree: &Tree, matching: Matching) -> MatchAnswer {
     let mapped = matching.mapped_nodes();
-    let (answer, node_map) =
-        steiner_tree(tree, &mapped).expect("a match maps at least one node");
+    let (answer, node_map) = steiner_tree(tree, &mapped).expect("a match maps at least one node");
     MatchAnswer {
         matching,
         answer,
@@ -161,10 +160,9 @@ mod tests {
 
     #[test]
     fn distinct_answers_merge_isomorphic_results() {
-        let tree = parse_data_tree(
-            "<r><p><q>same</q></p><p><q>same</q></p><p><q>different</q></p></r>",
-        )
-        .unwrap();
+        let tree =
+            parse_data_tree("<r><p><q>same</q></p><p><q>same</q></p><p><q>different</q></p></r>")
+                .unwrap();
         let mut pattern = Pattern::element("p");
         pattern.add_child(pattern.root(), Axis::Child, Some("q"));
         let answers = evaluate(&pattern, &tree, MatchStrategy::Indexed);

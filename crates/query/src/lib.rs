@@ -42,5 +42,5 @@ pub mod pattern;
 
 pub use answer::{MatchAnswer, QueryAnswers};
 pub use error::QueryError;
-pub use matcher::{LabelIndex, Matching, MatchStrategy};
+pub use matcher::{LabelIndex, MatchStrategy, Matching};
 pub use pattern::{Axis, JoinId, PNodeId, Pattern, PatternNode};

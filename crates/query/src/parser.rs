@@ -97,7 +97,12 @@ impl<'a> Parser<'a> {
         Ok(pattern)
     }
 
-    fn parse_node(&mut self, pattern: &mut Pattern, parent: PNodeId, axis: Axis) -> Result<(), QueryError> {
+    fn parse_node(
+        &mut self,
+        pattern: &mut Pattern,
+        parent: PNodeId,
+        axis: Axis,
+    ) -> Result<(), QueryError> {
         let label = self.parse_label()?;
         let node = pattern.add_child(parent, axis, label.as_deref());
         self.parse_predicates(pattern, node)?;
@@ -203,7 +208,10 @@ impl<'a> Parser<'a> {
 
     fn parse_string(&mut self) -> Result<String, QueryError> {
         if !self.eat(b'"') {
-            return Err(QueryError::parse("expected a double-quoted string", self.pos));
+            return Err(QueryError::parse(
+                "expected a double-quoted string",
+                self.pos,
+            ));
         }
         let mut out = Vec::new();
         loop {

@@ -384,10 +384,7 @@ mod tests {
 
     #[test]
     fn evaluate_convenience_matches_matcher() {
-        let tree = parse_data_tree(
-            "<A><B>k</B><C>v</C><E><D>v</D></E></A>",
-        )
-        .unwrap();
+        let tree = parse_data_tree("<A><B>k</B><C>v</C><E><D>v</D></E></A>").unwrap();
         let p = slide6_pattern();
         let matches = p.find_matches(&tree);
         assert_eq!(matches.len(), 1);

@@ -140,14 +140,21 @@ pub fn parse_fuzzy_document(input: &str) -> Result<FuzzyTree, StoreError> {
             .attribute("probability")
             .ok_or_else(|| StoreError::Format(format!("event `{name}` has no probability")))?
             .parse()
-            .map_err(|_| StoreError::Format(format!("event `{name}` has a malformed probability")))?;
+            .map_err(|_| {
+                StoreError::Format(format!("event `{name}` has a malformed probability"))
+            })?;
         fuzzy.add_event(name, probability)?;
     }
 
     // The root's own condition must be empty; reject it explicitly for a
     // clearer error than the model-level one.
-    if data_root.attribute(CONDITION_ATTRIBUTE).is_some_and(|c| !c.trim().is_empty()) {
-        return Err(StoreError::Core(pxml_core::CoreError::RootConditionNotAllowed));
+    if data_root
+        .attribute(CONDITION_ATTRIBUTE)
+        .is_some_and(|c| !c.trim().is_empty())
+    {
+        return Err(StoreError::Core(
+            pxml_core::CoreError::RootConditionNotAllowed,
+        ));
     }
     let root_node = fuzzy.root();
     populate(&mut fuzzy, root_node, data_root)?;
@@ -197,11 +204,16 @@ mod tests {
         let root = fuzzy.root();
         let b = fuzzy.add_element(root, "B");
         fuzzy
-            .set_condition(b, Condition::from_literals([Literal::pos(w1), Literal::neg(w2)]))
+            .set_condition(
+                b,
+                Condition::from_literals([Literal::pos(w1), Literal::neg(w2)]),
+            )
             .unwrap();
         fuzzy.add_element(root, "C");
         let d = fuzzy.add_element(root, "D");
-        fuzzy.set_condition(d, Condition::from_literal(Literal::pos(w2))).unwrap();
+        fuzzy
+            .set_condition(d, Condition::from_literal(Literal::pos(w2)))
+            .unwrap();
         fuzzy
     }
 
@@ -235,13 +247,18 @@ mod tests {
         fuzzy.add_text(name, "Alan Turing");
         let phone = fuzzy.add_element(fuzzy.root(), "phone");
         let digits = fuzzy.add_text(phone, "+44 1234");
-        fuzzy.set_condition(digits, Condition::from_literal(Literal::pos(w))).unwrap();
+        fuzzy
+            .set_condition(digits, Condition::from_literal(Literal::pos(w)))
+            .unwrap();
         let text = serialize_fuzzy_document(&fuzzy, true);
         assert!(text.contains("<pxml:text"));
         let reparsed = parse_fuzzy_document(&text).unwrap();
         assert!(fuzzy.semantically_equivalent(&reparsed, 1e-12).unwrap());
         let reparsed_name = reparsed.tree().find_elements("name")[0];
-        assert_eq!(reparsed.tree().node_value(reparsed_name), Some("Alan Turing"));
+        assert_eq!(
+            reparsed.tree().node_value(reparsed_name),
+            Some("Alan Turing")
+        );
     }
 
     #[test]
@@ -262,7 +279,9 @@ mod tests {
             Err(StoreError::Format(_))
         ));
         assert!(matches!(
-            parse_fuzzy_document("<pxml:document><pxml:content><a/></pxml:content></pxml:document>"),
+            parse_fuzzy_document(
+                "<pxml:document><pxml:content><a/></pxml:content></pxml:document>"
+            ),
             Err(StoreError::Format(_))
         ));
         assert!(matches!(
@@ -312,7 +331,9 @@ mod tests {
         </pxml:document>"#;
         assert!(matches!(
             parse_fuzzy_document(text),
-            Err(StoreError::Core(pxml_core::CoreError::RootConditionNotAllowed))
+            Err(StoreError::Core(
+                pxml_core::CoreError::RootConditionNotAllowed
+            ))
         ));
     }
 

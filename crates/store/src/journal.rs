@@ -87,9 +87,10 @@ pub fn update_from_element(element: &XmlElement) -> Result<UpdateTransaction, St
         })?;
         match child.name.as_str() {
             "pxml:insert" => {
-                let subtree_element = child.child_elements().next().ok_or_else(|| {
-                    StoreError::Format("<pxml:insert> without a subtree".into())
-                })?;
+                let subtree_element = child
+                    .child_elements()
+                    .next()
+                    .ok_or_else(|| StoreError::Format("<pxml:insert> without a subtree".into()))?;
                 let subtree = xml_to_data_tree(&XmlDocument::new(subtree_element.clone()));
                 update.push_operation(UpdateOperation::Insert { target, subtree });
             }
@@ -116,7 +117,9 @@ pub fn parse_update(input: &str) -> Result<UpdateTransaction, StoreError> {
 pub fn serialize_journal(updates: &[UpdateTransaction]) -> String {
     let mut journal = XmlElement::new("pxml:journal");
     for update in updates {
-        journal.children.push(XmlNode::Element(update_to_element(update)));
+        journal
+            .children
+            .push(XmlNode::Element(update_to_element(update)));
     }
     XmlDocument::new(journal).to_xml_string(true)
 }
@@ -164,8 +167,14 @@ mod tests {
         assert_eq!(reparsed.operations().len(), 2);
         match (&reparsed.operations()[0], &update.operations()[0]) {
             (
-                UpdateOperation::Insert { target: t1, subtree: s1 },
-                UpdateOperation::Insert { target: t2, subtree: s2 },
+                UpdateOperation::Insert {
+                    target: t1,
+                    subtree: s1,
+                },
+                UpdateOperation::Insert {
+                    target: t2,
+                    subtree: s2,
+                },
             ) => {
                 assert_eq!(t1, t2);
                 assert!(s1.isomorphic(s2));
@@ -189,7 +198,9 @@ mod tests {
         let updates = vec![sample_update(), {
             let pattern = Pattern::parse("person { name }").unwrap();
             let name = pattern.node_ids().nth(1).unwrap();
-            UpdateTransaction::new(pattern, 0.5).unwrap().with_delete(name)
+            UpdateTransaction::new(pattern, 0.5)
+                .unwrap()
+                .with_delete(name)
         }];
         let text = serialize_journal(&updates);
         let reparsed = parse_journal(&text).unwrap();

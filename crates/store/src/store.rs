@@ -187,16 +187,19 @@ mod tests {
         fuzzy.add_text(name, "alice");
         let phone = fuzzy.add_element(person, "phone");
         fuzzy.add_text(phone, "+33-1");
-        fuzzy.set_condition(phone, Condition::from_literal(Literal::pos(w))).unwrap();
+        fuzzy
+            .set_condition(phone, Condition::from_literal(Literal::pos(w)))
+            .unwrap();
         fuzzy
     }
 
     fn sample_update() -> UpdateTransaction {
         let pattern = Pattern::parse("person { name[=\"alice\"] }").unwrap();
         let target = pattern.root();
-        UpdateTransaction::new(pattern, 0.8)
-            .unwrap()
-            .with_insert(target, parse_data_tree("<email>alice@example.org</email>").unwrap())
+        UpdateTransaction::new(pattern, 0.8).unwrap().with_insert(
+            target,
+            parse_data_tree("<email>alice@example.org</email>").unwrap(),
+        )
     }
 
     #[test]

@@ -54,7 +54,11 @@ impl XmlError {
 
 impl fmt::Display for XmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML error at {}:{}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "XML error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 
@@ -77,7 +81,9 @@ mod tests {
         assert!(TreeError::DataModelViolation("x".into())
             .to_string()
             .contains("x"));
-        assert!(TreeError::TextNodeHasNoChildren(7).to_string().contains('7'));
+        assert!(TreeError::TextNodeHasNoChildren(7)
+            .to_string()
+            .contains('7'));
     }
 
     #[test]

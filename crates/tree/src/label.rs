@@ -125,7 +125,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut labels = vec![
+        let mut labels = [
             Label::text("z"),
             Label::element("a"),
             Label::element("b"),

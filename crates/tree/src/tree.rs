@@ -484,8 +484,7 @@ impl Tree {
                 }
                 Label::Element(name) => {
                     let children = self.children(node);
-                    let text_children =
-                        children.iter().filter(|&&c| self.is_text(c)).count();
+                    let text_children = children.iter().filter(|&&c| self.is_text(c)).count();
                     if text_children > 0 && children.len() != text_children {
                         return Err(TreeError::DataModelViolation(format!(
                             "element <{name}> ({node}) has mixed content"
@@ -630,7 +629,10 @@ mod tests {
     #[test]
     fn removing_root_fails() {
         let mut t = sample();
-        assert_eq!(t.remove_subtree(t.root()).unwrap_err(), TreeError::CannotRemoveRoot);
+        assert_eq!(
+            t.remove_subtree(t.root()).unwrap_err(),
+            TreeError::CannotRemoveRoot
+        );
     }
 
     #[test]
@@ -638,7 +640,10 @@ mod tests {
         let mut t = sample();
         let e = t.find_elements("E")[0];
         t.remove_subtree(e).unwrap();
-        assert!(matches!(t.remove_subtree(e), Err(TreeError::InvalidNode(_))));
+        assert!(matches!(
+            t.remove_subtree(e),
+            Err(TreeError::InvalidNode(_))
+        ));
     }
 
     #[test]

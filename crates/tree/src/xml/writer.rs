@@ -118,7 +118,10 @@ mod tests {
     #[test]
     fn escaping_rules() {
         assert_eq!(escape_text("a<b>&c"), "a&lt;b&gt;&amp;c");
-        assert_eq!(escape_attribute(r#"say "hi" & <go>"#), "say &quot;hi&quot; &amp; &lt;go&gt;");
+        assert_eq!(
+            escape_attribute(r#"say "hi" & <go>"#),
+            "say &quot;hi&quot; &amp; &lt;go&gt;"
+        );
         assert_eq!(escape_attribute("line\nbreak"), "line&#10;break");
     }
 

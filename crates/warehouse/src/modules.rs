@@ -38,7 +38,13 @@ impl ExtractionModule {
     /// Creates a module emitting `updates` transactions, seeded for
     /// reproducibility. `quality` in `[0, 1]` shifts the confidence range
     /// (a 0.9-quality extractor is right far more often than a 0.5 one).
-    pub fn new(name: impl Into<String>, seed: u64, people: usize, updates: usize, quality: f64) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        seed: u64,
+        people: usize,
+        updates: usize,
+        quality: f64,
+    ) -> Self {
         let quality = quality.clamp(0.05, 1.0);
         ExtractionModule {
             name: name.into(),

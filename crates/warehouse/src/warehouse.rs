@@ -5,7 +5,10 @@ use std::fmt;
 use std::path::Path;
 
 use parking_lot::{Mutex, RwLock};
-use pxml_core::{CoreError, FuzzyQueryResult, FuzzyTree, SimplifyReport, Simplifier, UpdateStats, UpdateTransaction};
+use pxml_core::{
+    CoreError, FuzzyQueryResult, FuzzyTree, Simplifier, SimplifyReport, UpdateStats,
+    UpdateTransaction,
+};
 use pxml_query::Pattern;
 use pxml_store::{DocumentStore, StoreError};
 use pxml_tree::Tree;
@@ -143,7 +146,11 @@ impl Warehouse {
     }
 
     /// Creates a new document from an existing fuzzy tree.
-    pub fn create_fuzzy_document(&self, name: &str, fuzzy: FuzzyTree) -> Result<(), WarehouseError> {
+    pub fn create_fuzzy_document(
+        &self,
+        name: &str,
+        fuzzy: FuzzyTree,
+    ) -> Result<(), WarehouseError> {
         let mut documents = self.documents.write();
         if documents.contains_key(name) {
             return Err(WarehouseError::DuplicateDocument(name.to_string()));
@@ -312,7 +319,9 @@ mod tests {
 
         // An extraction module reports a phone number for alice with
         // confidence 0.8.
-        let stats = warehouse.update("people", &add_phone("alice", 0.8)).unwrap();
+        let stats = warehouse
+            .update("people", &add_phone("alice", 0.8))
+            .unwrap();
         assert_eq!(stats.applied_matches, 1);
 
         let result = warehouse.query("people", &phones).unwrap();
@@ -354,13 +363,18 @@ mod tests {
     fn updates_survive_a_restart_via_journal_replay() {
         let dir = scratch("restart");
         {
-            let warehouse = Warehouse::open(&dir, WarehouseConfig {
-                checkpoint_every: None,
-                ..WarehouseConfig::default()
-            })
+            let warehouse = Warehouse::open(
+                &dir,
+                WarehouseConfig {
+                    checkpoint_every: None,
+                    ..WarehouseConfig::default()
+                },
+            )
             .unwrap();
             warehouse.create_document("people", directory()).unwrap();
-            warehouse.update("people", &add_phone("alice", 0.8)).unwrap();
+            warehouse
+                .update("people", &add_phone("alice", 0.8))
+                .unwrap();
             warehouse.update("people", &add_phone("bob", 0.6)).unwrap();
         }
         // Re-open: the checkpoint has no phones, the journal has both.
@@ -374,13 +388,18 @@ mod tests {
     #[test]
     fn checkpoint_policy_truncates_journal() {
         let dir = scratch("checkpoint-policy");
-        let warehouse = Warehouse::open(&dir, WarehouseConfig {
-            checkpoint_every: Some(2),
-            auto_simplify_above_literals: None,
-        })
+        let warehouse = Warehouse::open(
+            &dir,
+            WarehouseConfig {
+                checkpoint_every: Some(2),
+                auto_simplify_above_literals: None,
+            },
+        )
         .unwrap();
         warehouse.create_document("people", directory()).unwrap();
-        warehouse.update("people", &add_phone("alice", 0.8)).unwrap();
+        warehouse
+            .update("people", &add_phone("alice", 0.8))
+            .unwrap();
         warehouse.update("people", &add_phone("bob", 0.9)).unwrap();
         // After the second update the journal is folded into the checkpoint.
         assert_eq!(warehouse.stats().checkpoints, 1);
@@ -393,17 +412,24 @@ mod tests {
     #[test]
     fn explicit_simplify_checkpoints_and_preserves_semantics() {
         let dir = scratch("simplify");
-        let warehouse = Warehouse::open(&dir, WarehouseConfig {
-            auto_simplify_above_literals: None,
-            checkpoint_every: None,
-        })
+        let warehouse = Warehouse::open(
+            &dir,
+            WarehouseConfig {
+                auto_simplify_above_literals: None,
+                checkpoint_every: None,
+            },
+        )
         .unwrap();
         warehouse.create_document("people", directory()).unwrap();
         // A conditional deletion that duplicates nodes.
         let pattern = Pattern::parse("person { name[=\"alice\"], phone }").unwrap();
         let ids: Vec<PNodeId> = pattern.node_ids().collect();
-        warehouse.update("people", &add_phone("alice", 0.8)).unwrap();
-        let retract = UpdateTransaction::new(pattern, 0.5).unwrap().with_delete(ids[2]);
+        warehouse
+            .update("people", &add_phone("alice", 0.8))
+            .unwrap();
+        let retract = UpdateTransaction::new(pattern, 0.5)
+            .unwrap()
+            .with_delete(ids[2]);
         warehouse.update("people", &retract).unwrap();
 
         let before = warehouse.document("people").unwrap();

@@ -28,9 +28,11 @@ fn main() {
     let w2 = doc.add_event("w2", 0.7).expect("fresh event");
     let root = doc.root();
     let b = doc.add_element(root, "B");
-    doc.set_condition(b, Condition::from_literal(Literal::pos(w1))).expect("not root");
+    doc.set_condition(b, Condition::from_literal(Literal::pos(w1)))
+        .expect("not root");
     let c = doc.add_element(root, "C");
-    doc.set_condition(c, Condition::from_literal(Literal::pos(w2))).expect("not root");
+    doc.set_condition(c, Condition::from_literal(Literal::pos(w2)))
+        .expect("not root");
     print_document("Before the update", &doc);
 
     // The probabilistic replacement.
@@ -40,7 +42,9 @@ fn main() {
         .expect("valid confidence")
         .with_insert(ids[0], parse_data_tree("<D/>").expect("valid XML"))
         .with_delete(ids[2]);
-    let stats = replacement.apply_to_fuzzy(&mut doc).expect("update applies");
+    let stats = replacement
+        .apply_to_fuzzy(&mut doc)
+        .expect("update applies");
     println!(
         "applied: {} match(es), {} node(s) inserted, {} duplicated, {} removed\n",
         stats.applied_matches, stats.inserted_nodes, stats.duplicated_nodes, stats.removed_nodes
@@ -64,8 +68,14 @@ fn main() {
         );
     }
 
-    let before = (doc.node_count(), doc.condition_literal_count(), doc.event_count());
-    let report = Simplifier::new().run(&mut doc).expect("simplification succeeds");
+    let before = (
+        doc.node_count(),
+        doc.condition_literal_count(),
+        doc.event_count(),
+    );
+    let report = Simplifier::new()
+        .run(&mut doc)
+        .expect("simplification succeeds");
     println!(
         "\nsimplification: {:?}\n  {} → {} nodes, {} → {} literals, {} → {} events",
         report,

@@ -20,8 +20,8 @@ struct ExtractedFact {
 }
 
 fn insert_fact(fact: &ExtractedFact) -> UpdateTransaction {
-    let pattern = Pattern::parse(&format!("person {{ name[=\"{}\"] }}", fact.person))
-        .expect("valid query");
+    let pattern =
+        Pattern::parse(&format!("person {{ name[=\"{}\"] }}", fact.person)).expect("valid query");
     let target = pattern.root();
     let mut subtree = Tree::new(fact.field);
     subtree.add_text(subtree.root(), fact.value);
@@ -46,11 +46,41 @@ fn main() {
     // A stream of extracted facts with heterogeneous confidences: a precise
     // web extractor, a noisier NLP pipeline, and an OCR pass.
     let facts = [
-        ExtractedFact { person: "alan-turing", field: "affiliation", value: "bletchley-park", confidence: 0.95, module: "web-extractor" },
-        ExtractedFact { person: "alan-turing", field: "email", value: "turing@npl.example", confidence: 0.55, module: "nlp-pipeline" },
-        ExtractedFact { person: "ada-lovelace", field: "affiliation", value: "analytical-engine-society", confidence: 0.7, module: "web-extractor" },
-        ExtractedFact { person: "ada-lovelace", field: "birth-year", value: "1815", confidence: 0.9, module: "ocr" },
-        ExtractedFact { person: "ada-lovelace", field: "birth-year", value: "1816", confidence: 0.4, module: "ocr" },
+        ExtractedFact {
+            person: "alan-turing",
+            field: "affiliation",
+            value: "bletchley-park",
+            confidence: 0.95,
+            module: "web-extractor",
+        },
+        ExtractedFact {
+            person: "alan-turing",
+            field: "email",
+            value: "turing@npl.example",
+            confidence: 0.55,
+            module: "nlp-pipeline",
+        },
+        ExtractedFact {
+            person: "ada-lovelace",
+            field: "affiliation",
+            value: "analytical-engine-society",
+            confidence: 0.7,
+            module: "web-extractor",
+        },
+        ExtractedFact {
+            person: "ada-lovelace",
+            field: "birth-year",
+            value: "1815",
+            confidence: 0.9,
+            module: "ocr",
+        },
+        ExtractedFact {
+            person: "ada-lovelace",
+            field: "birth-year",
+            value: "1816",
+            confidence: 0.4,
+            module: "ocr",
+        },
     ];
 
     println!("== Ingesting extracted facts ==");
@@ -60,14 +90,22 @@ fn main() {
             .expect("update applies");
         println!(
             "  [{:<13}] {}/{} = {:<28} confidence {:.2}  ({} match)",
-            fact.module, fact.person, fact.field, fact.value, fact.confidence, stats.applied_matches
+            fact.module,
+            fact.person,
+            fact.field,
+            fact.value,
+            fact.confidence,
+            stats.applied_matches
         );
     }
 
     // Query the directory: per-answer probabilities.
     println!("\n== What do we believe about birth years? ==");
     let query = Pattern::parse("person { name, birth-year }").expect("valid query");
-    let birth_year_node = query.node_ids().nth(2).expect("birth-year is the third node");
+    let birth_year_node = query
+        .node_ids()
+        .nth(2)
+        .expect("birth-year is the third node");
     let result = directory.query(&query);
     for answer in &result.matches {
         let original = answer.matching.image(birth_year_node);
@@ -83,11 +121,16 @@ fn main() {
     println!("\n== Data cleaning: retract alan-turing's e-mail (confidence 0.8) ==");
     let retract_pattern =
         Pattern::parse("person { name[=\"alan-turing\"], email }").expect("valid query");
-    let email_node = retract_pattern.node_ids().nth(2).expect("email is the third node");
+    let email_node = retract_pattern
+        .node_ids()
+        .nth(2)
+        .expect("email is the third node");
     let retraction = UpdateTransaction::new(retract_pattern, 0.8)
         .expect("valid confidence")
         .with_delete(email_node);
-    retraction.apply_to_fuzzy(&mut directory).expect("update applies");
+    retraction
+        .apply_to_fuzzy(&mut directory)
+        .expect("update applies");
 
     let email_query = Pattern::parse("person { email }").expect("valid query");
     println!(
@@ -97,7 +140,9 @@ fn main() {
 
     // Housekeeping: simplification keeps the accumulated bookkeeping small.
     let before = directory.condition_literal_count();
-    let report = Simplifier::new().run(&mut directory).expect("simplification succeeds");
+    let report = Simplifier::new()
+        .run(&mut directory)
+        .expect("simplification succeeds");
     println!(
         "\nsimplified: {} → {} condition literals ({} node(s) merged, {} event(s) dropped)",
         before,
@@ -107,5 +152,8 @@ fn main() {
     );
 
     println!("\n== Final document ==");
-    println!("{}", pxml::store::serialize_fuzzy_document(&directory, true));
+    println!(
+        "{}",
+        pxml::store::serialize_fuzzy_document(&directory, true)
+    );
 }

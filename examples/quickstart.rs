@@ -13,8 +13,11 @@ fn main() {
     let w2 = doc.add_event("w2", 0.7).expect("fresh event");
     let root = doc.root();
     let b = doc.add_element(root, "B");
-    doc.set_condition(b, Condition::from_literals([Literal::pos(w1), Literal::neg(w2)]))
-        .expect("B is not the root");
+    doc.set_condition(
+        b,
+        Condition::from_literals([Literal::pos(w1), Literal::neg(w2)]),
+    )
+    .expect("B is not the root");
     doc.add_element(root, "C");
     let d = doc.add_element(root, "D");
     doc.set_condition(d, Condition::from_literal(Literal::pos(w2)))
@@ -28,7 +31,9 @@ fn main() {
     // 2. Possible-worlds semantics: the three worlds of the paper.
     // -----------------------------------------------------------------------
     println!("== Possible worlds ==");
-    let worlds = doc.to_possible_worlds().expect("few events, cheap expansion");
+    let worlds = doc
+        .to_possible_worlds()
+        .expect("few events, cheap expansion");
     for (tree, probability) in worlds.iter() {
         println!("  P = {probability:.2}   {tree}");
     }
@@ -51,14 +56,23 @@ fn main() {
     let target = pattern.root();
     let update = UpdateTransaction::new(pattern, 0.9)
         .expect("valid confidence")
-        .with_insert(target, parse_data_tree("<E>found-it</E>").expect("valid XML"));
+        .with_insert(
+            target,
+            parse_data_tree("<E>found-it</E>").expect("valid XML"),
+        );
     let mut updated = doc.clone();
     let stats = update.apply_to_fuzzy(&mut updated).expect("update applies");
     println!("\n== After inserting E (confidence 0.9, when D present) ==");
-    println!("  matches: {}, inserted nodes: {}", stats.match_count, stats.inserted_nodes);
+    println!(
+        "  matches: {}, inserted nodes: {}",
+        stats.match_count, stats.inserted_nodes
+    );
     println!("  {}", updated.tree());
     let e_query = Pattern::parse("A { E }").expect("valid query syntax");
-    println!("  P(A has an E child) = {:.3}", updated.selection_probability(&e_query));
+    println!(
+        "  P(A has an E child) = {:.3}",
+        updated.selection_probability(&e_query)
+    );
 
     // -----------------------------------------------------------------------
     // 5. The two semantics agree (the commutation theorems).

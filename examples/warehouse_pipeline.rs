@@ -10,7 +10,8 @@ use pxml::prelude::*;
 use pxml::warehouse::{run_modules, DataCleaningModule, ExtractionModule, SourceModule};
 
 fn main() {
-    let storage = std::env::temp_dir().join(format!("pxml-warehouse-example-{}", std::process::id()));
+    let storage =
+        std::env::temp_dir().join(format!("pxml-warehouse-example-{}", std::process::id()));
     let people = 12;
 
     // -----------------------------------------------------------------------
@@ -77,8 +78,13 @@ fn main() {
     println!("\n== Document health ==");
     println!("  nodes: {}", snapshot.node_count());
     println!("  events: {}", snapshot.event_count());
-    println!("  condition literals: {}", snapshot.condition_literal_count());
-    let report = warehouse.simplify("people").expect("simplification succeeds");
+    println!(
+        "  condition literals: {}",
+        snapshot.condition_literal_count()
+    );
+    let report = warehouse
+        .simplify("people")
+        .expect("simplification succeeds");
     let after = warehouse.document("people").expect("document exists");
     println!(
         "  after simplification: {} nodes, {} events, {} literals ({} passes)",

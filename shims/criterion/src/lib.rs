@@ -1,0 +1,258 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness: the `criterion_group!`/`criterion_main!` macros,
+//! benchmark groups with `sample_size`/`warm_up_time`/`measurement_time`,
+//! `bench_function`, `bench_with_input` and `Bencher::iter`.
+//!
+//! Measurement is deliberately simple — median over `sample_size` timed
+//! samples after a warm-up phase — and results are printed as a table to
+//! stdout. It honours an optional substring filter argument, like the real
+//! harness under `cargo bench -- <filter>`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A benchmark identifier: `group/function` or `group/function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// The top-level harness state.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench` (and test-harness flags may appear);
+        // treat the first non-flag argument as a substring filter.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = group_name.into();
+        println!("\n{name}");
+        println!("{}", "-".repeat(name.len().max(24)));
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A named group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up_time = duration;
+        self
+    }
+
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.name);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some(estimate) => println!("{full:<56} {}", format_estimate(estimate)),
+            None => println!("{full:<56} (no measurement: Bencher::iter never called)"),
+        }
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Timing state handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    result: Option<Estimate>,
+}
+
+#[derive(Clone, Copy)]
+struct Estimate {
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Measures the median wall-clock time of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: also calibrates iterations-per-sample.
+        let warm_up_start = Instant::now();
+        let mut warm_up_iters: u64 = 0;
+        while warm_up_start.elapsed() < self.warm_up_time || warm_up_iters == 0 {
+            black_box(routine());
+            warm_up_iters += 1;
+        }
+        let per_iter = warm_up_start.elapsed().as_secs_f64() / warm_up_iters as f64;
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).max(1);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.result = Some(Estimate {
+            median_ns: samples[samples.len() / 2],
+            min_ns: samples[0],
+            max_ns: samples[samples.len() - 1],
+            iterations: iters_per_sample * self.sample_size as u64,
+        });
+    }
+}
+
+fn format_estimate(e: Estimate) -> String {
+    format!(
+        "time: [{} {} {}]  ({} iters)",
+        format_ns(e.min_ns),
+        format_ns(e.median_ns),
+        format_ns(e.max_ns),
+        e.iterations
+    )
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: defines a function running each
+/// target against a shared [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: a `main` that runs every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut criterion = Criterion { filter: None };
+        let mut group = criterion.benchmark_group("shim_test");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+}

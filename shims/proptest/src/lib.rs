@@ -1,0 +1,540 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate: the subset of the strategy combinators and macros this workspace
+//! uses, without shrinking.
+//!
+//! Supported surface:
+//!
+//! * integer range strategies (`0u8..6`, `1u32..=100`, …), tuples of
+//!   strategies, [`collection::vec`], [`option::of`], [`any`],
+//!   [`Strategy::prop_map`], [`Strategy::prop_recursive`],
+//!   [`strategy::Just`];
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(...)]` header, and the [`prop_assert!`] /
+//!   [`prop_assert_eq!`] / [`prop_assert_ne!`] macros;
+//! * deterministic seeding: each test function derives its seed from its own
+//!   name, overridable with the `PROPTEST_SEED` environment variable, and
+//!   failures report the case number so a run is reproducible.
+//!
+//! Unlike the real proptest there is no shrinking: a failing case is
+//! reported as-is (with its `Debug` form when available via `prop_assert*`
+//! messages).
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed property case (carried by `prop_assert*`).
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Derives the RNG seed for a property function: `PROPTEST_SEED` if set,
+    /// otherwise a stable hash of the function name.
+    pub fn seed_for(test_name: &str) -> u64 {
+        if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+            match seed.trim().parse::<u64>() {
+                Ok(seed) => return seed,
+                Err(_) => panic!(
+                    "PROPTEST_SEED is set but not a u64: {seed:?} \
+                     (pass a decimal integer)"
+                ),
+            }
+        }
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+        for byte in test_name.bytes() {
+            seed ^= byte as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        seed
+    }
+}
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A generator of random values. Unlike the real proptest there is no
+    /// value tree and no shrinking — `generate` produces a value directly.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, map }
+        }
+
+        /// Builds a recursive strategy by applying `recurse` `depth` times to
+        /// the leaf strategy. The `_desired_size` / `_expected_branch_size`
+        /// hints of the real API are accepted and ignored; recursion is
+        /// bounded because the innermost strategy is the leaf itself.
+        fn prop_recursive<S, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+        {
+            let mut current = self.boxed();
+            for _ in 0..depth {
+                current = recurse(current).boxed();
+            }
+            current
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let strategy = self;
+            BoxedStrategy(Rc::new(move |rng| strategy.generate(rng)))
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<V>(Rc<dyn Fn(&mut StdRng) -> V>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut StdRng) -> V {
+            (self.0)(rng)
+        }
+    }
+
+    /// `Strategy::prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        map: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.map)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always produces clones of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<V: Clone>(pub V);
+
+    impl<V: Clone> Strategy for Just<V> {
+        type Value = V;
+
+        fn generate(&self, _rng: &mut StdRng) -> V {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident : $index:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$index.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    }
+
+    /// Types with a canonical strategy, for [`any`].
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rng.gen::<$t>()
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut StdRng) -> f64 {
+            rng.gen::<f64>()
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// The number of elements a collection strategy produces (inclusive).
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty size range");
+            SizeRange {
+                min: range.start,
+                max: range.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(range: RangeInclusive<usize>) -> Self {
+            assert!(range.start() <= range.end(), "empty size range");
+            SizeRange {
+                min: *range.start(),
+                max: *range.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                min: exact,
+                max: exact,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for `Option<S::Value>`, `Some` three times out of four
+    /// (matching the real proptest's default weighting).
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            if rng.gen_bool(0.75) {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy(element)
+    }
+}
+
+#[doc(hidden)]
+pub use rand::SeedableRng as __SeedableRng;
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use rand::rngs::StdRng as TestRng;
+}
+
+/// Fails the current property case (early-returns a `TestCaseError`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `prop_assert!(left == right)` with a `Debug` report of both sides.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// `prop_assert!(left != right)` with a `Debug` report of both sides.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{}` != `{}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// The `proptest!` block macro: an optional `#![proptest_config(...)]`
+/// header followed by `fn name(binding in strategy, ...) { body }` items,
+/// each expanded to a deterministic multi-case test function.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($binding:pat_param in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let seed = $crate::test_runner::seed_for(stringify!($name));
+            let mut rng =
+                <$crate::prelude::TestRng as $crate::__SeedableRng>::seed_from_u64(seed);
+            for case in 0..config.cases {
+                let ($($binding,)+) = ($($strategy.generate(&mut rng),)+);
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(error) = outcome {
+                    panic!(
+                        "proptest `{}` failed at case {}/{} (seed {}):\n{}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        seed,
+                        error
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair_strategy() -> impl Strategy<Value = (u8, Vec<bool>)> {
+        (0u8..10, collection::vec(any::<bool>(), 0..5))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in 1u32..=6) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((1..=6).contains(&y));
+        }
+
+        #[test]
+        fn map_and_tuple_compose((x, flags) in pair_strategy()) {
+            prop_assert!(x < 10);
+            prop_assert!(flags.len() < 5);
+        }
+
+        #[test]
+        fn option_of_yields_both(value in option::of(0u8..4)) {
+            if let Some(v) = value {
+                prop_assert!(v < 4);
+            }
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    struct Node {
+        children: Vec<Node>,
+    }
+
+    proptest! {
+        #[test]
+        fn recursive_strategy_is_bounded(
+            node in Just(Node { children: vec![] }).prop_recursive(3, 24, 4, |inner| {
+                collection::vec(inner, 0..4).prop_map(|children| Node { children })
+            })
+        ) {
+            fn count(node: &Node) -> usize {
+                1 + node.children.iter().map(count).sum::<usize>()
+            }
+            // depth 3, fanout < 4 => at most 1 + 3 + 9 + 27 nodes.
+            prop_assert!(count(&node) <= 40);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable() {
+        assert_eq!(
+            crate::test_runner::seed_for("some_test"),
+            crate::test_runner::seed_for("some_test")
+        );
+        assert_ne!(
+            crate::test_runner::seed_for("some_test"),
+            crate::test_runner::seed_for("other_test")
+        );
+    }
+}

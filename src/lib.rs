@@ -57,7 +57,7 @@ pub use pxml_warehouse as warehouse;
 pub mod prelude {
     pub use pxml_core::{
         encode_possible_worlds, CoreError, FuzzyQueryResult, FuzzyTree, PossibleWorlds,
-        ProbabilisticMatch, SimplifyReport, Simplifier, UpdateOperation, UpdateStats,
+        ProbabilisticMatch, Simplifier, SimplifyReport, UpdateOperation, UpdateStats,
         UpdateTransaction,
     };
     pub use pxml_event::{Condition, EventId, EventTable, Formula, Literal, Valuation};

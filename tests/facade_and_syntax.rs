@@ -43,10 +43,8 @@ fn update_transactions_round_trip_through_their_textual_form() {
     let reparsed = parse_update(&text).unwrap();
 
     // Same observable behaviour on a document.
-    let document = parse_data_tree(
-        "<directory><person><name>bob</name><old/></person></directory>",
-    )
-    .unwrap();
+    let document =
+        parse_data_tree("<directory><person><name>bob</name><old/></person></directory>").unwrap();
     let mut a = FuzzyTree::from_tree(document.clone());
     let mut b = FuzzyTree::from_tree(document);
     original.apply_to_fuzzy(&mut a).unwrap();

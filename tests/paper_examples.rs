@@ -24,7 +24,10 @@ fn slide12_fuzzy() -> FuzzyTree {
     let root = fuzzy.root();
     let b = fuzzy.add_element(root, "B");
     fuzzy
-        .set_condition(b, Condition::from_literals([Literal::pos(w1), Literal::neg(w2)]))
+        .set_condition(
+            b,
+            Condition::from_literals([Literal::pos(w1), Literal::neg(w2)]),
+        )
         .unwrap();
     fuzzy.add_element(root, "C");
     let d = fuzzy.add_element(root, "D");
@@ -51,9 +54,8 @@ fn e1_slide9_marginals_are_consistent_with_independent_b_and_d() {
     // In the example, P(B) = 0.8 and P(D) = 0.7 and the two are independent.
     let p_b = worlds.probability_that(|t| !t.find_elements("B").is_empty());
     let p_d = worlds.probability_that(|t| !t.find_elements("D").is_empty());
-    let p_bd = worlds.probability_that(|t| {
-        !t.find_elements("B").is_empty() && !t.find_elements("D").is_empty()
-    });
+    let p_bd = worlds
+        .probability_that(|t| !t.find_elements("B").is_empty() && !t.find_elements("D").is_empty());
     assert!((p_b - 0.8).abs() < 1e-12);
     assert!((p_d - 0.7).abs() < 1e-12);
     assert!((p_bd - p_b * p_d).abs() < 1e-12);
@@ -134,9 +136,13 @@ fn slide15_input() -> (FuzzyTree, EventId, EventId) {
     let w2 = fuzzy.add_event("w2", 0.7).unwrap();
     let root = fuzzy.root();
     let b = fuzzy.add_element(root, "B");
-    fuzzy.set_condition(b, Condition::from_literal(Literal::pos(w1))).unwrap();
+    fuzzy
+        .set_condition(b, Condition::from_literal(Literal::pos(w1)))
+        .unwrap();
     let c = fuzzy.add_element(root, "C");
-    fuzzy.set_condition(c, Condition::from_literal(Literal::pos(w2))).unwrap();
+    fuzzy
+        .set_condition(c, Condition::from_literal(Literal::pos(w2)))
+        .unwrap();
     (fuzzy, w1, w2)
 }
 
@@ -154,12 +160,17 @@ fn slide15_transaction() -> UpdateTransaction {
 fn e6_conditional_replacement_produces_the_slide15_fuzzy_tree() {
     let (mut fuzzy, w1, w2) = slide15_input();
     let stats = slide15_transaction().apply_to_fuzzy(&mut fuzzy).unwrap();
-    let w3 = stats.confidence_event.expect("a 0.9-confidence update adds an event");
+    let w3 = stats
+        .confidence_event
+        .expect("a 0.9-confidence update adds an event");
     assert!((fuzzy.events().probability(w3) - 0.9).abs() < 1e-12);
 
     // B[w1] is untouched.
     let b = fuzzy.tree().find_elements("B")[0];
-    assert_eq!(fuzzy.condition(b), Condition::from_literal(Literal::pos(w1)));
+    assert_eq!(
+        fuzzy.condition(b),
+        Condition::from_literal(Literal::pos(w1))
+    );
 
     // C is split into C[¬w1, w2] and C[w1, w2, ¬w3].
     let mut c_conditions: Vec<Condition> = fuzzy

@@ -79,7 +79,11 @@ fn fuzzy_strategy() -> impl Strategy<Value = FuzzyTree> {
             let tree = build(&spec);
             let mut fuzzy = FuzzyTree::from_tree(tree);
             let events: Vec<EventId> = (0..4)
-                .map(|i| fuzzy.add_event(format!("w{i}"), 0.2 + 0.15 * i as f64).unwrap())
+                .map(|i| {
+                    fuzzy
+                        .add_event(format!("w{i}"), 0.2 + 0.15 * i as f64)
+                        .unwrap()
+                })
                 .collect();
             let nodes = fuzzy.tree().nodes();
             for (event_index, sign, node_choice) in annotations {

@@ -90,9 +90,10 @@ fn warehouse_state_survives_crash_and_restart() {
             .unwrap();
         let pattern = Pattern::parse("person { name[=\"alice-0\"] }").unwrap();
         let target = pattern.root();
-        let update = UpdateTransaction::new(pattern, 0.8)
-            .unwrap()
-            .with_insert(target, parse_data_tree("<phone>+33-1-1111-2222</phone>").unwrap());
+        let update = UpdateTransaction::new(pattern, 0.8).unwrap().with_insert(
+            target,
+            parse_data_tree("<phone>+33-1-1111-2222</phone>").unwrap(),
+        );
         warehouse.update("people", &update).unwrap();
         let query = Pattern::parse("person { phone }").unwrap();
         let result = warehouse.query("people", &query).unwrap();
