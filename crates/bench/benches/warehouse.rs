@@ -1,5 +1,5 @@
 //! E7 — warehouse end-to-end: update ingestion, query evaluation and recovery
-//! on the people-directory scenario.
+//! on the people-directory scenario, through the session API.
 
 use std::time::Duration;
 
@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pxml_bench::BENCH_SEED;
 use pxml_gen::scenarios::{extraction_update, people_directory, PeopleScenarioConfig};
 use pxml_query::Pattern;
-use pxml_warehouse::{Warehouse, WarehouseConfig};
+use pxml_warehouse::{Session, SessionConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -28,7 +28,8 @@ fn bench_warehouse(c: &mut Criterion) {
             ..PeopleScenarioConfig::default()
         };
 
-        // Ingest a batch of extraction updates.
+        // Ingest a batch of extraction updates: one staged txn per batch of
+        // five, committed atomically.
         group.bench_with_input(
             BenchmarkId::new("ingest_20_updates", people),
             &scenario,
@@ -36,41 +37,46 @@ fn bench_warehouse(c: &mut Criterion) {
                 b.iter(|| {
                     let dir = scratch(&format!("ingest-{people}"));
                     let _ = std::fs::remove_dir_all(&dir);
-                    let warehouse = Warehouse::open(&dir, WarehouseConfig::default()).unwrap();
-                    warehouse
-                        .create_document("people", people_directory(scenario))
+                    let session = Session::open(&dir, SessionConfig::default()).unwrap();
+                    let doc = session
+                        .create("people", people_directory(scenario))
                         .unwrap();
                     let mut rng = StdRng::seed_from_u64(BENCH_SEED);
-                    for _ in 0..20 {
-                        let (update, _) = extraction_update(&mut rng, scenario);
-                        warehouse.update("people", &update).unwrap();
+                    for _ in 0..4 {
+                        let mut txn = doc.begin();
+                        for _ in 0..5 {
+                            let (update, _) = extraction_update(&mut rng, scenario);
+                            txn = txn.stage(update);
+                        }
+                        txn.commit().unwrap();
                     }
-                    let count = warehouse.stats().updates_applied;
+                    let count = session.stats().updates_applied;
                     let _ = std::fs::remove_dir_all(&dir);
                     count
                 })
             },
         );
 
-        // Query a warehouse that already absorbed a workload.
+        // Query a document that already absorbed a workload.
         let dir = scratch(&format!("query-{people}"));
         let _ = std::fs::remove_dir_all(&dir);
-        let warehouse = Warehouse::open(&dir, WarehouseConfig::default()).unwrap();
-        warehouse
-            .create_document("people", people_directory(&scenario))
+        let session = Session::open(&dir, SessionConfig::default()).unwrap();
+        let doc = session
+            .create("people", people_directory(&scenario))
             .unwrap();
         let mut rng = StdRng::seed_from_u64(BENCH_SEED + 1);
         for _ in 0..40 {
             let (update, _) = extraction_update(&mut rng, &scenario);
-            warehouse.update("people", &update).unwrap();
+            doc.begin().stage(update).commit().unwrap();
         }
         let query = Pattern::parse("person { phone }").unwrap();
         group.bench_with_input(
             BenchmarkId::new("query_phone", people),
-            &(&warehouse, &query),
-            |b, (warehouse, query)| b.iter(|| warehouse.query("people", query).unwrap().len()),
+            &(&doc, &query),
+            |b, (doc, query)| b.iter(|| doc.query(query).unwrap().len()),
         );
-        drop(warehouse);
+        drop(doc);
+        drop(session);
         let _ = std::fs::remove_dir_all(&dir);
     }
     group.finish();

@@ -15,14 +15,14 @@
 use std::time::{Duration, Instant};
 
 use pxml_bench::{
-    deletion_growth_document, deletion_growth_step, document, fuzzy_document, insert_update_for,
-    query_for, slide12, update_for, BENCH_SEED,
+    cleaning_history, deletion_growth_document, deletion_growth_step, document, fuzzy_document,
+    insert_update_for, query_for, slide12, update_for, BENCH_SEED,
 };
-use pxml_core::{encode_possible_worlds, FuzzyTree, Simplifier, UpdateTransaction};
+use pxml_core::{encode_possible_worlds, FuzzyTree, Simplifier, SimplifyPolicy, UpdateTransaction};
 use pxml_gen::scenarios::{extraction_update, people_directory, PeopleScenarioConfig};
 use pxml_query::{MatchStrategy, Pattern};
 use pxml_tree::parse_data_tree;
-use pxml_warehouse::{Warehouse, WarehouseConfig};
+use pxml_warehouse::{Session, SessionConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -384,10 +384,10 @@ fn e7_warehouse(quick: bool) {
         let dir =
             std::env::temp_dir().join(format!("pxml-harness-e7-{}-{}", std::process::id(), people));
         let _ = std::fs::remove_dir_all(&dir);
-        let warehouse = Warehouse::open(
+        let session = Session::open(
             &dir,
-            WarehouseConfig {
-                auto_simplify_above_literals: Some(4096),
+            SessionConfig {
+                simplify: SimplifyPolicy::Threshold(4096),
                 checkpoint_every: Some(64),
             },
         )
@@ -396,15 +396,15 @@ fn e7_warehouse(quick: bool) {
             people,
             ..PeopleScenarioConfig::default()
         };
-        warehouse
-            .create_document("people", people_directory(&scenario))
+        let doc = session
+            .create("people", people_directory(&scenario))
             .unwrap();
 
         let mut rng = StdRng::seed_from_u64(BENCH_SEED + people as u64);
         let start = Instant::now();
         for _ in 0..updates {
             let (update, _) = extraction_update(&mut rng, &scenario);
-            warehouse.update("people", &update).unwrap();
+            doc.begin().stage(update).commit().unwrap();
         }
         let update_rate = updates as f64 / start.elapsed().as_secs_f64();
 
@@ -415,15 +415,14 @@ fn e7_warehouse(quick: bool) {
         ];
         let start = Instant::now();
         for i in 0..queries {
-            let _ = warehouse
-                .query("people", &patterns[i % patterns.len()])
-                .unwrap();
+            let _ = doc.query(&patterns[i % patterns.len()]).unwrap();
         }
         let query_rate = queries as f64 / start.elapsed().as_secs_f64();
 
-        drop(warehouse);
+        drop(doc);
+        drop(session);
         let start = Instant::now();
-        let reopened = Warehouse::open(&dir, WarehouseConfig::default()).unwrap();
+        let reopened = Session::open(&dir, SessionConfig::default()).unwrap();
         let recovery = start.elapsed();
         let _ = reopened.document("people").unwrap();
 
@@ -476,7 +475,9 @@ fn e8_simplification(quick: bool) {
         );
     }
 
-    // Growth history (the E5 document) is where simplification matters most.
+    // Growth history (the E5 document): independent chained deletions are
+    // provably irreducible in the per-node conjunctive formalism, so the
+    // simplifier's job here is only to not make things worse.
     let rounds = if quick { 8 } else { 10 };
     let mut grown = deletion_growth_document(rounds);
     for k in 1..=rounds {
@@ -486,12 +487,28 @@ fn e8_simplification(quick: bool) {
     let mut simplified = grown.clone();
     let report = Simplifier::new().run(&mut simplified).unwrap();
     println!(
-        "\nafter {rounds} chained deletions: {} nodes / {} literals  →  {} nodes / {} literals ({} passes)\n",
+        "\nafter {rounds} chained deletions: {} nodes / {} literals  →  {} nodes / {} literals ({} passes)",
         before.0,
         before.1,
         simplified.node_count(),
         simplified.condition_literal_count(),
         report.passes
+    );
+
+    // Data-cleaning history: multi-match retractions fragment the survivor
+    // conditions into pieces only the group re-cover can collapse.
+    let (people, phones, cleaning_rounds) = if quick { (10, 3, 2) } else { (20, 3, 3) };
+    let mut cleaned = cleaning_history(people, phones, cleaning_rounds);
+    let before = (cleaned.node_count(), cleaned.condition_literal_count());
+    let report = Simplifier::new().run(&mut cleaned).unwrap();
+    println!(
+        "cleaning history ({people} people × {phones} phones, {cleaning_rounds} retraction rounds): \
+         {} nodes / {} literals  →  {} nodes / {} literals ({} merged)\n",
+        before.0,
+        before.1,
+        cleaned.node_count(),
+        cleaned.condition_literal_count(),
+        report.merged_nodes
     );
 }
 
@@ -555,19 +572,20 @@ fn e10_complexity_summary(quick: bool) {
         "E10",
         "empirical complexity of query / update / simplification",
     );
-    // Full mode is capped at 3200 elements for now: at 6400 a random mixed
-    // update blows up far beyond the fitted ~x^2.3 trend (deletion-induced
-    // duplication), turning a sub-second step into minutes. See ROADMAP.md.
+    // Full mode used to be capped at 3200 elements: the bare deletion chain
+    // turned a random mixed update at 6400 into a minutes-long blow-up. The
+    // context-pruned apply pipeline removed the cap; the extra column shows
+    // the same updates committed with `SimplifyPolicy::Inline`.
     let sizes: &[usize] = if quick {
         &[200, 800]
     } else {
-        &[200, 800, 3200]
+        &[200, 800, 3200, 6400]
     };
     println!(
-        "{:>10} {:>14} {:>14} {:>16}",
-        "elements", "query (ms)", "update (ms)", "simplify (ms)"
+        "{:>10} {:>14} {:>14} {:>18} {:>16}",
+        "elements", "query (ms)", "update (ms)", "update+inl (ms)", "simplify (ms)"
     );
-    type Row = (usize, f64, f64, f64);
+    type Row = (usize, f64, f64, f64, f64);
     let mut rows: Vec<Row> = Vec::new();
     for &size in sizes {
         let fuzzy = fuzzy_document(size, 8, BENCH_SEED + size as u64);
@@ -592,17 +610,33 @@ fn e10_complexity_summary(quick: bool) {
             }
         })
         .div_f64(updates.len() as f64);
+        let inline_time = time_it(3, || {
+            for update in &updates {
+                let mut copy = fuzzy.clone();
+                update
+                    .apply_to_fuzzy_with(&mut copy, SimplifyPolicy::Inline)
+                    .unwrap();
+            }
+        })
+        .div_f64(updates.len() as f64);
         let simplify_time = time_it(3, || {
             let mut copy = fuzzy.clone();
             Simplifier::new().run(&mut copy).unwrap();
         });
         println!(
-            "{size:>10} {:>14.3} {:>14.3} {:>16.3}",
+            "{size:>10} {:>14.3} {:>14.3} {:>18.3} {:>16.3}",
             ms(query_time),
             ms(update_time),
+            ms(inline_time),
             ms(simplify_time)
         );
-        rows.push((size, ms(query_time), ms(update_time), ms(simplify_time)));
+        rows.push((
+            size,
+            ms(query_time),
+            ms(update_time),
+            ms(inline_time),
+            ms(simplify_time),
+        ));
     }
     if rows.len() >= 2 {
         let slope = |get: &dyn Fn(&Row) -> f64| {
@@ -613,10 +647,11 @@ fn e10_complexity_summary(quick: bool) {
             dy / dx
         };
         println!(
-            "\napparent growth exponents (1.0 = linear): query {:.2}, update {:.2}, simplify {:.2}\n",
+            "\napparent growth exponents (1.0 = linear): query {:.2}, update {:.2}, update+inline {:.2}, simplify {:.2}\n",
             slope(&|r| r.1),
             slope(&|r| r.2),
-            slope(&|r| r.3)
+            slope(&|r| r.3),
+            slope(&|r| r.4)
         );
     }
 }

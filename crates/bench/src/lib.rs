@@ -5,7 +5,7 @@
 //! benches (`benches/`) and the table-printing harness measure exactly the
 //! same workloads.
 
-use pxml_core::{FuzzyTree, UpdateTransaction};
+use pxml_core::{FuzzyTree, Update, UpdateTransaction};
 use pxml_event::{Condition, Literal};
 use pxml_gen::{
     derived_query, random_fuzzy_tree, random_tree, random_update, FuzzyGenConfig, QueryGenConfig,
@@ -116,6 +116,54 @@ pub fn deletion_growth_step(k: usize) -> UpdateTransaction {
     UpdateTransaction::new(pattern, 0.5)
         .expect("valid confidence")
         .with_delete(ids[2])
+}
+
+/// The E8 data-cleaning workload: every person carries `phones` uncertain
+/// phones and one uncertain email, then `rounds` cleaning transactions
+/// retract the email of every person who has *a* phone (confidence 0.9).
+///
+/// Each retraction matches once per phone with a shared confidence event, so
+/// the deletion fragments every email's survivor condition into
+/// pairwise-disjoint pieces that are not pairwise mergeable — the realistic
+/// shape the simplifier's group re-cover wins back (experiment E8).
+pub fn cleaning_history(people: usize, phones: usize, rounds: usize) -> FuzzyTree {
+    let mut fuzzy = FuzzyTree::new("directory");
+    let root = fuzzy.root();
+    for p in 0..people {
+        let person = fuzzy.add_element(root, "person");
+        let name = fuzzy.add_element(person, "name");
+        fuzzy.add_text(name, format!("person-{p}"));
+        for i in 0..phones {
+            let w = fuzzy
+                .add_event(format!("w{p}_{i}"), 0.7)
+                .expect("fresh event names");
+            let phone = fuzzy.add_element(person, "phone");
+            fuzzy.add_text(phone, format!("+33-{p}-{i}"));
+            fuzzy
+                .set_condition(phone, Condition::from_literal(Literal::pos(w)))
+                .expect("not the root");
+        }
+        let v = fuzzy
+            .add_event(format!("v{p}"), 0.8)
+            .expect("fresh event names");
+        let email = fuzzy.add_element(person, "email");
+        fuzzy.add_text(email, format!("p{p}@example.org"));
+        fuzzy
+            .set_condition(email, Condition::from_literal(Literal::pos(v)))
+            .expect("not the root");
+    }
+    for _ in 0..rounds {
+        let pattern = Pattern::parse("person { phone, email }").expect("static query");
+        let email_node = pattern.node_ids().nth(2).expect("email is the third node");
+        Update::matching(pattern)
+            .delete_at(email_node)
+            .with_confidence(0.9)
+            .build()
+            .expect("valid confidence")
+            .apply_to_fuzzy(&mut fuzzy)
+            .expect("update applies");
+    }
+    fuzzy
 }
 
 #[cfg(test)]

@@ -144,34 +144,38 @@ impl FuzzyTree {
     /// Deep-copies the fuzzy subtree rooted at `source` (of this same tree)
     /// below `parent`, preserving the conditions carried by the descendants;
     /// the copied root gets `root_condition` instead of the original one.
+    ///
+    /// The copy walks the subtree in preorder (every node's parent is mapped
+    /// before its children), so the cost is proportional to the subtree —
+    /// deletion-induced duplication calls this in a loop and must not pay for
+    /// the whole document on every copy.
     pub fn duplicate_subtree(
         &mut self,
         parent: NodeId,
         source: NodeId,
         root_condition: Condition,
     ) -> NodeId {
-        let source_tree = self.tree.clone();
-        let new_root = self
-            .tree
-            .add_child(parent, source_tree.label(source).clone());
-        if !root_condition.is_empty() {
-            self.conditions.insert(new_root, root_condition);
-        } else {
-            self.conditions.remove(&new_root);
-        }
-        let mut stack: Vec<(NodeId, NodeId)> = vec![(source, new_root)];
-        while let Some((src, dst)) = stack.pop() {
-            for &child in source_tree.children(src) {
-                let copy = self.tree.add_child(dst, source_tree.label(child).clone());
-                if let Some(cond) = self.conditions.get(&child).cloned() {
-                    if !cond.is_empty() {
-                        self.conditions.insert(copy, cond);
-                    }
+        let order = self.tree.descendants_or_self(source);
+        let mut mapping: HashMap<NodeId, NodeId> = HashMap::with_capacity(order.len());
+        for node in order {
+            let label = self.tree.label(node).clone();
+            let copy = if node == source {
+                let new_root = self.tree.add_child(parent, label);
+                if !root_condition.is_empty() {
+                    self.conditions.insert(new_root, root_condition.clone());
                 }
-                stack.push((child, copy));
-            }
+                new_root
+            } else {
+                let source_parent = self.tree.parent(node).expect("descendant has a parent");
+                let copy = self.tree.add_child(mapping[&source_parent], label);
+                if let Some(condition) = self.conditions.get(&node).cloned() {
+                    self.conditions.insert(copy, condition);
+                }
+                copy
+            };
+            mapping.insert(node, copy);
         }
-        new_root
+        mapping[&source]
     }
 
     /// Removes a subtree (and the conditions of its nodes).

@@ -44,6 +44,7 @@ pub mod error;
 pub mod fuzzy;
 pub mod fuzzy_query;
 pub mod simplify;
+pub mod txn;
 pub mod update;
 pub mod worlds;
 
@@ -51,6 +52,7 @@ pub use encode::encode_possible_worlds;
 pub use error::CoreError;
 pub use fuzzy::FuzzyTree;
 pub use fuzzy_query::{FuzzyQueryResult, ProbabilisticMatch};
-pub use simplify::{Simplifier, SimplifyReport};
+pub use simplify::{Simplifier, SimplifyPolicy, SimplifyReport};
+pub use txn::{apply_batch, BatchStats, Update};
 pub use update::{UpdateOperation, UpdateStats, UpdateTransaction};
 pub use worlds::PossibleWorlds;

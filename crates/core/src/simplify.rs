@@ -30,6 +30,37 @@ use pxml_tree::NodeId;
 use crate::error::CoreError;
 use crate::fuzzy::FuzzyTree;
 
+/// When the apply pipeline (see
+/// [`UpdateTransaction::apply_to_fuzzy_with`](crate::UpdateTransaction::apply_to_fuzzy_with)
+/// and [`apply_batch`](crate::apply_batch)) runs the simplifier.
+///
+/// Deletion-induced duplication is created *inside* update application, so a
+/// simplification pass bolted on after the fact repeatedly pays for growth
+/// that an inline pass would have stopped at the source; the policy makes the
+/// trade-off explicit and pluggable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimplifyPolicy {
+    /// Never simplify; callers run the [`Simplifier`] themselves.
+    Never,
+    /// Simplify after every update application.
+    #[default]
+    Inline,
+    /// Simplify after an update application only when the document carries
+    /// more than this many condition literals.
+    Threshold(usize),
+}
+
+impl SimplifyPolicy {
+    /// Whether the pipeline should run a simplification pass on `fuzzy` now.
+    pub fn should_run(&self, fuzzy: &FuzzyTree) -> bool {
+        match self {
+            SimplifyPolicy::Never => false,
+            SimplifyPolicy::Inline => true,
+            SimplifyPolicy::Threshold(limit) => fuzzy.condition_literal_count() > *limit,
+        }
+    }
+}
+
 /// What a simplification run changed.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimplifyReport {
@@ -124,22 +155,28 @@ impl Simplifier {
 
 /// Removes every node whose existence condition is (syntactically)
 /// inconsistent; returns the number of nodes removed.
+///
+/// One top-down walk accumulating the ancestor context suffices: a node
+/// inconsistent with its context is doomed together with its whole subtree,
+/// so the walk marks the top-most doomed nodes and never descends into them.
 pub fn prune_impossible_nodes(fuzzy: &mut FuzzyTree) -> Result<usize, CoreError> {
-    let mut removed = 0;
-    loop {
-        let candidate = fuzzy
-            .tree()
-            .nodes()
-            .into_iter()
-            .skip(1) // never the root
-            .find(|&node| !fuzzy.existence_condition(node).is_consistent());
-        match candidate {
-            None => break,
-            Some(node) => {
-                removed += fuzzy.tree().subtree_size(node);
-                fuzzy.remove_subtree(node)?;
+    let root = fuzzy.root();
+    let mut doomed: Vec<NodeId> = Vec::new();
+    let mut stack: Vec<(NodeId, Condition)> = vec![(root, Condition::always())];
+    while let Some((node, context)) = stack.pop() {
+        for &child in fuzzy.tree().children(node) {
+            let combined = context.and(&fuzzy.condition(child));
+            if combined.is_consistent() {
+                stack.push((child, combined));
+            } else {
+                doomed.push(child);
             }
         }
+    }
+    let mut removed = 0;
+    for node in doomed {
+        removed += fuzzy.tree().subtree_size(node);
+        fuzzy.remove_subtree(node)?;
     }
     Ok(removed)
 }
@@ -213,34 +250,60 @@ pub fn resolve_deterministic_events(fuzzy: &mut FuzzyTree) -> Result<usize, Core
     Ok(resolved)
 }
 
-/// Merges sibling subtrees that are identical except that their root
-/// conditions differ in the sign of exactly one literal (`X ∧ w` and
-/// `X ∧ ¬w` collapse to `X`). Returns the number of nodes removed by merging.
+/// Upper bound on the number of distinct events a same-body sibling group may
+/// mention for the exact re-cover (see [`merge_complementary_siblings`]) to
+/// run; beyond it the valuation enumeration is not worth the candidate win.
+pub const GROUP_RECOVER_MAX_EVENTS: usize = 8;
+
+/// Merges sibling subtrees with identical bodies whose root conditions are
+/// redundant, in two tiers. Returns the net number of nodes removed.
+///
+/// 1. *Pairwise Shannon merges*: two siblings whose conditions differ in the
+///    sign of exactly one literal (`X ∧ w` and `X ∧ ¬w`) collapse to `X` —
+///    the direct inverse of one deletion-duplication step.
+/// 2. *Group re-cover*: deletion chains fragment a node's survivor condition
+///    into many pairwise-disjoint conjunctive pieces that are **not**
+///    pairwise mergeable even when the union has a much smaller disjoint
+///    cover (the shape every multi-match deletion produces, experiment E8).
+///    For a group of same-body siblings with pairwise-disjoint conditions
+///    over at most [`GROUP_RECOVER_MAX_EVENTS`] events, the union of the
+///    conditions is recomputed exactly over the event valuations and
+///    re-covered greedily by maximal subcubes; when that cover is strictly
+///    smaller, the group is rebuilt from it.
 pub fn merge_complementary_siblings(fuzzy: &mut FuzzyTree) -> Result<usize, CoreError> {
     let mut merged_nodes = 0;
-    while let Some((keep, drop, merged_condition)) = find_mergeable_pair(fuzzy) {
-        merged_nodes += fuzzy.tree().subtree_size(drop);
-        fuzzy.remove_subtree(drop)?;
-        fuzzy.set_condition(keep, merged_condition)?;
+    // Bottom-up (children before parents, i.e. reversed preorder): a merge
+    // deep in the tree can make its ancestors' bodies equal, and this order
+    // resolves such cascades in a single sweep instead of a global rescan
+    // per merge.
+    let mut order = fuzzy.tree().nodes();
+    order.reverse();
+    for parent in order {
+        if !fuzzy.tree().contains(parent) {
+            continue;
+        }
+        merged_nodes += merge_children_of(fuzzy, parent)?;
     }
+    merged_nodes += recover_sibling_groups(fuzzy)?;
     Ok(merged_nodes)
 }
 
-/// Finds one pair of mergeable siblings, if any.
-fn find_mergeable_pair(fuzzy: &FuzzyTree) -> Option<(NodeId, NodeId, Condition)> {
-    for parent in fuzzy.tree().nodes() {
+/// Pairwise Shannon merging restricted to the children of one parent, run to
+/// a local fixpoint.
+fn merge_children_of(fuzzy: &mut FuzzyTree, parent: NodeId) -> Result<usize, CoreError> {
+    let mut merged_nodes = 0;
+    loop {
         let children = fuzzy.tree().children(parent).to_vec();
         if children.len() < 2 {
-            continue;
+            return Ok(merged_nodes);
         }
-        // Group children by the canonical form of their subtree *below* the
-        // root condition (label + children's full fuzzy canonical forms).
         let mut keyed: Vec<(String, NodeId)> = children
             .iter()
             .map(|&child| (body_key(fuzzy, child), child))
             .collect();
         keyed.sort();
-        for i in 0..keyed.len() {
+        let mut found = None;
+        'search: for i in 0..keyed.len() {
             for j in (i + 1)..keyed.len() {
                 if keyed[i].0 != keyed[j].0 {
                     break;
@@ -249,15 +312,165 @@ fn find_mergeable_pair(fuzzy: &FuzzyTree) -> Option<(NodeId, NodeId, Condition)>
                 let b = keyed[j].1;
                 if let Some(merged) = complementary_merge(&fuzzy.condition(a), &fuzzy.condition(b))
                 {
-                    return Some((a, b, merged));
+                    found = Some((a, b, merged));
+                    break 'search;
                 }
             }
         }
+        let Some((keep, drop, merged_condition)) = found else {
+            return Ok(merged_nodes);
+        };
+        merged_nodes += fuzzy.tree().subtree_size(drop);
+        fuzzy.remove_subtree(drop)?;
+        fuzzy.set_condition(keep, merged_condition)?;
     }
-    None
 }
 
-/// The canonical form of a node ignoring its own root condition.
+/// Tier-2 merging: re-covers qualifying same-body sibling groups (see
+/// [`merge_complementary_siblings`]). Returns the net number of nodes
+/// removed.
+fn recover_sibling_groups(fuzzy: &mut FuzzyTree) -> Result<usize, CoreError> {
+    let mut merged_nodes = 0;
+    for parent in fuzzy.tree().nodes() {
+        if !fuzzy.tree().contains(parent) {
+            // Removed by an earlier group rebuild in this same pass.
+            continue;
+        }
+        let children = fuzzy.tree().children(parent).to_vec();
+        if children.len() < 2 {
+            continue;
+        }
+        let mut groups: HashMap<String, Vec<NodeId>> = HashMap::new();
+        for &child in &children {
+            groups
+                .entry(body_key(fuzzy, child))
+                .or_default()
+                .push(child);
+        }
+        for group in groups.into_values() {
+            if group.len() < 2 {
+                continue;
+            }
+            let conditions: Vec<Condition> = group.iter().map(|&n| fuzzy.condition(n)).collect();
+            let Some(cover) = disjoint_group_cover(&conditions) else {
+                continue;
+            };
+            // Rebuild the group from the smaller cover: keep one
+            // representative subtree, duplicate it once per extra term.
+            let representative = group[0];
+            let body_size = fuzzy.tree().subtree_size(representative);
+            for term in cover.iter().skip(1) {
+                fuzzy.duplicate_subtree(parent, representative, term.clone());
+            }
+            fuzzy.set_condition(representative, cover[0].clone())?;
+            for &node in group.iter().skip(1) {
+                fuzzy.remove_subtree(node)?;
+            }
+            merged_nodes += (group.len() - cover.len()) * body_size;
+        }
+    }
+    Ok(merged_nodes)
+}
+
+/// For pairwise-disjoint conjunctive `conditions` over at most
+/// [`GROUP_RECOVER_MAX_EVENTS`] events, computes a disjoint conjunctive cover
+/// of their union with strictly fewer terms (greedy maximal subcubes over the
+/// exact valuation set), or `None` when the group does not qualify or cannot
+/// shrink.
+fn disjoint_group_cover(conditions: &[Condition]) -> Option<Vec<Condition>> {
+    let mut events: Vec<EventId> = conditions.iter().flat_map(|c| c.events()).collect();
+    events.sort_unstable();
+    events.dedup();
+    let width = events.len();
+    if width == 0 || width > GROUP_RECOVER_MAX_EVENTS {
+        return None;
+    }
+    // Soundness requires the siblings to exist in disjoint world sets (else
+    // merging would change the number of simultaneous copies): every pair
+    // must contain a complementary literal.
+    for (i, a) in conditions.iter().enumerate() {
+        if !a.is_consistent() {
+            return None;
+        }
+        for b in conditions.iter().skip(i + 1) {
+            if !a.literals().iter().any(|lit| b.contains(lit.negated())) {
+                return None;
+            }
+        }
+    }
+    // The union of the conditions, as a set of valuations over `events`.
+    let space = 1usize << width;
+    let index_of = |event: EventId| events.iter().position(|&e| e == event).expect("own event");
+    let mut remaining = vec![false; space];
+    let mut left = 0usize;
+    for (valuation, slot) in remaining.iter_mut().enumerate() {
+        let satisfied = conditions.iter().any(|c| {
+            c.literals()
+                .iter()
+                .all(|lit| ((valuation >> index_of(lit.event)) & 1 == 1) == lit.positive)
+        });
+        if satisfied {
+            *slot = true;
+            left += 1;
+        }
+    }
+    // Greedy cover by maximal subcubes: a term is (care mask, values on the
+    // cared bits); its points are the valuations agreeing on the cared bits.
+    // Scanning care masks by increasing popcount finds a largest term first.
+    let mut care_masks: Vec<usize> = (0..space).collect();
+    care_masks.sort_by_key(|mask| mask.count_ones());
+    let mut terms: Vec<Condition> = Vec::new();
+    while left > 0 {
+        if terms.len() + 1 >= conditions.len() {
+            // No strict improvement possible any more.
+            return None;
+        }
+        let mut found = None;
+        'search: for &care in &care_masks {
+            let mut value = care;
+            // Enumerate the subsets of `care` as candidate fixed values.
+            loop {
+                let contained = remaining
+                    .iter()
+                    .enumerate()
+                    .all(|(v, &in_set)| in_set || (v & care) != value);
+                let nonempty = remaining
+                    .iter()
+                    .enumerate()
+                    .any(|(v, &in_set)| in_set && (v & care) == value);
+                if contained && nonempty {
+                    found = Some((care, value));
+                    break 'search;
+                }
+                if value == 0 {
+                    break;
+                }
+                value = (value - 1) & care;
+            }
+        }
+        let (care, value) = found.expect("remaining is non-empty, so a singleton term exists");
+        for (v, slot) in remaining.iter_mut().enumerate() {
+            if *slot && (v & care) == value {
+                *slot = false;
+                left -= 1;
+            }
+        }
+        terms.push(Condition::from_literals((0..width).filter_map(|bit| {
+            if (care >> bit) & 1 == 1 {
+                Some(Literal {
+                    event: events[bit],
+                    positive: (value >> bit) & 1 == 1,
+                })
+            } else {
+                None
+            }
+        })));
+    }
+    Some(terms)
+}
+
+/// The canonical form of a node ignoring its own root condition (label +
+/// children's full fuzzy canonical forms).
 fn body_key(fuzzy: &FuzzyTree, node: NodeId) -> String {
     let mut child_forms: Vec<String> = fuzzy
         .tree()
@@ -528,6 +741,69 @@ mod tests {
         assert_semantics_preserved(&before, &fuzzy);
         assert!(fuzzy.node_count() <= before.node_count());
         assert!(report.passes >= 1);
+    }
+
+    /// Regression for experiment E8: realistic data-cleaning output.
+    ///
+    /// A person carries two uncertain phones (`w1`, `w2`) and an uncertain
+    /// email (`v`); a cleaning module retracts the email when the person has
+    /// *a* phone (confidence 0.9). The two matches share the confidence
+    /// event, so the deletion fragments the email's survivor condition into
+    /// three pairwise-disjoint pieces — none of which differ in a single
+    /// literal, so pairwise Shannon merging never fires on them. The group
+    /// re-cover must collapse them back to the two-piece optimum.
+    #[test]
+    fn group_recover_merges_multi_match_deletion_output() {
+        let mut fuzzy = FuzzyTree::new("person");
+        let w1 = fuzzy.add_event("w1", 0.7).unwrap();
+        let w2 = fuzzy.add_event("w2", 0.6).unwrap();
+        let v = fuzzy.add_event("v", 0.8).unwrap();
+        let root = fuzzy.root();
+        for (label, event) in [("phone", w1), ("phone", w2), ("email", v)] {
+            let node = fuzzy.add_element(root, label);
+            fuzzy
+                .set_condition(node, Condition::from_literal(Literal::pos(event)))
+                .unwrap();
+        }
+        let pattern = Pattern::parse("person { phone, email }").unwrap();
+        let email = pattern.node_ids().nth(2).unwrap();
+        UpdateTransaction::new(pattern, 0.9)
+            .unwrap()
+            .with_delete(email)
+            .apply_to_fuzzy(&mut fuzzy)
+            .unwrap();
+        assert_eq!(
+            fuzzy.tree().find_elements("email").len(),
+            3,
+            "the shared-confidence multi-match deletion fragments the email"
+        );
+        let before = fuzzy.clone();
+        let report = Simplifier::new().run(&mut fuzzy).unwrap();
+        assert!(report.merged_nodes > 0, "the group re-cover must fire");
+        assert_eq!(fuzzy.tree().find_elements("email").len(), 2);
+        assert_semantics_preserved(&before, &fuzzy);
+        assert!(fuzzy.validate().is_ok());
+    }
+
+    #[test]
+    fn group_recover_leaves_overlapping_siblings_alone() {
+        // Two same-body phones from independent extractions co-exist in some
+        // worlds: their conditions are not disjoint, so merging them would
+        // change the number of simultaneous copies and must not happen.
+        let mut fuzzy = FuzzyTree::new("person");
+        let w1 = fuzzy.add_event("w1", 0.7).unwrap();
+        let w2 = fuzzy.add_event("w2", 0.6).unwrap();
+        for event in [w1, w2] {
+            let phone = fuzzy.add_element(fuzzy.root(), "phone");
+            fuzzy
+                .set_condition(phone, Condition::from_literal(Literal::pos(event)))
+                .unwrap();
+        }
+        let before = fuzzy.clone();
+        let report = Simplifier::new().run(&mut fuzzy).unwrap();
+        assert_eq!(report.merged_nodes, 0);
+        assert_eq!(fuzzy.tree().find_elements("phone").len(), 2);
+        assert_semantics_preserved(&before, &fuzzy);
     }
 
     #[test]

@@ -28,6 +28,7 @@ use pxml_tree::{NodeId, Tree};
 use crate::error::CoreError;
 use crate::fuzzy::FuzzyTree;
 use crate::fuzzy_query::match_condition;
+use crate::simplify::{Simplifier, SimplifyPolicy, SimplifyReport};
 
 /// An elementary operation of an update transaction, anchored at a pattern
 /// node of the transaction's query.
@@ -64,6 +65,9 @@ pub struct UpdateStats {
     pub removed_nodes: usize,
     /// The fresh event recording the confidence, when `confidence < 1`.
     pub confidence_event: Option<EventId>,
+    /// The report of the inline simplification run triggered by the apply
+    /// pipeline's [`SimplifyPolicy`], when one ran.
+    pub simplify: Option<SimplifyReport>,
 }
 
 /// A probabilistic update transaction: query + operations + confidence.
@@ -182,12 +186,38 @@ impl UpdateTransaction {
         result
     }
 
-    /// Probabilistic application to a fuzzy tree (slides 14–15).
+    /// Probabilistic application to a fuzzy tree (slides 14–15), without
+    /// inline simplification (equivalent to
+    /// [`UpdateTransaction::apply_to_fuzzy_with`] under
+    /// [`SimplifyPolicy::Never`]).
     ///
     /// The fuzzy tree is modified in place; the returned [`UpdateStats`]
     /// describe the effect. When the query has no match on the underlying
     /// tree the document is unchanged and no event is created.
     pub fn apply_to_fuzzy(&self, fuzzy: &mut FuzzyTree) -> Result<UpdateStats, CoreError> {
+        self.apply_to_fuzzy_with(fuzzy, SimplifyPolicy::Never)
+    }
+
+    /// Probabilistic application to a fuzzy tree through the policy-aware
+    /// apply pipeline: the update is applied as in
+    /// [`UpdateTransaction::apply_to_fuzzy`], then the [`SimplifyPolicy`]
+    /// decides whether a simplification pass runs *inside* the pipeline —
+    /// right where deletion-induced duplication is created — before the
+    /// caller ever sees the document.
+    pub fn apply_to_fuzzy_with(
+        &self,
+        fuzzy: &mut FuzzyTree,
+        policy: SimplifyPolicy,
+    ) -> Result<UpdateStats, CoreError> {
+        let mut stats = self.apply_operations(fuzzy)?;
+        if policy.should_run(fuzzy) {
+            stats.simplify = Some(Simplifier::new().run(fuzzy)?);
+        }
+        Ok(stats)
+    }
+
+    /// The raw operation pipeline: match, insert, delete.
+    fn apply_operations(&self, fuzzy: &mut FuzzyTree) -> Result<UpdateStats, CoreError> {
         let mut stats = UpdateStats::default();
         let matches = self
             .pattern
@@ -258,12 +288,27 @@ impl UpdateTransaction {
         let mut targets: Vec<NodeId> = deletions.keys().copied().collect();
         targets.sort_by_key(|&node| std::cmp::Reverse(fuzzy.tree().depth(node)));
         for target in targets {
-            let conditions = deletions.remove(&target).expect("key collected above");
+            let mut conditions = deletions.remove(&target).expect("key collected above");
+            // Several matches frequently delete the same node under the same
+            // condition (e.g. when they only differ at nodes unrelated to the
+            // target); applying duplicates is a no-op that still fragments
+            // the survivor cover, so normalise first.
+            conditions.sort();
+            conditions.dedup();
+            let context = {
+                let parent = fuzzy
+                    .tree()
+                    .parent(target)
+                    .ok_or(CoreError::CannotDeleteRoot)?;
+                fuzzy.existence_condition(parent)
+            };
             let mut current: Vec<NodeId> = vec![target];
             for condition in conditions {
                 let mut next: Vec<NodeId> = Vec::new();
                 for node in current {
-                    next.extend(apply_deletion(fuzzy, node, &condition, &mut stats)?);
+                    next.extend(apply_deletion(
+                        fuzzy, node, &condition, &context, &mut stats,
+                    )?);
                 }
                 current = next;
             }
@@ -273,18 +318,30 @@ impl UpdateTransaction {
 }
 
 /// Applies one conditional deletion to one node: the node's subtree is
-/// replaced by one copy per literal `dᵢ` of the deletion condition, the `i`-th
-/// copy conditioned on `original ∧ d₁ ∧ … ∧ d_{i−1} ∧ ¬dᵢ` (copies with an
-/// inconsistent condition are skipped). The union of the copies' conditions
-/// is exactly `original ∧ ¬(d₁ ∧ … ∧ d_k)`, i.e. "the node survives the
-/// deletion", and the copies are pairwise disjoint.
+/// replaced by one copy per *effective* literal `dᵢ` of the deletion
+/// condition, the `i`-th copy conditioned on
+/// `original ∧ d₁ ∧ … ∧ d_{i−1} ∧ ¬dᵢ` (copies with an inconsistent
+/// condition are skipped). The union of the copies' conditions is exactly
+/// `original ∧ ¬(d₁ ∧ … ∧ d_k)`, i.e. "the node survives the deletion", and
+/// the copies are pairwise disjoint.
 ///
-/// Returns the created copies (used when the same node is deleted by several
-/// matches: later deletion conditions are applied to every copy).
+/// `context` is the existence condition of the node's parent. It prunes the
+/// work the bare chain construction wastes at scale (the mechanism behind
+/// the E10 blow-up):
+///
+/// * when the node's own condition (or the context) contradicts the deletion
+///   condition, the node exists only in worlds the deletion does not select —
+///   it survives *unchanged*, no copies needed;
+/// * deletion literals already guaranteed by the node or its ancestors
+///   contribute only inconsistent copies — they are skipped up front;
+/// * copies whose condition contradicts the context exist in no world — they
+///   are never materialised (the bare chain would keep duplicating them in
+///   later rounds).
 fn apply_deletion(
     fuzzy: &mut FuzzyTree,
     node: NodeId,
     deletion: &Condition,
+    context: &Condition,
     stats: &mut UpdateStats,
 ) -> Result<Vec<NodeId>, CoreError> {
     let parent = fuzzy
@@ -292,16 +349,46 @@ fn apply_deletion(
         .parent(node)
         .ok_or(CoreError::CannotDeleteRoot)?;
     let original = fuzzy.condition(node);
+    if deletion
+        .literals()
+        .iter()
+        .any(|lit| original.contains(lit.negated()) || context.contains(lit.negated()))
+    {
+        // The deletion condition is disjoint from the node's existence
+        // condition: the node survives as it is.
+        return Ok(vec![node]);
+    }
+    // Effective chain: literals not already guaranteed at the node.
+    let effective = deletion
+        .without_implied_by(&original)
+        .without_implied_by(context);
+    let effective = effective.literals();
+    if effective.is_empty() {
+        // The deletion holds whenever the node exists: plain removal.
+        stats.removed_nodes += fuzzy.tree().subtree_size(node);
+        fuzzy.remove_subtree(node)?;
+        return Ok(Vec::new());
+    }
     let mut copies = Vec::new();
     let mut prefix = original.clone();
-    for literal in deletion.literals() {
+    for (index, literal) in effective.iter().enumerate() {
         let copy_condition = prefix.and_literal(literal.negated());
-        if copy_condition.is_consistent() {
+        if copy_condition.is_consistent()
+            && !copy_condition
+                .literals()
+                .iter()
+                .any(|lit| context.contains(lit.negated()))
+        {
             let copy = fuzzy.duplicate_subtree(parent, node, copy_condition);
             stats.duplicated_nodes += fuzzy.tree().subtree_size(copy);
             copies.push(copy);
         }
-        prefix = prefix.and_literal(*literal);
+        if index + 1 < effective.len() {
+            prefix = prefix.and_literal(*literal);
+            if !prefix.is_consistent() {
+                break;
+            }
+        }
     }
     stats.removed_nodes += fuzzy.tree().subtree_size(node);
     fuzzy.remove_subtree(node)?;

@@ -1,6 +1,6 @@
 //! Random probabilistic update transactions.
 
-use pxml_core::UpdateTransaction;
+use pxml_core::{Update, UpdateTransaction};
 use pxml_query::Pattern;
 use pxml_tree::Tree;
 use rand::Rng;
@@ -60,14 +60,13 @@ pub fn random_update(
     } else {
         config.max_confidence
     };
-    let mut transaction =
-        UpdateTransaction::new(pattern.clone(), confidence).expect("confidence is within [0, 1]");
     let targets: Vec<_> = pattern.node_ids().collect();
+    let mut update = Update::matching(pattern).with_confidence(confidence);
     let mut has_operation = false;
     if rng.gen_bool(config.insert_probability) {
         let target = targets[rng.gen_range(0..targets.len())];
         let subtree = random_tree(rng, &config.insert_subtree);
-        transaction = transaction.with_insert(target, subtree);
+        update = update.insert_at(target, subtree);
         has_operation = true;
     }
     if rng.gen_bool(config.delete_probability) || !has_operation {
@@ -77,9 +76,9 @@ pub fn random_update(
         } else {
             targets[0]
         };
-        transaction = transaction.with_delete(target);
+        update = update.delete_at(target);
     }
-    transaction
+    update.build().expect("confidence is within [0, 1]")
 }
 
 #[cfg(test)]

@@ -12,9 +12,13 @@
 //! ```
 //!
 //! `target` is the index of the pattern node (in `Pattern::node_ids` order)
-//! at whose image the operation is applied. A journal file is simply a
-//! sequence of such elements wrapped in `<pxml:journal>`; appending rewrites
-//! only the trailing wrapper, so each entry is flushed as one write.
+//! at whose image the operation is applied.
+//!
+//! A journal file is a sequence of **batches** wrapped in `<pxml:journal>`:
+//! each `<pxml:batch>` element holds the updates of one committed
+//! transaction, in application order. Bare `<pxml:update>` children are also
+//! accepted (the pre-batch journal layout) and read back as single-update
+//! batches, so journals written before the session API keep replaying.
 
 use pxml_core::{UpdateOperation, UpdateTransaction};
 use pxml_query::{PNodeId, Pattern};
@@ -113,19 +117,40 @@ pub fn parse_update(input: &str) -> Result<UpdateTransaction, StoreError> {
     update_from_element(&document.root)
 }
 
-/// Serializes a whole journal (a sequence of transactions).
+/// Serializes a whole journal as a sequence of single-update batches.
 pub fn serialize_journal(updates: &[UpdateTransaction]) -> String {
+    let batches: Vec<Vec<UpdateTransaction>> = updates.iter().map(|u| vec![u.clone()]).collect();
+    serialize_batched_journal(&batches)
+}
+
+/// Serializes a whole journal: one `<pxml:batch>` element per committed
+/// transaction.
+pub fn serialize_batched_journal(batches: &[Vec<UpdateTransaction>]) -> String {
     let mut journal = XmlElement::new("pxml:journal");
-    for update in updates {
-        journal
-            .children
-            .push(XmlNode::Element(update_to_element(update)));
+    for batch in batches {
+        let mut element = XmlElement::new("pxml:batch");
+        for update in batch {
+            element
+                .children
+                .push(XmlNode::Element(update_to_element(update)));
+        }
+        journal.children.push(XmlNode::Element(element));
     }
     XmlDocument::new(journal).to_xml_string(true)
 }
 
-/// Parses a whole journal.
+/// Parses a whole journal, flattened to application order.
 pub fn parse_journal(input: &str) -> Result<Vec<UpdateTransaction>, StoreError> {
+    Ok(parse_batched_journal(input)?
+        .into_iter()
+        .flatten()
+        .collect())
+}
+
+/// Parses a whole journal, one entry per committed batch. Bare
+/// `<pxml:update>` children (the pre-batch layout) are read as single-update
+/// batches.
+pub fn parse_batched_journal(input: &str) -> Result<Vec<Vec<UpdateTransaction>>, StoreError> {
     let document = XmlDocument::parse(input)?;
     if document.root.name != "pxml:journal" {
         return Err(StoreError::Format(format!(
@@ -133,11 +158,26 @@ pub fn parse_journal(input: &str) -> Result<Vec<UpdateTransaction>, StoreError> 
             document.root.name
         )));
     }
-    document
-        .root
-        .child_elements()
-        .map(update_from_element)
-        .collect()
+    let mut batches = Vec::new();
+    for child in document.root.child_elements() {
+        match child.name.as_str() {
+            "pxml:batch" => {
+                batches.push(
+                    child
+                        .child_elements()
+                        .map(update_from_element)
+                        .collect::<Result<Vec<_>, _>>()?,
+                );
+            }
+            "pxml:update" => batches.push(vec![update_from_element(child)?]),
+            other => {
+                return Err(StoreError::Format(format!(
+                    "unexpected <{other}> inside <pxml:journal>"
+                )))
+            }
+        }
+    }
+    Ok(batches)
 }
 
 #[cfg(test)]
@@ -212,6 +252,35 @@ mod tests {
     fn empty_journal_round_trips() {
         let text = serialize_journal(&[]);
         assert!(parse_journal(&text).unwrap().is_empty());
+    }
+
+    #[test]
+    fn batched_journal_round_trips() {
+        let batches = vec![
+            vec![sample_update(), sample_update()],
+            vec![sample_update()],
+        ];
+        let text = serialize_batched_journal(&batches);
+        assert!(text.contains("pxml:batch"));
+        let reparsed = parse_batched_journal(&text).unwrap();
+        assert_eq!(reparsed.len(), 2);
+        assert_eq!(reparsed[0].len(), 2);
+        assert_eq!(reparsed[1].len(), 1);
+        // The flat view preserves application order.
+        assert_eq!(parse_journal(&text).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn flat_entries_parse_as_singleton_batches() {
+        use pxml_tree::{XmlDocument, XmlElement, XmlNode};
+        let mut journal = XmlElement::new("pxml:journal");
+        journal
+            .children
+            .push(XmlNode::Element(update_to_element(&sample_update())));
+        let text = XmlDocument::new(journal).to_xml_string(true);
+        let batches = parse_batched_journal(&text).unwrap();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].len(), 1);
     }
 
     #[test]

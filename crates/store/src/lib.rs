@@ -6,14 +6,15 @@
 //! file system ("File system storage", slide 16). This crate provides that
 //! substrate in a durable form:
 //!
-//! * [`format`] — the **PrXML** textual format: a fuzzy tree is written as an
+//! * [`mod@format`] — the **PrXML** textual format: a fuzzy tree is written as an
 //!   ordinary XML document whose uncertain nodes carry a `pxml:cond`
 //!   attribute and whose event table is stored in a `pxml:events` header;
 //! * [`journal`] — the textual form of probabilistic update transactions and
-//!   the append-only update journal;
+//!   the append-only, batch-structured update journal;
 //! * [`store`] — the [`DocumentStore`]: a directory of named documents with
-//!   atomic saves (write-to-temp + rename), per-document update journals and
-//!   crash recovery by journal replay.
+//!   atomic saves (write-to-temp + rename), per-document update journals
+//!   whose batch appends commit atomically at a rename, and crash recovery
+//!   by journal replay.
 //!
 //! ```no_run
 //! use pxml_core::FuzzyTree;
@@ -32,5 +33,7 @@ pub mod store;
 
 pub use error::StoreError;
 pub use format::{parse_fuzzy_document, serialize_fuzzy_document};
-pub use journal::{parse_update, serialize_update};
+pub use journal::{
+    parse_batched_journal, parse_update, serialize_batched_journal, serialize_update,
+};
 pub use store::DocumentStore;

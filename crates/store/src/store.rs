@@ -10,7 +10,10 @@
 //! ```
 //!
 //! * [`DocumentStore::save_document`] writes atomically (temp file + rename);
-//! * [`DocumentStore::append_update`] appends a transaction to the journal;
+//! * [`DocumentStore::append_batch`] stages a committed transaction batch
+//!   into the journal — the write goes to a `.tmp` staging file first and the
+//!   rename over the journal is the commit point, so a crash mid-write leaves
+//!   the previous journal intact and the staged batch is cleanly discarded;
 //! * [`DocumentStore::recover_document`] reloads the checkpoint and replays
 //!   the journal — the crash-recovery path;
 //! * [`DocumentStore::checkpoint`] folds the journal into a fresh checkpoint.
@@ -22,7 +25,7 @@ use pxml_core::{FuzzyTree, UpdateTransaction};
 
 use crate::error::StoreError;
 use crate::format::{parse_fuzzy_document, serialize_fuzzy_document};
-use crate::journal::{parse_journal, serialize_journal};
+use crate::journal::{parse_batched_journal, serialize_batched_journal};
 
 /// A file-system store of probabilistic XML documents.
 #[derive(Debug, Clone)]
@@ -32,9 +35,19 @@ pub struct DocumentStore {
 
 impl DocumentStore {
     /// Opens (creating it if needed) a store rooted at `root`.
+    ///
+    /// Stale `.tmp` staging files — the debris of a commit killed between the
+    /// staging write and the rename — are discarded here: the batch they
+    /// carried never reached its commit point, so recovery must not see it.
     pub fn open(root: impl AsRef<Path>) -> Result<Self, StoreError> {
         let root = root.as_ref().to_path_buf();
         fs::create_dir_all(&root)?;
+        for entry in fs::read_dir(&root)? {
+            let path = entry?.path();
+            if path.extension().and_then(|ext| ext.to_str()) == Some("tmp") {
+                fs::remove_file(path)?;
+            }
+        }
         Ok(DocumentStore { root })
     }
 
@@ -106,29 +119,49 @@ impl DocumentStore {
         Ok(())
     }
 
-    /// The updates recorded in a document's journal (empty when there is no
-    /// journal file).
+    /// The updates recorded in a document's journal, flattened to application
+    /// order (empty when there is no journal file).
     pub fn read_journal(&self, name: &str) -> Result<Vec<UpdateTransaction>, StoreError> {
+        Ok(self.read_batches(name)?.into_iter().flatten().collect())
+    }
+
+    /// The committed transaction batches recorded in a document's journal
+    /// (empty when there is no journal file).
+    pub fn read_batches(&self, name: &str) -> Result<Vec<Vec<UpdateTransaction>>, StoreError> {
         let path = self.journal_path(name);
         if !path.exists() {
             return Ok(Vec::new());
         }
-        parse_journal(&fs::read_to_string(path)?)
+        parse_batched_journal(&fs::read_to_string(path)?)
     }
 
-    /// Appends one update transaction to a document's journal. The whole
-    /// journal is rewritten atomically so a torn write cannot corrupt
-    /// previously journaled entries.
-    pub fn append_update(&self, name: &str, update: &UpdateTransaction) -> Result<(), StoreError> {
+    /// Stages one committed transaction batch into a document's journal.
+    ///
+    /// The whole journal is rewritten to a `.tmp` staging file and renamed
+    /// over the journal; the rename is the commit point. A crash before the
+    /// rename leaves the previous journal intact (the staged batch is
+    /// discarded at the next [`DocumentStore::open`]); after the rename,
+    /// recovery replays the batch.
+    pub fn append_batch(&self, name: &str, batch: &[UpdateTransaction]) -> Result<(), StoreError> {
         if !self.contains(name) {
             return Err(StoreError::MissingDocument(name.to_string()));
         }
-        let mut updates = self.read_journal(name)?;
-        updates.push(update.clone());
+        let mut batches = self.read_batches(name)?;
+        batches.push(batch.to_vec());
         let temporary = self.root.join(format!(".{name}.journal.tmp"));
-        fs::write(&temporary, serialize_journal(&updates))?;
+        fs::write(&temporary, serialize_batched_journal(&batches))?;
         fs::rename(&temporary, self.journal_path(name))?;
         Ok(())
+    }
+
+    /// Appends one update transaction to a document's journal as a
+    /// single-update batch.
+    #[deprecated(
+        since = "0.2.0",
+        note = "stage updates through a session `Txn` (or `DocumentStore::append_batch`) instead"
+    )]
+    pub fn append_update(&self, name: &str, update: &UpdateTransaction) -> Result<(), StoreError> {
+        self.append_batch(name, std::slice::from_ref(update))
     }
 
     /// Number of journaled updates awaiting a checkpoint.
@@ -225,7 +258,7 @@ mod tests {
             Err(StoreError::MissingDocument(_))
         ));
         assert!(matches!(
-            store.append_update("ghost", &sample_update()),
+            store.append_batch("ghost", &[sample_update()]),
             Err(StoreError::MissingDocument(_))
         ));
         assert!(matches!(
@@ -263,9 +296,12 @@ mod tests {
         assert_eq!(store.journal_length("people").unwrap(), 0);
 
         let update = sample_update();
-        store.append_update("people", &update).unwrap();
-        store.append_update("people", &update).unwrap();
+        store
+            .append_batch("people", std::slice::from_ref(&update))
+            .unwrap();
+        store.append_batch("people", &[update]).unwrap();
         assert_eq!(store.journal_length("people").unwrap(), 2);
+        assert_eq!(store.read_batches("people").unwrap().len(), 2);
 
         // Recovery replays the journal on top of the checkpoint.
         let recovered = store.recover_document("people").unwrap();
@@ -283,7 +319,9 @@ mod tests {
         let mut in_memory = sample_fuzzy();
         store.save_document("people", &in_memory).unwrap();
         let update = sample_update();
-        store.append_update("people", &update).unwrap();
+        store
+            .append_batch("people", std::slice::from_ref(&update))
+            .unwrap();
         update.apply_to_fuzzy(&mut in_memory).unwrap();
         let recovered = store.recover_document("people").unwrap();
         assert!(recovered.semantically_equivalent(&in_memory, 1e-9).unwrap());
@@ -295,7 +333,7 @@ mod tests {
         let dir = scratch("checkpoint");
         let store = DocumentStore::open(&dir).unwrap();
         store.save_document("people", &sample_fuzzy()).unwrap();
-        store.append_update("people", &sample_update()).unwrap();
+        store.append_batch("people", &[sample_update()]).unwrap();
         let recovered = store.recover_document("people").unwrap();
         store.checkpoint("people", &recovered).unwrap();
         assert_eq!(store.journal_length("people").unwrap(), 0);
@@ -309,11 +347,107 @@ mod tests {
         let dir = scratch("remove");
         let store = DocumentStore::open(&dir).unwrap();
         store.save_document("doc", &sample_fuzzy()).unwrap();
-        store.append_update("doc", &sample_update()).unwrap();
+        store.append_batch("doc", &[sample_update()]).unwrap();
         store.remove_document("doc").unwrap();
         assert!(!store.contains("doc"));
         assert!(store.list_documents().unwrap().is_empty());
         assert_eq!(store.journal_length("doc").unwrap(), 0);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn multi_update_batch_is_one_journal_entry() {
+        let dir = scratch("batch");
+        let store = DocumentStore::open(&dir).unwrap();
+        store.save_document("people", &sample_fuzzy()).unwrap();
+        store
+            .append_batch("people", &[sample_update(), sample_update()])
+            .unwrap();
+        assert_eq!(store.read_batches("people").unwrap().len(), 1);
+        assert_eq!(store.journal_length("people").unwrap(), 2);
+        let recovered = store.recover_document("people").unwrap();
+        assert_eq!(recovered.tree().find_elements("email").len(), 2);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_append_update_still_journals() {
+        let dir = scratch("legacy-append");
+        let store = DocumentStore::open(&dir).unwrap();
+        store.save_document("people", &sample_fuzzy()).unwrap();
+        store.append_update("people", &sample_update()).unwrap();
+        assert_eq!(store.journal_length("people").unwrap(), 1);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// A commit killed between the staging write and the rename must be
+    /// cleanly discarded: the next open sweeps the staging file and recovery
+    /// replays only what reached the commit point.
+    #[test]
+    fn crash_before_commit_point_discards_staged_batch() {
+        let dir = scratch("crash-before-rename");
+        let store = DocumentStore::open(&dir).unwrap();
+        store.save_document("people", &sample_fuzzy()).unwrap();
+        store.append_batch("people", &[sample_update()]).unwrap();
+
+        // Simulate the torn commit: the staged journal (with a second batch)
+        // is fully written, but the process dies before the rename.
+        let staged = crate::journal::serialize_batched_journal(&[
+            vec![sample_update()],
+            vec![sample_update()],
+        ]);
+        fs::write(dir.join(".people.journal.tmp"), staged).unwrap();
+
+        let reopened = DocumentStore::open(&dir).unwrap();
+        assert!(!dir.join(".people.journal.tmp").exists(), "debris swept");
+        assert_eq!(reopened.journal_length("people").unwrap(), 1);
+        let recovered = reopened.recover_document("people").unwrap();
+        assert_eq!(recovered.tree().find_elements("email").len(), 1);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// Once the rename happened the batch is durable: a crash immediately
+    /// after the commit point must replay it on reopen.
+    #[test]
+    fn crash_after_commit_point_replays_staged_batch() {
+        let dir = scratch("crash-after-rename");
+        {
+            let store = DocumentStore::open(&dir).unwrap();
+            store.save_document("people", &sample_fuzzy()).unwrap();
+            store
+                .append_batch("people", &[sample_update(), sample_update()])
+                .unwrap();
+            // The store is dropped without a checkpoint: the batch only
+            // exists in the journal.
+        }
+        let reopened = DocumentStore::open(&dir).unwrap();
+        let recovered = reopened.recover_document("people").unwrap();
+        assert_eq!(recovered.tree().find_elements("email").len(), 2);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// Journals written before the batch layout (bare `<pxml:update>`
+    /// children) keep replaying.
+    #[test]
+    fn legacy_flat_journals_still_replay() {
+        let dir = scratch("legacy-journal");
+        let store = DocumentStore::open(&dir).unwrap();
+        store.save_document("people", &sample_fuzzy()).unwrap();
+        let flat = {
+            use pxml_tree::{XmlDocument, XmlElement, XmlNode};
+            let mut journal = XmlElement::new("pxml:journal");
+            journal
+                .children
+                .push(XmlNode::Element(crate::journal::update_to_element(
+                    &sample_update(),
+                )));
+            XmlDocument::new(journal).to_xml_string(true)
+        };
+        fs::write(dir.join("people.journal"), flat).unwrap();
+        assert_eq!(store.journal_length("people").unwrap(), 1);
+        let recovered = store.recover_document("people").unwrap();
+        assert_eq!(recovered.tree().find_elements("email").len(), 1);
         fs::remove_dir_all(dir).unwrap();
     }
 

@@ -5,10 +5,13 @@
 //! shared store of probabilistic XML documents; users run **tree-pattern
 //! queries** against it and get answers with probabilities.
 //!
-//! * [`warehouse::Warehouse`] — the warehouse itself: named documents kept as
-//!   fuzzy trees, a query interface, an update interface, a configurable
-//!   auto-simplification/checkpoint policy, durable storage and crash
-//!   recovery through [`pxml_store::DocumentStore`];
+//! * [`session`] — the transactional document-session API and the documented
+//!   default path: [`Session`] opens the storage-backed engine, [`Document`]
+//!   handles name its documents, and [`Document::begin`] stages fluent
+//!   probabilistic updates into a [`Txn`] committed atomically (apply →
+//!   journal → swap, rollback on error, crash recovery by replay);
+//! * [`warehouse`] — the synchronised engine behind the sessions (its
+//!   one-shot `open`/`update` entry points survive as deprecated shims);
 //! * [`modules`] — simulated imprecise source modules (information
 //!   extraction, NLP, data cleaning) standing in for the pipelines the paper
 //!   plugs into the warehouse.
@@ -16,20 +19,24 @@
 //! ```no_run
 //! use pxml_query::Pattern;
 //! use pxml_tree::parse_data_tree;
-//! use pxml_warehouse::{Warehouse, WarehouseConfig};
+//! use pxml_warehouse::{Session, SessionConfig};
 //!
-//! let warehouse = Warehouse::open("/tmp/pxml-wh", WarehouseConfig::default()).unwrap();
-//! warehouse
-//!     .create_document("people", parse_data_tree("<directory/>").unwrap())
+//! let session = Session::open("/tmp/pxml-wh", SessionConfig::default()).unwrap();
+//! let people = session
+//!     .create("people", parse_data_tree("<directory/>").unwrap())
 //!     .unwrap();
-//! let answers = warehouse
-//!     .query("people", &Pattern::parse("person { name }").unwrap())
+//! let answers = people
+//!     .query(&Pattern::parse("person { name }").unwrap())
 //!     .unwrap();
 //! assert!(answers.is_empty());
 //! ```
 
 pub mod modules;
+pub mod session;
 pub mod warehouse;
 
 pub use modules::{run_modules, DataCleaningModule, ExtractionModule, SourceModule};
-pub use warehouse::{Warehouse, WarehouseConfig, WarehouseError, WarehouseStats};
+pub use session::{Document, Session, SessionConfig, Txn};
+#[allow(deprecated)]
+pub use warehouse::WarehouseConfig;
+pub use warehouse::{Warehouse, WarehouseError, WarehouseStats};

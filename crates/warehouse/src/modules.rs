@@ -14,7 +14,8 @@ use pxml_gen::scenarios::{extraction_update, ExtractionKind, PeopleScenarioConfi
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::warehouse::{Warehouse, WarehouseError};
+use crate::session::Document;
+use crate::warehouse::WarehouseError;
 
 /// A source of probabilistic updates feeding the warehouse.
 pub trait SourceModule {
@@ -120,25 +121,30 @@ impl SourceModule for DataCleaningModule {
     }
 }
 
-/// Drains a set of modules round-robin into a warehouse document; returns the
-/// number of updates pushed per module (by module name, in the given order).
+/// Drains a set of modules round-robin into a warehouse document: each round
+/// stages one update per module into a single transaction and commits it
+/// atomically. Returns the number of updates pushed per module (by module
+/// name, in the given order).
 pub fn run_modules(
-    warehouse: &Warehouse,
-    document: &str,
+    document: &Document,
     modules: &mut [Box<dyn SourceModule>],
 ) -> Result<Vec<(String, usize)>, WarehouseError> {
     let mut pushed = vec![0usize; modules.len()];
     loop {
-        let mut progressed = false;
+        let mut txn = document.begin();
+        let mut staged_by: Vec<usize> = Vec::new();
         for (index, module) in modules.iter_mut().enumerate() {
             if let Some(update) = module.next_update() {
-                warehouse.update(document, &update)?;
-                pushed[index] += 1;
-                progressed = true;
+                txn = txn.stage(update);
+                staged_by.push(index);
             }
         }
-        if !progressed {
+        if staged_by.is_empty() {
             break;
+        }
+        txn.commit()?;
+        for index in staged_by {
+            pushed[index] += 1;
         }
     }
     Ok(modules
@@ -151,7 +157,7 @@ pub fn run_modules(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::warehouse::WarehouseConfig;
+    use crate::session::{Session, SessionConfig};
     use pxml_gen::scenarios::people_directory;
     use pxml_query::Pattern;
     use std::path::PathBuf;
@@ -196,10 +202,10 @@ mod tests {
     #[test]
     fn modules_feed_the_warehouse_end_to_end() {
         let dir = scratch("end-to-end");
-        let warehouse = Warehouse::open(&dir, WarehouseConfig::default()).unwrap();
+        let session = Session::open(&dir, SessionConfig::default()).unwrap();
         let people = 8;
-        warehouse
-            .create_document(
+        let document = session
+            .create(
                 "people",
                 people_directory(&PeopleScenarioConfig {
                     people,
@@ -212,18 +218,18 @@ mod tests {
             Box::new(ExtractionModule::new("nlp", 11, people, 15, 0.6)),
             Box::new(DataCleaningModule::new("cleaner", 12, people, 10)),
         ];
-        let pushed = run_modules(&warehouse, "people", &mut modules).unwrap();
+        let pushed = run_modules(&document, &mut modules).unwrap();
         assert_eq!(pushed.len(), 3);
         let total: usize = pushed.iter().map(|(_, count)| count).sum();
         assert!(total > 0);
-        assert_eq!(warehouse.stats().updates_applied, total);
+        assert_eq!(session.stats().updates_applied, total);
 
         // The document is still a valid fuzzy tree and queries answer with
         // probabilities strictly between 0 and 1 for extracted facts.
-        let snapshot = warehouse.document("people").unwrap();
+        let snapshot = document.snapshot().unwrap();
         assert!(snapshot.validate().is_ok());
         let phones = Pattern::parse("person { phone }").unwrap();
-        let result = warehouse.query("people", &phones).unwrap();
+        let result = document.query(&phones).unwrap();
         for m in &result.matches {
             assert!(m.probability > 0.0 && m.probability <= 1.0);
         }

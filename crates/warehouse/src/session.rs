@@ -1,0 +1,517 @@
+//! The transactional document-session API: [`Session`], [`Document`] handles
+//! and staged-update [`Txn`]s.
+//!
+//! The paper's architecture (slide 3) is an *engine*: imprecise modules open
+//! the warehouse, stage probabilistic updates, and commit; users query. This
+//! module is that shape. A [`Session`] owns the storage-backed engine;
+//! [`Document`] is a cheap, cloneable handle to one named document;
+//! [`Document::begin`] opens a [`Txn`] that accepts any number of fluently
+//! built updates and commits them atomically — applied through the
+//! policy-aware pipeline (inline simplification by default), journaled as one
+//! durable batch, rolled back together on error, and replayed by crash
+//! recovery on reopen.
+//!
+//! ```no_run
+//! use pxml_core::Update;
+//! use pxml_query::Pattern;
+//! use pxml_tree::parse_data_tree;
+//! use pxml_warehouse::{Session, SessionConfig};
+//!
+//! let session = Session::open("/tmp/pxml-wh", SessionConfig::default()).unwrap();
+//! let people = session
+//!     .create("people", parse_data_tree("<directory><person><name>alice</name></person></directory>").unwrap())
+//!     .unwrap();
+//!
+//! // Stage two probabilistic updates and commit them as one transaction.
+//! let pattern = Pattern::parse("person { name[=\"alice\"] }").unwrap();
+//! let person = pattern.root();
+//! let receipt = people
+//!     .begin()
+//!     .stage(
+//!         Update::matching(pattern.clone())
+//!             .insert_at(person, parse_data_tree("<phone>+33-1</phone>").unwrap())
+//!             .with_confidence(0.8),
+//!     )
+//!     .stage(
+//!         Update::matching(pattern)
+//!             .insert_at(person, parse_data_tree("<email>a@example.org</email>").unwrap())
+//!             .with_confidence(0.6),
+//!     )
+//!     .commit()
+//!     .unwrap();
+//! assert_eq!(receipt.len(), 2);
+//!
+//! let answers = people
+//!     .query(&Pattern::parse("person { phone }").unwrap())
+//!     .unwrap();
+//! assert_eq!(answers.len(), 1);
+//! ```
+
+use std::path::Path;
+use std::sync::Arc;
+
+use pxml_core::{
+    BatchStats, FuzzyQueryResult, FuzzyTree, SimplifyPolicy, SimplifyReport, Update,
+    UpdateTransaction,
+};
+use pxml_query::Pattern;
+use pxml_tree::Tree;
+
+use crate::warehouse::{Warehouse, WarehouseError, WarehouseStats};
+
+/// Maintenance policy of a [`Session`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// When the apply pipeline simplifies committed documents; defaults to
+    /// [`SimplifyPolicy::Inline`] so deletion-induced duplication is won back
+    /// where it is created.
+    pub simplify: SimplifyPolicy,
+    /// Fold the journal into a fresh checkpoint once it holds this many
+    /// updates (`None` keeps the journal growing until an explicit
+    /// [`Document::checkpoint`]).
+    pub checkpoint_every: Option<usize>,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            simplify: SimplifyPolicy::Inline,
+            checkpoint_every: Some(64),
+        }
+    }
+}
+
+/// A handle to an open, storage-backed probabilistic XML warehouse.
+///
+/// Cloning is cheap (the engine is shared); a session and all its
+/// [`Document`] handles can be used from several threads at once.
+#[derive(Clone)]
+pub struct Session {
+    engine: Arc<Warehouse>,
+}
+
+impl Session {
+    /// Opens (creating it if needed) a session backed by the given directory,
+    /// recovering every stored document (checkpoint + journal replay).
+    pub fn open(path: impl AsRef<Path>, config: SessionConfig) -> Result<Self, WarehouseError> {
+        Ok(Session {
+            engine: Arc::new(Warehouse::with_config(path, config)?),
+        })
+    }
+
+    /// The storage directory backing the session.
+    pub fn storage_root(&self) -> &Path {
+        self.engine.storage_root()
+    }
+
+    /// The names of the loaded documents (sorted).
+    pub fn document_names(&self) -> Vec<String> {
+        self.engine.document_names()
+    }
+
+    /// Creates a new document from a certain data tree and returns its
+    /// handle.
+    pub fn create(&self, name: &str, tree: Tree) -> Result<Document, WarehouseError> {
+        self.engine.create_document(name, tree)?;
+        self.document(name)
+    }
+
+    /// Creates a new document from an existing fuzzy tree and returns its
+    /// handle.
+    pub fn create_fuzzy(&self, name: &str, fuzzy: FuzzyTree) -> Result<Document, WarehouseError> {
+        self.engine.create_fuzzy_document(name, fuzzy)?;
+        self.document(name)
+    }
+
+    /// A handle to an existing document.
+    pub fn document(&self, name: &str) -> Result<Document, WarehouseError> {
+        if !self.engine.document_names().iter().any(|n| n == name) {
+            return Err(WarehouseError::UnknownDocument(name.to_string()));
+        }
+        Ok(Document {
+            engine: self.engine.clone(),
+            name: name.to_string(),
+        })
+    }
+
+    /// Removes a document from the session and from storage. Outstanding
+    /// handles to it start reporting `UnknownDocument`.
+    pub fn drop_document(&self, name: &str) -> Result<(), WarehouseError> {
+        self.engine.drop_document(name)
+    }
+
+    /// Running counters since the session was opened.
+    pub fn stats(&self) -> WarehouseStats {
+        self.engine.stats()
+    }
+
+    /// The shared engine behind the session (escape hatch for code that
+    /// still speaks the pre-session API).
+    pub fn engine(&self) -> &Warehouse {
+        &self.engine
+    }
+}
+
+/// A cheap, cloneable handle to one named document of a [`Session`].
+#[derive(Clone)]
+pub struct Document {
+    engine: Arc<Warehouse>,
+    name: String,
+}
+
+impl Document {
+    /// The document's name in the session.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Begins a staged transaction against this document. Nothing happens
+    /// until [`Txn::commit`].
+    pub fn begin(&self) -> Txn<'_> {
+        Txn {
+            document: self,
+            staged: Vec::new(),
+            policy: None,
+            error: None,
+        }
+    }
+
+    /// Evaluates a TPWJ query against the document (slide 3's query
+    /// interface: "query → results + confidence").
+    pub fn query(&self, pattern: &Pattern) -> Result<FuzzyQueryResult, WarehouseError> {
+        self.engine.query(&self.name, pattern)
+    }
+
+    /// A snapshot of the document's current fuzzy tree.
+    pub fn snapshot(&self) -> Result<FuzzyTree, WarehouseError> {
+        self.engine.document(&self.name)
+    }
+
+    /// Runs the simplifier on the document and persists the result as a
+    /// fresh checkpoint.
+    pub fn simplify(&self) -> Result<SimplifyReport, WarehouseError> {
+        self.engine.simplify(&self.name)
+    }
+
+    /// Writes the document's current in-memory state as a checkpoint and
+    /// truncates its journal.
+    pub fn checkpoint(&self) -> Result<(), WarehouseError> {
+        self.engine.checkpoint(&self.name)
+    }
+}
+
+/// A staged update batch against one [`Document`].
+///
+/// Updates are staged fluently ([`Txn::stage`] accepts both the
+/// [`Update`] builder and prebuilt [`UpdateTransaction`]s) and applied only
+/// at [`Txn::commit`], atomically: the whole batch is applied through the
+/// policy-aware pipeline to a working copy, journaled as one durable entry
+/// (the journal rename is the commit point), and swapped in. An error before
+/// the commit point — including a staging error — changes nothing at all;
+/// see [`Warehouse::commit_batch`](crate::Warehouse::commit_batch) for the
+/// post-commit maintenance caveat.
+#[must_use = "a Txn does nothing until commit() is called"]
+pub struct Txn<'a> {
+    document: &'a Document,
+    staged: Vec<UpdateTransaction>,
+    policy: Option<SimplifyPolicy>,
+    error: Option<WarehouseError>,
+}
+
+impl Txn<'_> {
+    /// Stages one probabilistic update. Build errors (e.g. an out-of-range
+    /// confidence) are remembered and reported by [`Txn::commit`], keeping
+    /// the chain fluent.
+    pub fn stage(mut self, update: impl Into<Update>) -> Self {
+        match update.into().build() {
+            Ok(transaction) => self.staged.push(transaction),
+            Err(err) => {
+                self.error.get_or_insert(WarehouseError::Core(err));
+            }
+        }
+        self
+    }
+
+    /// Overrides the session's [`SimplifyPolicy`] for this transaction only.
+    pub fn with_policy(mut self, policy: SimplifyPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Number of updates staged so far.
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// `true` when nothing has been staged.
+    pub fn is_empty(&self) -> bool {
+        self.staged.is_empty()
+    }
+
+    /// Commits the staged batch atomically; returns the per-update
+    /// statistics. A transaction with a staging error commits nothing and
+    /// returns that error.
+    pub fn commit(self) -> Result<BatchStats, WarehouseError> {
+        if let Some(err) = self.error {
+            return Err(err);
+        }
+        self.document
+            .engine
+            .commit_batch(&self.document.name, &self.staged, self.policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxml_tree::parse_data_tree;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    fn scratch(label: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "pxml-session-test-{}-{}-{}",
+            std::process::id(),
+            label,
+            COUNTER.fetch_add(1, Ordering::SeqCst)
+        ))
+    }
+
+    fn directory() -> Tree {
+        parse_data_tree(
+            "<directory>\
+               <person><name>alice</name></person>\
+               <person><name>bob</name></person>\
+             </directory>",
+        )
+        .unwrap()
+    }
+
+    fn add_fact(name: &str, field: &str, value: &str, confidence: f64) -> Update {
+        let pattern = Pattern::parse(&format!("person {{ name[=\"{name}\"] }}")).unwrap();
+        let person = pattern.root();
+        let mut subtree = Tree::new(field);
+        subtree.add_text(subtree.root(), value);
+        Update::matching(pattern)
+            .insert_at(person, subtree)
+            .with_confidence(confidence)
+    }
+
+    #[test]
+    fn session_create_stage_commit_query() {
+        let dir = scratch("cycle");
+        let session = Session::open(&dir, SessionConfig::default()).unwrap();
+        let people = session.create("people", directory()).unwrap();
+        assert_eq!(session.document_names(), vec!["people"]);
+
+        let receipt = people
+            .begin()
+            .stage(add_fact("alice", "phone", "+33-1", 0.8))
+            .stage(add_fact("bob", "phone", "+33-2", 0.6))
+            .commit()
+            .unwrap();
+        assert_eq!(receipt.len(), 2);
+        assert_eq!(receipt.applied_matches(), 2);
+
+        let phones = Pattern::parse("person { phone }").unwrap();
+        let result = people.query(&phones).unwrap();
+        assert_eq!(result.len(), 2);
+        assert_eq!(session.stats().updates_applied, 2);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn batch_commit_is_one_journal_entry_and_recovers() {
+        let dir = scratch("durability");
+        {
+            let session = Session::open(
+                &dir,
+                SessionConfig {
+                    checkpoint_every: None,
+                    ..SessionConfig::default()
+                },
+            )
+            .unwrap();
+            let people = session.create("people", directory()).unwrap();
+            people
+                .begin()
+                .stage(add_fact("alice", "phone", "+33-1", 0.8))
+                .stage(add_fact("alice", "email", "a@example.org", 0.7))
+                .commit()
+                .unwrap();
+            // Dropped without a checkpoint: state only lives in the journal.
+        }
+        let reopened = Session::open(&dir, SessionConfig::default()).unwrap();
+        let people = reopened.document("people").unwrap();
+        assert_eq!(
+            people
+                .query(&Pattern::parse("person { phone }").unwrap())
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(
+            people
+                .query(&Pattern::parse("person { email }").unwrap())
+                .unwrap()
+                .len(),
+            1
+        );
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn staging_error_aborts_the_whole_txn() {
+        let dir = scratch("staging-error");
+        let session = Session::open(&dir, SessionConfig::default()).unwrap();
+        let people = session.create("people", directory()).unwrap();
+        let before = people.snapshot().unwrap();
+        let err = people
+            .begin()
+            .stage(add_fact("alice", "phone", "+33-1", 0.8))
+            .stage(add_fact("bob", "phone", "+33-2", 1.5)) // invalid confidence
+            .commit()
+            .unwrap_err();
+        assert!(matches!(err, WarehouseError::Core(_)));
+        // Nothing was applied or journaled.
+        let after = people.snapshot().unwrap();
+        assert!(before.semantically_equivalent(&after, 1e-9).unwrap());
+        assert_eq!(session.stats().updates_applied, 0);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn journal_failure_rolls_back_the_in_memory_document() {
+        let dir = scratch("journal-failure");
+        let session = Session::open(&dir, SessionConfig::default()).unwrap();
+        let people = session.create("people", directory()).unwrap();
+        let before = people.snapshot().unwrap();
+        // Sabotage durability: remove the storage directory so the journal
+        // rename cannot happen.
+        std::fs::remove_dir_all(&dir).unwrap();
+        let err = people
+            .begin()
+            .stage(add_fact("alice", "phone", "+33-1", 0.8))
+            .commit()
+            .unwrap_err();
+        assert!(matches!(err, WarehouseError::Store(_)));
+        // The in-memory document was rolled back.
+        let after = people.snapshot().unwrap();
+        assert!(after.semantically_equivalent(&before, 1e-9).unwrap());
+        assert_eq!(session.stats().updates_applied, 0);
+    }
+
+    #[test]
+    fn empty_txn_commits_nothing() {
+        let dir = scratch("empty");
+        let session = Session::open(&dir, SessionConfig::default()).unwrap();
+        let people = session.create("people", directory()).unwrap();
+        let txn = people.begin();
+        assert!(txn.is_empty());
+        let receipt = txn.commit().unwrap();
+        assert!(receipt.is_empty());
+        assert_eq!(session.stats().updates_applied, 0);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn inline_policy_simplifies_deletion_output_at_commit() {
+        let dir = scratch("inline-simplify");
+        let session = Session::open(&dir, SessionConfig::default()).unwrap();
+        let people = session.create("people", directory()).unwrap();
+        people
+            .begin()
+            .stage(add_fact("alice", "phone", "+33-1", 0.8))
+            .commit()
+            .unwrap();
+        // Retract the phone: deletion duplicates, the inline policy cleans.
+        let pattern = Pattern::parse("person { name[=\"alice\"], phone }").unwrap();
+        let phone = pattern.node_ids().nth(2).unwrap();
+        let receipt = people
+            .begin()
+            .stage(
+                Update::matching(pattern)
+                    .delete_at(phone)
+                    .with_confidence(0.5),
+            )
+            .commit()
+            .unwrap();
+        assert_eq!(receipt.simplify_runs(), 1);
+        assert!(people.snapshot().unwrap().validate().is_ok());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn txn_policy_override_beats_the_session_policy() {
+        let dir = scratch("policy-override");
+        let session = Session::open(
+            &dir,
+            SessionConfig {
+                simplify: SimplifyPolicy::Never,
+                ..SessionConfig::default()
+            },
+        )
+        .unwrap();
+        let people = session.create("people", directory()).unwrap();
+        let receipt = people
+            .begin()
+            .stage(add_fact("alice", "phone", "+33-1", 0.8))
+            .with_policy(SimplifyPolicy::Inline)
+            .commit()
+            .unwrap();
+        assert_eq!(receipt.simplify_runs(), 1);
+        let receipt = people
+            .begin()
+            .stage(add_fact("bob", "phone", "+33-2", 0.8))
+            .commit()
+            .unwrap();
+        assert_eq!(receipt.simplify_runs(), 0);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn document_handles_are_shareable_across_threads() {
+        let dir = scratch("threads");
+        let session = Session::open(&dir, SessionConfig::default()).unwrap();
+        let people = session.create("people", directory()).unwrap();
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let doc = people.clone();
+            handles.push(std::thread::spawn(move || {
+                let who = if i % 2 == 0 { "alice" } else { "bob" };
+                doc.begin()
+                    .stage(add_fact(who, "phone", "+33-9", 0.7))
+                    .commit()
+                    .unwrap();
+                doc.query(&Pattern::parse("person { phone }").unwrap())
+                    .unwrap()
+                    .len()
+            }));
+        }
+        for handle in handles {
+            assert!(handle.join().unwrap() >= 1);
+        }
+        assert_eq!(session.stats().updates_applied, 4);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_documents_are_rejected() {
+        let dir = scratch("unknown");
+        let session = Session::open(&dir, SessionConfig::default()).unwrap();
+        assert!(matches!(
+            session.document("ghost"),
+            Err(WarehouseError::UnknownDocument(_))
+        ));
+        let people = session.create("people", directory()).unwrap();
+        session.drop_document("people").unwrap();
+        // The outstanding handle now reports the document as gone.
+        assert!(matches!(
+            people.query(&Pattern::parse("person").unwrap()),
+            Err(WarehouseError::UnknownDocument(_))
+        ));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

@@ -1,4 +1,12 @@
-//! The probabilistic XML warehouse.
+//! The probabilistic XML warehouse engine.
+//!
+//! [`Warehouse`] is the synchronised engine behind the session API
+//! ([`crate::session::Session`] / [`crate::session::Document`] /
+//! [`crate::session::Txn`]): named fuzzy-tree documents, a query interface,
+//! an atomic batch-commit pipeline and durable storage. User code should
+//! reach it through a [`crate::session::Session`]; the one-shot entry points
+//! kept here ([`Warehouse::open`], [`Warehouse::update`]) are deprecated
+//! shims over the same engine.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -6,12 +14,14 @@ use std::path::Path;
 
 use parking_lot::{Mutex, RwLock};
 use pxml_core::{
-    CoreError, FuzzyQueryResult, FuzzyTree, Simplifier, SimplifyReport, UpdateStats,
-    UpdateTransaction,
+    BatchStats, CoreError, FuzzyQueryResult, FuzzyTree, Simplifier, SimplifyPolicy, SimplifyReport,
+    UpdateStats, UpdateTransaction,
 };
 use pxml_query::Pattern;
 use pxml_store::{DocumentStore, StoreError};
 use pxml_tree::Tree;
+
+use crate::session::SessionConfig;
 
 /// Errors raised by the warehouse.
 #[derive(Debug)]
@@ -63,7 +73,11 @@ impl From<CoreError> for WarehouseError {
     }
 }
 
-/// Maintenance policy of the warehouse.
+/// Maintenance policy of the pre-session warehouse API.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `pxml_warehouse::SessionConfig` (simplification is a `SimplifyPolicy` there)"
+)]
 #[derive(Debug, Clone)]
 pub struct WarehouseConfig {
     /// Run the simplifier automatically after an update once the document's
@@ -75,11 +89,25 @@ pub struct WarehouseConfig {
     pub checkpoint_every: Option<usize>,
 }
 
+#[allow(deprecated)]
 impl Default for WarehouseConfig {
     fn default() -> Self {
         WarehouseConfig {
             auto_simplify_above_literals: Some(512),
             checkpoint_every: Some(64),
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl From<WarehouseConfig> for SessionConfig {
+    fn from(config: WarehouseConfig) -> Self {
+        SessionConfig {
+            simplify: match config.auto_simplify_above_literals {
+                Some(limit) => SimplifyPolicy::Threshold(limit),
+                None => SimplifyPolicy::Never,
+            },
+            checkpoint_every: config.checkpoint_every,
         }
     }
 }
@@ -97,27 +125,38 @@ pub struct WarehouseStats {
     pub checkpoints: usize,
 }
 
-/// The probabilistic XML warehouse: named fuzzy-tree documents with a query
-/// interface, a probabilistic update interface and durable storage.
+/// The probabilistic XML warehouse engine: named fuzzy-tree documents with a
+/// query interface, an atomic batch-commit pipeline and durable storage.
 ///
 /// All methods take `&self`; the warehouse is internally synchronised
 /// (per-warehouse read/write lock on the document map) so it can be shared
-/// behind an `Arc` by several module threads.
+/// behind an `Arc` by several module threads — the session API does exactly
+/// that.
 pub struct Warehouse {
     store: DocumentStore,
-    config: WarehouseConfig,
+    config: SessionConfig,
     documents: RwLock<HashMap<String, FuzzyTree>>,
     stats: Mutex<WarehouseStats>,
 }
 
 impl Warehouse {
-    /// Opens a warehouse backed by the given directory, recovering every
-    /// stored document (checkpoint + journal replay).
-    pub fn open(path: impl AsRef<Path>, config: WarehouseConfig) -> Result<Self, WarehouseError> {
+    /// Opens the engine backed by the given directory, recovering every
+    /// stored document (checkpoint + journal replay). Recovery honours the
+    /// session's [`SimplifyPolicy`]: replay alone would resurrect the
+    /// deletion-induced fragmentation that inline simplification removed
+    /// before the crash, so a policy that would have simplified gets one
+    /// pass over each replayed document.
+    pub fn with_config(
+        path: impl AsRef<Path>,
+        config: SessionConfig,
+    ) -> Result<Self, WarehouseError> {
         let store = DocumentStore::open(path)?;
         let mut documents = HashMap::new();
         for name in store.list_documents()? {
-            let fuzzy = store.recover_document(&name)?;
+            let mut fuzzy = store.recover_document(&name)?;
+            if !store.read_batches(&name)?.is_empty() && config.simplify.should_run(&fuzzy) {
+                Simplifier::new().run(&mut fuzzy)?;
+            }
             documents.insert(name, fuzzy);
         }
         Ok(Warehouse {
@@ -126,6 +165,21 @@ impl Warehouse {
             documents: RwLock::new(documents),
             stats: Mutex::new(WarehouseStats::default()),
         })
+    }
+
+    /// Opens a warehouse backed by the given directory.
+    #[deprecated(
+        since = "0.2.0",
+        note = "open a `pxml_warehouse::Session` instead (`Session::open`)"
+    )]
+    #[allow(deprecated)]
+    pub fn open(path: impl AsRef<Path>, config: WarehouseConfig) -> Result<Self, WarehouseError> {
+        Warehouse::with_config(path, config.into())
+    }
+
+    /// The session configuration the engine runs under.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
     }
 
     /// The storage directory backing the warehouse.
@@ -192,27 +246,48 @@ impl Warehouse {
         Ok(result)
     }
 
-    /// Applies a probabilistic update transaction to a document (slide 3's
-    /// update interface: "update transaction + confidence"), journals it, and
-    /// runs the configured maintenance (auto-simplification, checkpointing).
-    pub fn update(
+    /// Commits a staged transaction batch to a document atomically: the
+    /// batch is applied to a working copy through the policy-aware pipeline
+    /// (`policy` overrides the session policy when given), journaled as one
+    /// durable entry (the journal rename is the commit point), and only then
+    /// swapped in — an error *before* the commit point leaves the in-memory
+    /// document and the journal exactly as they were. Configured maintenance
+    /// (checkpoint folding) runs after the commit; a maintenance error is
+    /// reported, but the commit itself is already durable and recoverable at
+    /// that point.
+    ///
+    /// This is the engine path behind [`crate::session::Txn::commit`].
+    pub fn commit_batch(
         &self,
         name: &str,
-        transaction: &UpdateTransaction,
-    ) -> Result<UpdateStats, WarehouseError> {
+        batch: &[UpdateTransaction],
+        policy: Option<SimplifyPolicy>,
+    ) -> Result<BatchStats, WarehouseError> {
+        let policy = policy.unwrap_or(self.config.simplify);
         let mut documents = self.documents.write();
         let fuzzy = documents
             .get_mut(name)
             .ok_or_else(|| WarehouseError::UnknownDocument(name.to_string()))?;
-        let update_stats = transaction.apply_to_fuzzy(fuzzy)?;
-        self.store.append_update(name, transaction)?;
+        if batch.is_empty() {
+            return Ok(BatchStats::default());
+        }
+        // Apply to a working copy first (rollback = dropping the copy), make
+        // the batch durable, then swap the new state in.
+        let mut working = fuzzy.clone();
+        let mut batch_stats = BatchStats::default();
+        for update in batch {
+            batch_stats
+                .updates
+                .push(update.apply_to_fuzzy_with(&mut working, policy)?);
+        }
+        self.store.append_batch(name, batch)?;
+        *fuzzy = working;
 
-        let mut simplified = false;
-        if let Some(threshold) = self.config.auto_simplify_above_literals {
-            if fuzzy.condition_literal_count() > threshold {
-                Simplifier::new().run(fuzzy)?;
-                simplified = true;
-            }
+        // The commit happened: record it before any maintenance can fail.
+        {
+            let mut stats = self.stats.lock();
+            stats.updates_applied += batch.len();
+            stats.simplifications += batch_stats.simplify_runs();
         }
         let mut checkpointed = false;
         if let Some(every) = self.config.checkpoint_every {
@@ -223,15 +298,24 @@ impl Warehouse {
         }
         drop(documents);
 
-        let mut stats = self.stats.lock();
-        stats.updates_applied += 1;
-        if simplified {
-            stats.simplifications += 1;
-        }
         if checkpointed {
-            stats.checkpoints += 1;
+            self.stats.lock().checkpoints += 1;
         }
-        Ok(update_stats)
+        Ok(batch_stats)
+    }
+
+    /// Applies a single probabilistic update transaction to a document.
+    #[deprecated(
+        since = "0.2.0",
+        note = "stage the update through `Document::begin()` and commit the `Txn` instead"
+    )]
+    pub fn update(
+        &self,
+        name: &str,
+        transaction: &UpdateTransaction,
+    ) -> Result<UpdateStats, WarehouseError> {
+        let stats = self.commit_batch(name, std::slice::from_ref(transaction), None)?;
+        Ok(stats.updates.into_iter().next().unwrap_or_default())
     }
 
     /// Runs the simplifier on a document and persists the result as a fresh
@@ -271,6 +355,10 @@ impl Warehouse {
 
 #[cfg(test)]
 mod tests {
+    // These tests deliberately exercise the deprecated pre-session shims so
+    // the one-release compatibility window stays covered.
+    #![allow(deprecated)]
+
     use super::*;
     use pxml_query::PNodeId;
     use pxml_tree::parse_data_tree;

@@ -1,6 +1,7 @@
 //! The conditional-replacement example of slide 15: "replace C by D if B is
 //! present, with confidence 0.9", showing how deletions duplicate nodes and
-//! how simplification keeps documents small afterwards.
+//! how the apply pipeline's `SimplifyPolicy` keeps documents small — inline,
+//! where the duplication is created.
 //!
 //! Run with `cargo run --example conditional_replacement`.
 
@@ -21,8 +22,8 @@ fn print_document(title: &str, doc: &FuzzyTree) {
     println!("{}", doc.events());
 }
 
-fn main() {
-    // The input document: A(B[w1], C[w2]) with P(w1)=0.8, P(w2)=0.7.
+/// The input document: A(B[w1], C[w2]) with P(w1)=0.8, P(w2)=0.7.
+fn slide15_document() -> FuzzyTree {
     let mut doc = FuzzyTree::new("A");
     let w1 = doc.add_event("w1", 0.8).expect("fresh event");
     let w2 = doc.add_event("w2", 0.7).expect("fresh event");
@@ -33,16 +34,28 @@ fn main() {
     let c = doc.add_element(root, "C");
     doc.set_condition(c, Condition::from_literal(Literal::pos(w2)))
         .expect("not root");
-    print_document("Before the update", &doc);
+    doc
+}
 
-    // The probabilistic replacement.
+/// The probabilistic replacement: where A has children B and C, delete C and
+/// insert D, with the given confidence.
+fn replacement(confidence: f64) -> Update {
     let pattern = Pattern::parse("/A { B, C }").expect("valid query");
     let ids: Vec<_> = pattern.node_ids().collect();
-    let replacement = UpdateTransaction::new(pattern, 0.9)
-        .expect("valid confidence")
-        .with_insert(ids[0], parse_data_tree("<D/>").expect("valid XML"))
-        .with_delete(ids[2]);
-    let stats = replacement
+    Update::matching(pattern)
+        .insert_at(ids[0], parse_data_tree("<D/>").expect("valid XML"))
+        .delete_at(ids[2])
+        .with_confidence(confidence)
+}
+
+fn main() {
+    let mut doc = slide15_document();
+    print_document("Before the update", &doc);
+
+    // The slide-15 replacement, applied through the raw pipeline so the
+    // duplication it creates stays visible.
+    let transaction = replacement(0.9).build().expect("valid confidence");
+    let stats = transaction
         .apply_to_fuzzy(&mut doc)
         .expect("update applies");
     println!(
@@ -52,39 +65,58 @@ fn main() {
     print_document("After the conditional replacement (slide 15)", &doc);
 
     // Chain more low-confidence replacements to show the growth the paper
-    // warns about, then simplify.
-    for round in 0..3 {
-        let pattern = Pattern::parse("/A { B, C }").expect("valid query");
-        let ids: Vec<_> = pattern.node_ids().collect();
-        let again = UpdateTransaction::new(pattern, 0.5)
-            .expect("valid confidence")
-            .with_delete(ids[2]);
-        again.apply_to_fuzzy(&mut doc).expect("update applies");
+    // warns about — once without any simplification, once with the pipeline's
+    // inline policy.
+    let chained = 3;
+    let mut raw = doc.clone();
+    let mut inline = doc.clone();
+    println!("chained low-confidence deletions, SimplifyPolicy::Never vs Inline:");
+    for round in 0..chained {
+        let delete_c = {
+            let pattern = Pattern::parse("/A { B, C }").expect("valid query");
+            let ids: Vec<_> = pattern.node_ids().collect();
+            Update::matching(pattern)
+                .delete_at(ids[2])
+                .with_confidence(0.5)
+                .build()
+                .expect("valid confidence")
+        };
+        delete_c
+            .apply_to_fuzzy_with(&mut raw, SimplifyPolicy::Never)
+            .expect("update applies");
+        delete_c
+            .apply_to_fuzzy_with(&mut inline, SimplifyPolicy::Inline)
+            .expect("update applies");
         println!(
-            "after chained deletion #{round}: {} nodes, {} condition literals, {} events",
-            doc.node_count(),
-            doc.condition_literal_count(),
-            doc.event_count()
+            "  round #{round}: never  → {:>3} nodes, {:>3} literals, {:>2} events   inline → {:>3} nodes, {:>3} literals, {:>2} events",
+            raw.node_count(),
+            raw.condition_literal_count(),
+            raw.event_count(),
+            inline.node_count(),
+            inline.condition_literal_count(),
+            inline.event_count()
         );
     }
 
+    // A final explicit pass over the raw document shows what the bolted-on
+    // approach wins back afterwards.
     let before = (
-        doc.node_count(),
-        doc.condition_literal_count(),
-        doc.event_count(),
+        raw.node_count(),
+        raw.condition_literal_count(),
+        raw.event_count(),
     );
     let report = Simplifier::new()
-        .run(&mut doc)
+        .run(&mut raw)
         .expect("simplification succeeds");
     println!(
-        "\nsimplification: {:?}\n  {} → {} nodes, {} → {} literals, {} → {} events",
+        "\npost-hoc simplification of the Never document: {:?}\n  {} → {} nodes, {} → {} literals, {} → {} events",
         report,
         before.0,
-        doc.node_count(),
+        raw.node_count(),
         before.1,
-        doc.condition_literal_count(),
+        raw.condition_literal_count(),
         before.2,
-        doc.event_count()
+        raw.event_count()
     );
-    print_document("After simplification", &doc);
+    print_document("Inline-simplified document", &inline);
 }

@@ -1,10 +1,10 @@
 //! Managing imprecise information-extraction output — the motivating use
-//! case of the paper's introduction.
+//! case of the paper's introduction — on the session API.
 //!
 //! Several extraction modules report facts about people with confidence
-//! values; the fuzzy-tree document accumulates them, queries return answers
-//! with probabilities, and contradictory evidence (a data-cleaning pass) is
-//! handled by probabilistic deletion.
+//! values; each module's facts are staged into one atomically committed
+//! transaction. Queries return answers with probabilities, and contradictory
+//! evidence (a data-cleaning pass) is handled by probabilistic deletion.
 //!
 //! Run with `cargo run --example information_extraction`.
 
@@ -16,100 +16,117 @@ struct ExtractedFact {
     field: &'static str,
     value: &'static str,
     confidence: f64,
-    module: &'static str,
 }
 
-fn insert_fact(fact: &ExtractedFact) -> UpdateTransaction {
+fn insert_fact(fact: &ExtractedFact) -> Update {
     let pattern =
         Pattern::parse(&format!("person {{ name[=\"{}\"] }}", fact.person)).expect("valid query");
-    let target = pattern.root();
+    let person = pattern.root();
     let mut subtree = Tree::new(fact.field);
     subtree.add_text(subtree.root(), fact.value);
-    UpdateTransaction::new(pattern, fact.confidence)
-        .expect("confidence within [0, 1]")
-        .with_insert(target, subtree)
+    Update::matching(pattern)
+        .insert_at(person, subtree)
+        .with_confidence(fact.confidence)
 }
 
 fn main() {
+    let storage =
+        std::env::temp_dir().join(format!("pxml-extraction-example-{}", std::process::id()));
+    let session = Session::open(&storage, SessionConfig::default()).expect("session opens");
+
     // The initial directory holds two people whose names are certain
     // (human-curated seed data).
-    let mut directory = FuzzyTree::from_tree(
-        parse_data_tree(
-            "<directory>\
-               <person><name>ada-lovelace</name></person>\
-               <person><name>alan-turing</name></person>\
-             </directory>",
+    let directory = session
+        .create(
+            "directory",
+            parse_data_tree(
+                "<directory>\
+                   <person><name>ada-lovelace</name></person>\
+                   <person><name>alan-turing</name></person>\
+                 </directory>",
+            )
+            .expect("valid XML"),
         )
-        .expect("valid XML"),
-    );
+        .expect("document created");
 
-    // A stream of extracted facts with heterogeneous confidences: a precise
-    // web extractor, a noisier NLP pipeline, and an OCR pass.
-    let facts = [
-        ExtractedFact {
-            person: "alan-turing",
-            field: "affiliation",
-            value: "bletchley-park",
-            confidence: 0.95,
-            module: "web-extractor",
-        },
-        ExtractedFact {
-            person: "alan-turing",
-            field: "email",
-            value: "turing@npl.example",
-            confidence: 0.55,
-            module: "nlp-pipeline",
-        },
-        ExtractedFact {
-            person: "ada-lovelace",
-            field: "affiliation",
-            value: "analytical-engine-society",
-            confidence: 0.7,
-            module: "web-extractor",
-        },
-        ExtractedFact {
-            person: "ada-lovelace",
-            field: "birth-year",
-            value: "1815",
-            confidence: 0.9,
-            module: "ocr",
-        },
-        ExtractedFact {
-            person: "ada-lovelace",
-            field: "birth-year",
-            value: "1816",
-            confidence: 0.4,
-            module: "ocr",
-        },
+    // Streams of extracted facts with heterogeneous confidences: a precise
+    // web extractor, a noisier NLP pipeline, and an OCR pass. Each module's
+    // output is one staged transaction.
+    let modules: &[(&str, &[ExtractedFact])] = &[
+        (
+            "web-extractor",
+            &[
+                ExtractedFact {
+                    person: "alan-turing",
+                    field: "affiliation",
+                    value: "bletchley-park",
+                    confidence: 0.95,
+                },
+                ExtractedFact {
+                    person: "ada-lovelace",
+                    field: "affiliation",
+                    value: "analytical-engine-society",
+                    confidence: 0.7,
+                },
+            ],
+        ),
+        (
+            "nlp-pipeline",
+            &[ExtractedFact {
+                person: "alan-turing",
+                field: "email",
+                value: "turing@npl.example",
+                confidence: 0.55,
+            }],
+        ),
+        (
+            "ocr",
+            &[
+                ExtractedFact {
+                    person: "ada-lovelace",
+                    field: "birth-year",
+                    value: "1815",
+                    confidence: 0.9,
+                },
+                ExtractedFact {
+                    person: "ada-lovelace",
+                    field: "birth-year",
+                    value: "1816",
+                    confidence: 0.4,
+                },
+            ],
+        ),
     ];
 
-    println!("== Ingesting extracted facts ==");
-    for fact in &facts {
-        let stats = insert_fact(fact)
-            .apply_to_fuzzy(&mut directory)
-            .expect("update applies");
+    println!("== Ingesting extracted facts (one txn per module) ==");
+    for (module, facts) in modules {
+        let mut txn = directory.begin();
+        for fact in *facts {
+            txn = txn.stage(insert_fact(fact));
+            println!(
+                "  [{module:<13}] {}/{} = {:<28} confidence {:.2}",
+                fact.person, fact.field, fact.value, fact.confidence
+            );
+        }
+        let receipt = txn.commit().expect("commit succeeds");
         println!(
-            "  [{:<13}] {}/{} = {:<28} confidence {:.2}  ({} match)",
-            fact.module,
-            fact.person,
-            fact.field,
-            fact.value,
-            fact.confidence,
-            stats.applied_matches
+            "  [{module:<13}] committed {} update(s) atomically\n",
+            receipt.len()
         );
     }
 
     // Query the directory: per-answer probabilities.
-    println!("\n== What do we believe about birth years? ==");
+    println!("== What do we believe about birth years? ==");
     let query = Pattern::parse("person { name, birth-year }").expect("valid query");
     let birth_year_node = query
         .node_ids()
         .nth(2)
         .expect("birth-year is the third node");
-    let result = directory.query(&query);
+    let snapshot = directory.snapshot().expect("document exists");
+    let result = directory.query(&query).expect("query runs");
     for answer in &result.matches {
         let original = answer.matching.image(birth_year_node);
-        let year = directory.tree().node_value(original).unwrap_or_default();
+        let year = snapshot.tree().node_value(original).unwrap_or_default();
         println!(
             "  birth-year answer (value {year:?}) holds with probability {:.3}",
             answer.probability
@@ -125,35 +142,43 @@ fn main() {
         .node_ids()
         .nth(2)
         .expect("email is the third node");
-    let retraction = UpdateTransaction::new(retract_pattern, 0.8)
-        .expect("valid confidence")
-        .with_delete(email_node);
-    retraction
-        .apply_to_fuzzy(&mut directory)
-        .expect("update applies");
+    directory
+        .begin()
+        .stage(
+            Update::matching(retract_pattern)
+                .delete_at(email_node)
+                .with_confidence(0.8),
+        )
+        .commit()
+        .expect("commit succeeds");
 
     let email_query = Pattern::parse("person { email }").expect("valid query");
-    println!(
-        "  P(the directory still records an e-mail) = {:.3}",
-        directory.selection_probability(&email_query)
-    );
+    let email_result = directory.query(&email_query).expect("query runs");
+    let still_there: f64 = email_result
+        .matches
+        .iter()
+        .map(|m| m.probability)
+        .fold(0.0_f64, f64::max);
+    println!("  P(the directory still records an e-mail) = {still_there:.3}");
 
-    // Housekeeping: simplification keeps the accumulated bookkeeping small.
-    let before = directory.condition_literal_count();
-    let report = Simplifier::new()
-        .run(&mut directory)
-        .expect("simplification succeeds");
+    // Housekeeping already happened inline (the default SimplifyPolicy), so
+    // an explicit pass has little left to do.
+    let report = directory.simplify().expect("simplification succeeds");
     println!(
-        "\nsimplified: {} → {} condition literals ({} node(s) merged, {} event(s) dropped)",
-        before,
-        directory.condition_literal_count(),
-        report.merged_nodes,
-        report.removed_events
+        "\nexplicit simplification after inline maintenance: {} node(s) merged, {} event(s) dropped",
+        report.merged_nodes, report.removed_events
     );
 
     println!("\n== Final document ==");
     println!(
         "{}",
-        pxml::store::serialize_fuzzy_document(&directory, true)
+        pxml::store::serialize_fuzzy_document(
+            &directory.snapshot().expect("document exists"),
+            true
+        )
     );
+
+    drop(directory);
+    drop(session);
+    let _ = std::fs::remove_dir_all(&storage);
 }

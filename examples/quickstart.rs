@@ -1,4 +1,5 @@
-//! Quickstart: build the paper's running example, query it, update it.
+//! Quickstart: build the paper's running example, query it, then work with it
+//! through the transactional session API.
 //!
 //! Run with `cargo run --example quickstart`.
 
@@ -6,7 +7,7 @@ use pxml::prelude::*;
 
 fn main() {
     // -----------------------------------------------------------------------
-    // 1. Build the slide-12 fuzzy tree: A(B[w1 ∧ ¬w2], C, D[w2]).
+    // 1. The model layer: the slide-12 fuzzy tree A(B[w1 ∧ ¬w2], C, D[w2]).
     // -----------------------------------------------------------------------
     let mut doc = FuzzyTree::new("A");
     let w1 = doc.add_event("w1", 0.8).expect("fresh event");
@@ -49,24 +50,38 @@ fn main() {
     }
 
     // -----------------------------------------------------------------------
-    // 4. A probabilistic update: insert E below A when D is present, with
-    //    confidence 0.9, then look at the document again.
+    // 4. The session API: persist the document, then stage and commit a
+    //    probabilistic update — insert E below A when D is present, with
+    //    confidence 0.9.
     // -----------------------------------------------------------------------
+    let storage =
+        std::env::temp_dir().join(format!("pxml-quickstart-example-{}", std::process::id()));
+    let session = Session::open(&storage, SessionConfig::default()).expect("session opens");
+    let handle = session
+        .create_fuzzy("slide12", doc.clone())
+        .expect("document created");
+
     let pattern = Pattern::parse("A { D }").expect("valid query syntax");
     let target = pattern.root();
-    let update = UpdateTransaction::new(pattern, 0.9)
-        .expect("valid confidence")
-        .with_insert(
+    let update = Update::matching(pattern)
+        .insert_at(
             target,
             parse_data_tree("<E>found-it</E>").expect("valid XML"),
-        );
-    let mut updated = doc.clone();
-    let stats = update.apply_to_fuzzy(&mut updated).expect("update applies");
+        )
+        .with_confidence(0.9);
+    let receipt = handle
+        .begin()
+        .stage(update.clone())
+        .commit()
+        .expect("commit succeeds");
+
     println!("\n== After inserting E (confidence 0.9, when D present) ==");
+    let stats = &receipt.updates[0];
     println!(
         "  matches: {}, inserted nodes: {}",
         stats.match_count, stats.inserted_nodes
     );
+    let updated = handle.snapshot().expect("document exists");
     println!("  {}", updated.tree());
     let e_query = Pattern::parse("A { E }").expect("valid query syntax");
     println!(
@@ -75,12 +90,21 @@ fn main() {
     );
 
     // -----------------------------------------------------------------------
-    // 5. The two semantics agree (the commutation theorems).
+    // 5. The two semantics agree (the commutation theorems): committing the
+    //    staged update equals updating every possible world.
     // -----------------------------------------------------------------------
-    let via_worlds = doc.to_possible_worlds().expect("expansion").update(&update);
+    let transaction = update.build().expect("valid confidence");
+    let via_worlds = doc
+        .to_possible_worlds()
+        .expect("expansion")
+        .update(&transaction);
     let via_fuzzy = updated.to_possible_worlds().expect("expansion");
     println!(
         "\nupdate/semantics diagram commutes: {}",
         via_worlds.equivalent(&via_fuzzy, 1e-9)
     );
+
+    drop(handle);
+    drop(session);
+    let _ = std::fs::remove_dir_all(&storage);
 }

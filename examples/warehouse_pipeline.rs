@@ -1,7 +1,8 @@
-//! The full warehouse architecture of slide 3: simulated imprecise modules
-//! push probabilistic updates into a persistent warehouse, a user runs
-//! tree-pattern queries, the warehouse simplifies and checkpoints itself, and
-//! the state survives a restart.
+//! The full warehouse architecture of slide 3 on the session API: simulated
+//! imprecise modules stage probabilistic updates into atomically committed
+//! transactions, a user runs tree-pattern queries through a document handle,
+//! the session simplifies inline and checkpoints itself, and the state
+//! survives a restart.
 //!
 //! Run with `cargo run --example warehouse_pipeline`.
 
@@ -15,34 +16,35 @@ fn main() {
     let people = 12;
 
     // -----------------------------------------------------------------------
-    // 1. Open the warehouse and load the seed directory.
+    // 1. Open the session and load the seed directory.
     // -----------------------------------------------------------------------
-    let warehouse = Warehouse::open(
+    let session = Session::open(
         &storage,
-        WarehouseConfig {
-            auto_simplify_above_literals: Some(256),
+        SessionConfig {
+            simplify: SimplifyPolicy::Inline,
             checkpoint_every: Some(16),
         },
     )
-    .expect("warehouse opens");
+    .expect("session opens");
     let scenario = PeopleScenarioConfig {
         people,
         ..PeopleScenarioConfig::default()
     };
-    warehouse
-        .create_document("people", people_directory(&scenario))
+    let document = session
+        .create("people", people_directory(&scenario))
         .expect("document created");
-    println!("warehouse storage: {}", warehouse.storage_root().display());
+    println!("warehouse storage: {}", session.storage_root().display());
 
     // -----------------------------------------------------------------------
-    // 2. Three imprecise modules feed the warehouse (slide 3's Module 1..3).
+    // 2. Three imprecise modules feed the document (slide 3's Module 1..3);
+    //    each round-robin round commits one staged transaction.
     // -----------------------------------------------------------------------
     let mut modules: Vec<Box<dyn SourceModule>> = vec![
         Box::new(ExtractionModule::new("web-extractor", 1, people, 40, 0.9)),
         Box::new(ExtractionModule::new("nlp-pipeline", 2, people, 40, 0.6)),
         Box::new(DataCleaningModule::new("data-cleaning", 3, people, 20)),
     ];
-    let pushed = run_modules(&warehouse, "people", &mut modules).expect("modules run");
+    let pushed = run_modules(&document, &mut modules).expect("modules run");
     println!("\n== Updates pushed by the modules ==");
     for (module, count) in &pushed {
         println!("  {module:<15} {count} update transaction(s)");
@@ -58,7 +60,7 @@ fn main() {
         "person { name, city }",
     ] {
         let query = Pattern::parse(text).expect("valid query");
-        let result = warehouse.query("people", &query).expect("query runs");
+        let result = document.query(&query).expect("query runs");
         let best = result
             .matches
             .iter()
@@ -72,9 +74,10 @@ fn main() {
     }
 
     // -----------------------------------------------------------------------
-    // 4. Maintenance and persistence.
+    // 4. Maintenance and persistence. Inline simplification already ran at
+    //    every commit; an explicit pass checkpoints on top.
     // -----------------------------------------------------------------------
-    let snapshot = warehouse.document("people").expect("document exists");
+    let snapshot = document.snapshot().expect("document exists");
     println!("\n== Document health ==");
     println!("  nodes: {}", snapshot.node_count());
     println!("  events: {}", snapshot.event_count());
@@ -82,30 +85,32 @@ fn main() {
         "  condition literals: {}",
         snapshot.condition_literal_count()
     );
-    let report = warehouse
-        .simplify("people")
-        .expect("simplification succeeds");
-    let after = warehouse.document("people").expect("document exists");
+    let report = document.simplify().expect("simplification succeeds");
+    let after = document.snapshot().expect("document exists");
     println!(
-        "  after simplification: {} nodes, {} events, {} literals ({} passes)",
+        "  after explicit simplification: {} nodes, {} events, {} literals ({} passes)",
         after.node_count(),
         after.event_count(),
         after.condition_literal_count(),
         report.passes
     );
-    println!("  warehouse stats: {:?}", warehouse.stats());
+    println!("  session stats: {:?}", session.stats());
 
     // -----------------------------------------------------------------------
     // 5. Restart: recover from the checkpoint + journal.
     // -----------------------------------------------------------------------
-    drop(warehouse);
-    let reopened = Warehouse::open(&storage, WarehouseConfig::default()).expect("reopens");
+    drop(document);
+    drop(session);
+    let reopened = Session::open(&storage, SessionConfig::default()).expect("reopens");
+    let people_again = reopened.document("people").expect("document recovered");
     let phones = Pattern::parse("person { phone }").expect("valid query");
     println!(
         "\nafter restart, {} phone answer(s) are still there",
-        reopened.query("people", &phones).expect("query runs").len()
+        people_again.query(&phones).expect("query runs").len()
     );
 
     // Clean up the scratch directory so repeated runs start fresh.
+    drop(people_again);
+    drop(reopened);
     let _ = std::fs::remove_dir_all(&storage);
 }

@@ -5,8 +5,8 @@
 //! Supported surface:
 //!
 //! * integer range strategies (`0u8..6`, `1u32..=100`, …), tuples of
-//!   strategies, [`collection::vec`], [`option::of`], [`any`],
-//!   [`Strategy::prop_map`], [`Strategy::prop_recursive`],
+//!   strategies, [`collection::vec`], [`option::of`], [`strategy::any`],
+//!   [`strategy::Strategy::prop_map`], [`strategy::Strategy::prop_recursive`],
 //!   [`strategy::Just`];
 //! * the [`proptest!`] macro with an optional
 //!   `#![proptest_config(...)]` header, and the [`prop_assert!`] /

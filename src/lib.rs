@@ -14,36 +14,77 @@
 //! | [`tree`] | `pxml-tree` | unordered data trees, XML parsing/serialization |
 //! | [`event`] | `pxml-event` | probabilistic events, conditions, formulas |
 //! | [`query`] | `pxml-query` | TPWJ queries: syntax, matcher, answers |
-//! | [`core`] | `pxml-core` | possible worlds, fuzzy trees, updates, simplification |
-//! | [`store`] | `pxml-store` | PrXML format, document store, update journal |
-//! | [`warehouse`] | `pxml-warehouse` | the probabilistic XML warehouse and source modules |
+//! | [`core`] | `pxml-core` | possible worlds, fuzzy trees, updates, batches, simplification |
+//! | [`store`] | `pxml-store` | PrXML format, document store, batched update journal |
+//! | [`warehouse`] | `pxml-warehouse` | sessions, document handles, staged transactions, source modules |
 //! | [`gen`] | `pxml-gen` | seeded workload generators |
 //!
-//! ## Quickstart
+//! ## Quickstart: the session API
+//!
+//! The documented default path is the transactional document-session API:
+//! open a [`Session`](prelude::Session), get a [`Document`](prelude::Document)
+//! handle, stage fluently built probabilistic updates into a
+//! [`Txn`](prelude::Txn), and commit — the batch applies through the
+//! policy-aware pipeline (inline simplification by default), lands in the
+//! journal as one atomic entry, and is replayed by crash recovery.
 //!
 //! ```
 //! use pxml::prelude::*;
 //!
-//! // The fuzzy tree of slide 12: A(B[w1 ∧ ¬w2], C, D[w2]).
-//! let mut doc = FuzzyTree::new("A");
-//! let w1 = doc.add_event("w1", 0.8).unwrap();
-//! let w2 = doc.add_event("w2", 0.7).unwrap();
-//! let root = doc.root();
-//! let b = doc.add_element(root, "B");
-//! doc.set_condition(b, Condition::from_literals([Literal::pos(w1), Literal::neg(w2)])).unwrap();
-//! doc.add_element(root, "C");
-//! let d = doc.add_element(root, "D");
-//! doc.set_condition(d, Condition::from_literal(Literal::pos(w2))).unwrap();
+//! let dir = std::env::temp_dir().join(format!("pxml-doc-quickstart-{}", std::process::id()));
+//! let session = Session::open(&dir, SessionConfig::default()).unwrap();
+//! let people = session
+//!     .create(
+//!         "people",
+//!         parse_data_tree("<directory><person><name>alice</name></person></directory>").unwrap(),
+//!     )
+//!     .unwrap();
 //!
-//! // Query it: what is the probability that A has a B child?
-//! let query = Pattern::parse("A { B }").unwrap();
-//! let result = doc.query(&query);
-//! assert!((result.matches[0].probability - 0.24).abs() < 1e-12);
+//! // An extraction module reports a phone number (confidence 0.8) and an
+//! // e-mail address (confidence 0.6); both land in one atomic transaction.
+//! let alice = Pattern::parse("person { name[=\"alice\"] }").unwrap();
+//! let person = alice.root();
+//! let receipt = people
+//!     .begin()
+//!     .stage(
+//!         Update::matching(alice.clone())
+//!             .insert_at(person, parse_data_tree("<phone>+33-1</phone>").unwrap())
+//!             .with_confidence(0.8),
+//!     )
+//!     .stage(
+//!         Update::matching(alice)
+//!             .insert_at(person, parse_data_tree("<email>a@example.org</email>").unwrap())
+//!             .with_confidence(0.6),
+//!     )
+//!     .commit()
+//!     .unwrap();
+//! assert_eq!(receipt.len(), 2);
 //!
-//! // Expand to possible worlds: the three worlds of the paper.
-//! let worlds = doc.to_possible_worlds().unwrap();
-//! assert_eq!(worlds.len(), 3);
+//! // Query: answers carry probabilities.
+//! let result = people.query(&Pattern::parse("person { phone }").unwrap()).unwrap();
+//! assert!((result.matches[0].probability - 0.8).abs() < 1e-12);
+//! # drop(people); drop(session); let _ = std::fs::remove_dir_all(&dir);
 //! ```
+//!
+//! The model layer stays available for in-memory work — build a
+//! [`FuzzyTree`](prelude::FuzzyTree), query it, expand it to possible worlds
+//! — exactly as in the paper's examples (see `examples/quickstart.rs`).
+//!
+//! ## Migrating from the pre-session API
+//!
+//! The free-standing warehouse calls survive one release as deprecated
+//! shims; new code should use the session API:
+//!
+//! | Old call | New call |
+//! |---|---|
+//! | `Warehouse::open(path, WarehouseConfig { auto_simplify_above_literals, .. })` | `Session::open(path, SessionConfig { simplify: SimplifyPolicy::…, .. })` |
+//! | `warehouse.create_document(name, tree)` | `session.create(name, tree)` → [`Document`](prelude::Document) handle |
+//! | `warehouse.query(name, &pattern)` | `document.query(&pattern)` |
+//! | `warehouse.document(name)` | `document.snapshot()` |
+//! | `UpdateTransaction::new(pattern, c)?.with_insert(t, sub)` | `Update::matching(pattern).insert_at(t, sub).with_confidence(c)` |
+//! | `warehouse.update(name, &tx)` | `document.begin().stage(update).commit()` |
+//! | `warehouse.simplify(name)` / `warehouse.checkpoint(name)` | `document.simplify()` / `document.checkpoint()` |
+//! | `store.append_update(name, &tx)` | `store.append_batch(name, &[tx])` |
 
 pub use pxml_core as core;
 pub use pxml_event as event;
@@ -56,15 +97,15 @@ pub use pxml_warehouse as warehouse;
 /// The most commonly used types, importable in one line.
 pub mod prelude {
     pub use pxml_core::{
-        encode_possible_worlds, CoreError, FuzzyQueryResult, FuzzyTree, PossibleWorlds,
-        ProbabilisticMatch, Simplifier, SimplifyReport, UpdateOperation, UpdateStats,
-        UpdateTransaction,
+        apply_batch, encode_possible_worlds, BatchStats, CoreError, FuzzyQueryResult, FuzzyTree,
+        PossibleWorlds, ProbabilisticMatch, Simplifier, SimplifyPolicy, SimplifyReport, Update,
+        UpdateOperation, UpdateStats, UpdateTransaction,
     };
     pub use pxml_event::{Condition, EventId, EventTable, Formula, Literal, Valuation};
     pub use pxml_query::{Axis, MatchStrategy, Pattern, QueryAnswers};
     pub use pxml_store::DocumentStore;
     pub use pxml_tree::{parse_data_tree, write_data_tree, Label, NodeId, Tree};
-    pub use pxml_warehouse::{Warehouse, WarehouseConfig};
+    pub use pxml_warehouse::{Document, Session, SessionConfig, Txn, Warehouse};
 }
 
 #[cfg(test)]
@@ -77,5 +118,35 @@ mod tests {
         let fuzzy = FuzzyTree::from_tree(tree);
         let query = Pattern::parse("a { b }").unwrap();
         assert_eq!(fuzzy.query(&query).len(), 1);
+    }
+
+    #[test]
+    fn session_types_are_in_the_prelude() {
+        let dir = std::env::temp_dir().join(format!("pxml-facade-session-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = Session::open(&dir, SessionConfig::default()).unwrap();
+        let doc = session
+            .create("doc", parse_data_tree("<r><a/></r>").unwrap())
+            .unwrap();
+        let pattern = Pattern::parse("r { a }").unwrap();
+        let receipt = doc
+            .begin()
+            .stage(
+                Update::matching(pattern.clone())
+                    .insert_at(pattern.root(), parse_data_tree("<b/>").unwrap())
+                    .with_confidence(0.5),
+            )
+            .commit()
+            .unwrap();
+        assert_eq!(receipt.len(), 1);
+        assert_eq!(
+            doc.query(&Pattern::parse("r { b }").unwrap())
+                .unwrap()
+                .len(),
+            1
+        );
+        drop(doc);
+        drop(session);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
