@@ -1,4 +1,4 @@
-//! The experiment harness: re-runs every experiment E1–E10 (each described
+//! The experiment harness: re-runs every experiment E1–E11 (each described
 //! at its section below) and prints paper-style result tables.
 //!
 //! Usage:
@@ -19,6 +19,9 @@ use pxml_bench::{
     insert_update_for, query_for, slide12, update_for, BENCH_SEED,
 };
 use pxml_core::{encode_possible_worlds, FuzzyTree, Simplifier, SimplifyPolicy, UpdateTransaction};
+use pxml_gen::concurrent::{
+    concurrent_workload, initial_document, ConcurrentWorkloadConfig, DocumentWorkload, WorkloadOp,
+};
 use pxml_gen::scenarios::{extraction_update, people_directory, PeopleScenarioConfig};
 use pxml_query::{MatchStrategy, Pattern};
 use pxml_tree::parse_data_tree;
@@ -69,6 +72,9 @@ fn main() {
     }
     if want("e10") {
         e10_complexity_summary(quick);
+    }
+    if want("e11") {
+        e11_concurrent_engine(quick);
     }
 }
 
@@ -654,4 +660,131 @@ fn e10_complexity_summary(quick: bool) {
             slope(&|r| r.4)
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// E11 — concurrent engine throughput scaling.
+// ---------------------------------------------------------------------------
+
+/// Replays one document's op stream against its warehouse handle, sleeping
+/// `think` before each operation: the think time stands in for the work a
+/// real imprecise module does per fact (extraction, NLP, entity resolution —
+/// the pipelines of slide 2), which dwarfs the engine call itself. Worker
+/// threads therefore overlap their module latency, and the measured scaling
+/// shows whether the *engine* lets them: with one lock over the whole
+/// document map, commits to independent documents would serialize and the
+/// curve flattens; with per-document locks it keeps climbing.
+fn e11_drive(
+    document: &pxml_warehouse::Document,
+    workload: &DocumentWorkload,
+    think: Duration,
+) -> usize {
+    let mut ops = 0usize;
+    for op in &workload.ops {
+        std::thread::sleep(think);
+        match op {
+            WorkloadOp::Query(pattern) => {
+                document.query(pattern).unwrap();
+            }
+            WorkloadOp::Commit(batch) => {
+                let mut txn = document.begin();
+                for update in batch {
+                    txn = txn.stage(update.clone());
+                }
+                txn.commit().unwrap();
+            }
+        }
+        ops += 1;
+    }
+    ops
+}
+
+fn e11_concurrent_engine(quick: bool) {
+    header(
+        "E11",
+        "concurrent engine: mixed-workload throughput scaling over independent documents",
+    );
+    let config = ConcurrentWorkloadConfig {
+        documents: 8,
+        people_per_document: 16,
+        ops_per_document: if quick { 24 } else { 60 },
+        query_fraction: 0.5,
+        updates_per_commit: 2,
+    };
+    let think = Duration::from_micros(2_000);
+    let total_ops = config.documents * config.ops_per_document;
+    println!(
+        "{} documents x {} ops (50% queries, 50% 2-update commits), {} µs simulated module \
+         latency per op",
+        config.documents,
+        config.ops_per_document,
+        think.as_micros()
+    );
+    println!(
+        "\n{:>10} {:>12} {:>12} {:>10}",
+        "threads", "wall (ms)", "ops/s", "speedup"
+    );
+    let mut baseline_ms = None;
+    for &threads in &[1usize, 2, 4, 8] {
+        let dir =
+            std::env::temp_dir().join(format!("pxml-harness-e11-{}-{threads}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = Session::open(
+            &dir,
+            SessionConfig {
+                simplify: SimplifyPolicy::Threshold(4096),
+                checkpoint_every: Some(16),
+            },
+        )
+        .unwrap();
+        let workloads = concurrent_workload(BENCH_SEED, &config);
+        let documents: Vec<_> = workloads
+            .iter()
+            .map(|w| {
+                session
+                    .create(&w.document, initial_document(&config))
+                    .unwrap()
+            })
+            .collect();
+
+        // Documents are dealt round-robin to threads. The same streams run
+        // at every thread count; wall time includes thread spawning — part
+        // of the price of using more threads.
+        let barrier = std::sync::Barrier::new(threads);
+        let start = Instant::now();
+        let executed: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let own: Vec<_> = workloads
+                        .iter()
+                        .zip(&documents)
+                        .skip(t)
+                        .step_by(threads)
+                        .collect();
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        barrier.wait();
+                        own.iter()
+                            .map(|(workload, document)| e11_drive(document, workload, think))
+                            .sum::<usize>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        let wall = start.elapsed();
+        assert_eq!(executed, total_ops);
+
+        let wall_ms = ms(wall);
+        let baseline = *baseline_ms.get_or_insert(wall_ms);
+        println!(
+            "{threads:>10} {wall_ms:>12.1} {:>12.1} {:>9.2}x",
+            total_ops as f64 / wall.as_secs_f64(),
+            baseline / wall_ms
+        );
+        drop(documents);
+        drop(session);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    println!();
 }

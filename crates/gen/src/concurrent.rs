@@ -1,0 +1,256 @@
+//! Seeded concurrent mixed workloads (experiment E11).
+//!
+//! The paper's warehouse is *multi-module*: several imprecise pipelines
+//! query and update shared probabilistic documents at the same time. This
+//! module fabricates that traffic shape deterministically: for each of `M`
+//! documents it derives an independent, seeded stream of mixed operations —
+//! TPWJ queries and committed update batches in a configurable ratio — that
+//! a driver can hand to any number of worker threads. Because every
+//! document's stream is generated from its own RNG, the workload is
+//! identical whether it is replayed by one thread or by eight, which is
+//! exactly what a throughput-scaling experiment needs.
+
+use pxml_core::UpdateTransaction;
+use pxml_query::Pattern;
+use pxml_tree::Tree;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::scenarios::{extraction_update, people_directory, PeopleScenarioConfig};
+
+/// Parameters of a concurrent mixed workload.
+#[derive(Debug, Clone)]
+pub struct ConcurrentWorkloadConfig {
+    /// Number of independent documents receiving traffic.
+    pub documents: usize,
+    /// People in each document's initial directory.
+    pub people_per_document: usize,
+    /// Operations (queries + commits) per document.
+    pub ops_per_document: usize,
+    /// Share of operations that are queries (the rest are commits).
+    pub query_fraction: f64,
+    /// Updates staged into each committed batch.
+    pub updates_per_commit: usize,
+}
+
+impl Default for ConcurrentWorkloadConfig {
+    fn default() -> Self {
+        ConcurrentWorkloadConfig {
+            documents: 8,
+            people_per_document: 16,
+            ops_per_document: 40,
+            query_fraction: 0.5,
+            updates_per_commit: 2,
+        }
+    }
+}
+
+impl ConcurrentWorkloadConfig {
+    fn scenario(&self) -> PeopleScenarioConfig {
+        PeopleScenarioConfig {
+            people: self.people_per_document.max(1),
+            ..PeopleScenarioConfig::default()
+        }
+    }
+}
+
+/// One operation of the mixed stream.
+#[derive(Debug, Clone)]
+pub enum WorkloadOp {
+    /// Evaluate a TPWJ query against the document.
+    Query(Pattern),
+    /// Commit this batch of probabilistic updates atomically.
+    Commit(Vec<UpdateTransaction>),
+}
+
+impl WorkloadOp {
+    /// `true` for the query variant.
+    pub fn is_query(&self) -> bool {
+        matches!(self, WorkloadOp::Query(_))
+    }
+}
+
+/// The traffic destined for one named document.
+#[derive(Debug, Clone)]
+pub struct DocumentWorkload {
+    /// The document's name in the warehouse (`doc-<i>`).
+    pub document: String,
+    /// The operations, in stream order.
+    pub ops: Vec<WorkloadOp>,
+}
+
+impl DocumentWorkload {
+    /// Number of update transactions across all commit operations.
+    pub fn update_count(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                WorkloadOp::Query(_) => 0,
+                WorkloadOp::Commit(batch) => batch.len(),
+            })
+            .sum()
+    }
+}
+
+/// The initial (certain) state every workload document starts from.
+pub fn initial_document(config: &ConcurrentWorkloadConfig) -> Tree {
+    people_directory(&config.scenario())
+}
+
+/// The query mix of the workload: the extraction-style patterns users run
+/// against a people directory.
+fn query_pool() -> Vec<Pattern> {
+    [
+        "person { phone }",
+        "person { email }",
+        "person { name, city }",
+        "person { name }",
+    ]
+    .iter()
+    .map(|text| Pattern::parse(text).expect("static query"))
+    .collect()
+}
+
+/// Generates the full workload: one independently seeded operation stream
+/// per document. The same `(seed, config)` pair always yields the same
+/// streams, regardless of how many threads later replay them.
+pub fn concurrent_workload(seed: u64, config: &ConcurrentWorkloadConfig) -> Vec<DocumentWorkload> {
+    let scenario = config.scenario();
+    let queries = query_pool();
+    (0..config.documents)
+        .map(|index| {
+            // Distinct, well-separated stream per document.
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let ops = (0..config.ops_per_document)
+                .map(|_| {
+                    if rng.gen_bool(config.query_fraction.clamp(0.0, 1.0)) {
+                        WorkloadOp::Query(queries[rng.gen_range(0..queries.len())].clone())
+                    } else {
+                        WorkloadOp::Commit(
+                            (0..config.updates_per_commit.max(1))
+                                .map(|_| extraction_update(&mut rng, &scenario).0)
+                                .collect(),
+                        )
+                    }
+                })
+                .collect();
+            DocumentWorkload {
+                document: format!("doc-{index}"),
+                ops,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxml_core::FuzzyTree;
+
+    #[test]
+    fn workload_is_reproducible() {
+        let config = ConcurrentWorkloadConfig::default();
+        let a = concurrent_workload(7, &config);
+        let b = concurrent_workload(7, &config);
+        assert_eq!(a.len(), b.len());
+        for (wa, wb) in a.iter().zip(&b) {
+            assert_eq!(wa.document, wb.document);
+            assert_eq!(wa.ops.len(), wb.ops.len());
+            for (oa, ob) in wa.ops.iter().zip(&wb.ops) {
+                match (oa, ob) {
+                    (WorkloadOp::Query(qa), WorkloadOp::Query(qb)) => {
+                        assert_eq!(qa.to_string(), qb.to_string());
+                    }
+                    (WorkloadOp::Commit(ba), WorkloadOp::Commit(bb)) => {
+                        assert_eq!(ba.len(), bb.len());
+                        for (ua, ub) in ba.iter().zip(bb) {
+                            assert_eq!(ua.pattern().to_string(), ub.pattern().to_string());
+                            assert!((ua.confidence() - ub.confidence()).abs() < 1e-12);
+                        }
+                    }
+                    _ => panic!("op kinds diverged between identically seeded workloads"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streams_differ_across_documents() {
+        let config = ConcurrentWorkloadConfig {
+            documents: 2,
+            ops_per_document: 20,
+            ..ConcurrentWorkloadConfig::default()
+        };
+        let workloads = concurrent_workload(3, &config);
+        let signature = |w: &DocumentWorkload| {
+            w.ops
+                .iter()
+                .map(|op| match op {
+                    WorkloadOp::Query(q) => format!("q:{q}"),
+                    WorkloadOp::Commit(batch) => format!("c:{}", batch.len()),
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(
+            signature(&workloads[0]),
+            signature(&workloads[1]),
+            "two documents drew identical 20-op streams"
+        );
+    }
+
+    #[test]
+    fn query_fraction_edges_are_respected() {
+        let all_queries = concurrent_workload(
+            1,
+            &ConcurrentWorkloadConfig {
+                query_fraction: 1.0,
+                ..ConcurrentWorkloadConfig::default()
+            },
+        );
+        assert!(all_queries
+            .iter()
+            .all(|w| w.ops.iter().all(WorkloadOp::is_query)));
+        let all_commits = concurrent_workload(
+            1,
+            &ConcurrentWorkloadConfig {
+                query_fraction: 0.0,
+                ..ConcurrentWorkloadConfig::default()
+            },
+        );
+        assert!(all_commits
+            .iter()
+            .all(|w| w.ops.iter().all(|op| !op.is_query())));
+        for w in &all_commits {
+            assert_eq!(w.update_count(), w.ops.len() * 2);
+        }
+    }
+
+    /// Replaying one document's stream sequentially produces a valid fuzzy
+    /// tree, and its updates all target the initial directory's people.
+    #[test]
+    fn streams_replay_cleanly_on_the_initial_document() {
+        let config = ConcurrentWorkloadConfig {
+            documents: 2,
+            ops_per_document: 16,
+            ..ConcurrentWorkloadConfig::default()
+        };
+        let initial = initial_document(&config);
+        for workload in concurrent_workload(11, &config) {
+            let mut fuzzy = FuzzyTree::from_tree(initial.clone());
+            for op in &workload.ops {
+                match op {
+                    WorkloadOp::Query(pattern) => {
+                        let _ = fuzzy.query(pattern);
+                    }
+                    WorkloadOp::Commit(batch) => {
+                        for update in batch {
+                            update.apply_to_fuzzy(&mut fuzzy).unwrap();
+                        }
+                    }
+                }
+            }
+            assert!(fuzzy.validate().is_ok());
+        }
+    }
+}

@@ -18,17 +18,24 @@
 //! * [`scenarios`] — the "people directory" scenario used by the warehouse
 //!   examples: documents that look like the output of an information
 //!   extraction pipeline, and streams of extraction-style updates with
-//!   confidences.
+//!   confidences;
+//! * [`concurrent`] — seeded concurrent mixed workloads (experiment E11):
+//!   per-document streams of interleaved queries and committed update
+//!   batches for multi-threaded warehouse drivers.
 //!
-//! Every generator takes an explicit [`rand::Rng`], so workloads are
-//! reproducible from a seed.
+//! Every generator takes an explicit [`rand::Rng`] (or derives one from a
+//! seed), so workloads are reproducible.
 
+pub mod concurrent;
 pub mod fuzzy;
 pub mod queries;
 pub mod scenarios;
 pub mod trees;
 pub mod updates;
 
+pub use concurrent::{
+    concurrent_workload, initial_document, ConcurrentWorkloadConfig, DocumentWorkload, WorkloadOp,
+};
 pub use fuzzy::{random_fuzzy_tree, FuzzyGenConfig};
 pub use queries::{derived_query, random_query, QueryGenConfig};
 pub use scenarios::{extraction_update, people_directory, PeopleScenarioConfig};

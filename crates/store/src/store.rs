@@ -17,10 +17,23 @@
 //! * [`DocumentStore::recover_document`] reloads the checkpoint and replays
 //!   the journal — the crash-recovery path;
 //! * [`DocumentStore::checkpoint`] folds the journal into a fresh checkpoint.
+//!
+//! # Concurrency
+//!
+//! Every mutating operation (save, batch append, checkpoint, remove) takes a
+//! **per-document** write mutex shared by all clones of the store, so two
+//! threads appending to the *same* journal serialize with each other while
+//! appends to unrelated documents proceed in parallel — there is no
+//! store-wide lock. Reads are rename-safe: a concurrent commit swaps files
+//! atomically, so a reader sees either the previous or the new state, never
+//! a torn file.
 
+use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
+use parking_lot::Mutex;
 use pxml_core::{FuzzyTree, UpdateTransaction};
 
 use crate::error::StoreError;
@@ -28,9 +41,16 @@ use crate::format::{parse_fuzzy_document, serialize_fuzzy_document};
 use crate::journal::{parse_batched_journal, serialize_batched_journal};
 
 /// A file-system store of probabilistic XML documents.
+///
+/// Cloning is cheap and clones share the per-document write mutexes, so a
+/// store handed to several threads keeps same-document writes serialized.
 #[derive(Debug, Clone)]
 pub struct DocumentStore {
     root: PathBuf,
+    /// One write mutex per document name, shared across clones. Guards the
+    /// read-modify-write cycle of journal appends and the save/truncate pair
+    /// of checkpoints; never held for two documents at once.
+    write_locks: Arc<Mutex<HashMap<String, Arc<Mutex<()>>>>>,
 }
 
 impl DocumentStore {
@@ -48,7 +68,20 @@ impl DocumentStore {
                 fs::remove_file(path)?;
             }
         }
-        Ok(DocumentStore { root })
+        Ok(DocumentStore {
+            root,
+            write_locks: Arc::new(Mutex::new(HashMap::new())),
+        })
+    }
+
+    /// The write mutex of one document (created on first use). The registry
+    /// lock is held only long enough to clone the per-document `Arc`.
+    fn write_lock(&self, name: &str) -> Arc<Mutex<()>> {
+        self.write_locks
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
     }
 
     /// The directory backing this store.
@@ -88,6 +121,14 @@ impl DocumentStore {
     /// Saves a document checkpoint atomically (write to a temporary file in
     /// the same directory, then rename over the target).
     pub fn save_document(&self, name: &str, fuzzy: &FuzzyTree) -> Result<(), StoreError> {
+        let lock = self.write_lock(name);
+        let _guard = lock.lock();
+        self.save_document_locked(name, fuzzy)
+    }
+
+    /// The checkpoint write itself, assuming the caller holds the document's
+    /// write mutex.
+    fn save_document_locked(&self, name: &str, fuzzy: &FuzzyTree) -> Result<(), StoreError> {
         let target = self.document_path(name);
         let temporary = self.root.join(format!(".{name}.pxml.tmp"));
         fs::write(&temporary, serialize_fuzzy_document(fuzzy, true))?;
@@ -106,7 +147,15 @@ impl DocumentStore {
     }
 
     /// Deletes a document and its journal.
+    ///
+    /// The name's write mutex deliberately stays in the registry: dropping
+    /// it would let a thread still holding the old `Arc` interleave its
+    /// journal read-modify-write with a writer of a same-named *re-created*
+    /// document under a fresh mutex, silently losing a batch. One retained
+    /// mutex per name ever removed is a bounded price for that guarantee.
     pub fn remove_document(&self, name: &str) -> Result<(), StoreError> {
+        let lock = self.write_lock(name);
+        let _guard = lock.lock();
         let path = self.document_path(name);
         if !path.exists() {
             return Err(StoreError::MissingDocument(name.to_string()));
@@ -143,6 +192,8 @@ impl DocumentStore {
     /// discarded at the next [`DocumentStore::open`]); after the rename,
     /// recovery replays the batch.
     pub fn append_batch(&self, name: &str, batch: &[UpdateTransaction]) -> Result<(), StoreError> {
+        let lock = self.write_lock(name);
+        let _guard = lock.lock();
         if !self.contains(name) {
             return Err(StoreError::MissingDocument(name.to_string()));
         }
@@ -152,16 +203,6 @@ impl DocumentStore {
         fs::write(&temporary, serialize_batched_journal(&batches))?;
         fs::rename(&temporary, self.journal_path(name))?;
         Ok(())
-    }
-
-    /// Appends one update transaction to a document's journal as a
-    /// single-update batch.
-    #[deprecated(
-        since = "0.2.0",
-        note = "stage updates through a session `Txn` (or `DocumentStore::append_batch`) instead"
-    )]
-    pub fn append_update(&self, name: &str, update: &UpdateTransaction) -> Result<(), StoreError> {
-        self.append_batch(name, std::slice::from_ref(update))
     }
 
     /// Number of journaled updates awaiting a checkpoint.
@@ -180,9 +221,14 @@ impl DocumentStore {
     }
 
     /// Checkpoints a document: writes `fuzzy` as the new checkpoint and
-    /// truncates the journal.
+    /// truncates the journal. The checkpoint write and the journal truncation
+    /// happen under the document's write mutex so a concurrent append cannot
+    /// slip a batch in between (it would be silently un-truncated and replay
+    /// on top of a state that already contains it).
     pub fn checkpoint(&self, name: &str, fuzzy: &FuzzyTree) -> Result<(), StoreError> {
-        self.save_document(name, fuzzy)?;
+        let lock = self.write_lock(name);
+        let _guard = lock.lock();
+        self.save_document_locked(name, fuzzy)?;
         let journal = self.journal_path(name);
         if journal.exists() {
             fs::remove_file(journal)?;
@@ -194,6 +240,7 @@ impl DocumentStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pxml_core::UpdateOperation;
     use pxml_query::Pattern;
     use pxml_tree::parse_data_tree;
     use std::sync::atomic::{AtomicU64, Ordering};
@@ -370,14 +417,77 @@ mod tests {
         fs::remove_dir_all(dir).unwrap();
     }
 
+    /// Clones of one store share the per-document write mutexes: concurrent
+    /// appends to the same journal from several threads must all land (the
+    /// read-modify-write cycle cannot lose a batch to a race).
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_append_update_still_journals() {
-        let dir = scratch("legacy-append");
+    fn concurrent_appends_to_one_document_all_land() {
+        let dir = scratch("concurrent-appends");
         let store = DocumentStore::open(&dir).unwrap();
         store.save_document("people", &sample_fuzzy()).unwrap();
-        store.append_update("people", &sample_update()).unwrap();
-        assert_eq!(store.journal_length("people").unwrap(), 1);
+        let threads = 4;
+        let per_thread = 5;
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(threads));
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let store = store.clone();
+                let barrier = barrier.clone();
+                scope.spawn(move || {
+                    barrier.wait();
+                    for _ in 0..per_thread {
+                        store.append_batch("people", &[sample_update()]).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            store.read_batches("people").unwrap().len(),
+            threads * per_thread
+        );
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// Appends to *different* documents run from several threads write two
+    /// independent journals that never interleave entries.
+    #[test]
+    fn concurrent_appends_to_distinct_documents_stay_separate() {
+        let dir = scratch("distinct-appends");
+        let store = DocumentStore::open(&dir).unwrap();
+        store.save_document("a", &sample_fuzzy()).unwrap();
+        store.save_document("b", &sample_fuzzy()).unwrap();
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(2));
+        std::thread::scope(|scope| {
+            for name in ["a", "b"] {
+                let store = store.clone();
+                let barrier = barrier.clone();
+                scope.spawn(move || {
+                    barrier.wait();
+                    for i in 0..6 {
+                        let pattern = Pattern::parse("person { name }").unwrap();
+                        let target = pattern.root();
+                        let update = UpdateTransaction::new(pattern, 0.5).unwrap().with_insert(
+                            target,
+                            parse_data_tree(&format!("<tag-{name}-{i}/>")).unwrap(),
+                        );
+                        store.append_batch(name, &[update]).unwrap();
+                    }
+                });
+            }
+        });
+        for name in ["a", "b"] {
+            let batches = store.read_batches(name).unwrap();
+            assert_eq!(batches.len(), 6);
+            for update in batches.into_iter().flatten() {
+                let own = update.operations().iter().all(|op| match op {
+                    UpdateOperation::Insert { subtree, .. } => subtree
+                        .label(subtree.root())
+                        .as_str()
+                        .starts_with(&format!("tag-{name}-")),
+                    UpdateOperation::Delete { .. } => false,
+                });
+                assert!(own, "journal of `{name}` holds only its own updates");
+            }
+        }
         fs::remove_dir_all(dir).unwrap();
     }
 
@@ -424,6 +534,36 @@ mod tests {
         let reopened = DocumentStore::open(&dir).unwrap();
         let recovered = reopened.recover_document("people").unwrap();
         assert_eq!(recovered.tree().find_elements("email").len(), 2);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// The kill-point matrix with *two* documents mid-commit: one document's
+    /// batch reached its commit point (journal renamed), the other's was
+    /// still staged (`.tmp` not yet renamed) when the process died. Recovery
+    /// must replay the first, discard the second, and keep the two journals
+    /// fully separate.
+    #[test]
+    fn crash_with_two_in_flight_documents_recovers_each_independently() {
+        let dir = scratch("two-doc-crash");
+        let store = DocumentStore::open(&dir).unwrap();
+        store.save_document("committed", &sample_fuzzy()).unwrap();
+        store.save_document("staged", &sample_fuzzy()).unwrap();
+
+        // Document `committed`: the batch passed its commit point.
+        store.append_batch("committed", &[sample_update()]).unwrap();
+        // Document `staged`: the staging file was fully written but the
+        // process died before the rename.
+        let staged = crate::journal::serialize_batched_journal(&[vec![sample_update()]]);
+        fs::write(dir.join(".staged.journal.tmp"), staged).unwrap();
+
+        let reopened = DocumentStore::open(&dir).unwrap();
+        assert!(!dir.join(".staged.journal.tmp").exists(), "debris swept");
+        assert_eq!(reopened.journal_length("committed").unwrap(), 1);
+        assert_eq!(reopened.journal_length("staged").unwrap(), 0);
+        let committed = reopened.recover_document("committed").unwrap();
+        assert_eq!(committed.tree().find_elements("email").len(), 1);
+        let staged = reopened.recover_document("staged").unwrap();
+        assert!(staged.tree().find_elements("email").is_empty());
         fs::remove_dir_all(dir).unwrap();
     }
 

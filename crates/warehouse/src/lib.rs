@@ -10,8 +10,10 @@
 //!   handles name its documents, and [`Document::begin`] stages fluent
 //!   probabilistic updates into a [`Txn`] committed atomically (apply →
 //!   journal → swap, rollback on error, crash recovery by replay);
-//! * [`warehouse`] — the synchronised engine behind the sessions (its
-//!   one-shot `open`/`update` entry points survive as deprecated shims);
+//! * [`warehouse`] — the sharded, per-document-locked engine behind the
+//!   sessions: commits to distinct documents run in parallel, queries take
+//!   only their own document's read lock (see the module docs for the full
+//!   concurrency model);
 //! * [`modules`] — simulated imprecise source modules (information
 //!   extraction, NLP, data cleaning) standing in for the pipelines the paper
 //!   plugs into the warehouse.
@@ -35,8 +37,8 @@ pub mod modules;
 pub mod session;
 pub mod warehouse;
 
-pub use modules::{run_modules, DataCleaningModule, ExtractionModule, SourceModule};
+pub use modules::{
+    run_modules, run_modules_parallel, DataCleaningModule, ExtractionModule, SourceModule,
+};
 pub use session::{Document, Session, SessionConfig, Txn};
-#[allow(deprecated)]
-pub use warehouse::WarehouseConfig;
 pub use warehouse::{Warehouse, WarehouseError, WarehouseStats};

@@ -125,7 +125,7 @@ impl Session {
 
     /// A handle to an existing document.
     pub fn document(&self, name: &str) -> Result<Document, WarehouseError> {
-        if !self.engine.document_names().iter().any(|n| n == name) {
+        if !self.engine.contains(name) {
             return Err(WarehouseError::UnknownDocument(name.to_string()));
         }
         Ok(Document {
@@ -145,8 +145,8 @@ impl Session {
         self.engine.stats()
     }
 
-    /// The shared engine behind the session (escape hatch for code that
-    /// still speaks the pre-session API).
+    /// The shared engine behind the session (escape hatch for tooling that
+    /// needs engine-level access, e.g. committing a prebuilt batch directly).
     pub fn engine(&self) -> &Warehouse {
         &self.engine
     }

@@ -1,21 +1,61 @@
 //! The probabilistic XML warehouse engine.
 //!
-//! [`Warehouse`] is the synchronised engine behind the session API
-//! ([`crate::session::Session`] / [`crate::session::Document`] /
+//! [`Warehouse`] is the sharded, per-document-locked engine behind the
+//! session API ([`crate::session::Session`] / [`crate::session::Document`] /
 //! [`crate::session::Txn`]): named fuzzy-tree documents, a query interface,
 //! an atomic batch-commit pipeline and durable storage. User code should
-//! reach it through a [`crate::session::Session`]; the one-shot entry points
-//! kept here ([`Warehouse::open`], [`Warehouse::update`]) are deprecated
-//! shims over the same engine.
+//! reach it through a [`crate::session::Session`].
+//!
+//! # Concurrency model
+//!
+//! The document registry is split into a fixed number of shards, each an
+//! independently locked map from document name to an `Arc`-shared,
+//! individually locked document slot:
+//!
+//! ```text
+//! Warehouse
+//! ├── shards[hash(name) % N]: RwLock<HashMap<String, Arc<RwLock<DocEntry>>>>
+//! │        │  (held only to look up / insert / remove a slot)
+//! │        └── slot: Arc<RwLock<DocEntry>>   (one lock per document)
+//! ├── stats: atomic counters (never block anything)
+//! └── store: DocumentStore (its own per-document write mutexes)
+//! ```
+//!
+//! Lock ordering rules (every method obeys them, so the engine cannot
+//! deadlock):
+//!
+//! 1. a shard lock is never held while acquiring a document lock — resolving
+//!    a name clones the slot's `Arc` under the shard lock and drops the
+//!    shard lock before locking the document;
+//! 2. a document lock is never held while acquiring a shard lock;
+//! 3. no method ever holds two document locks at once.
+//!
+//! Consequences: [`Warehouse::commit_batch`] takes exactly one document's
+//! write lock, so commits to distinct documents run in parallel; queries
+//! take one document's read lock, so readers of document *A* are never
+//! blocked by a writer of document *B*; [`Warehouse::stats`] reads atomics
+//! and never blocks a commit.
+//!
+//! Removal is tombstone-based: [`Warehouse::drop_document`] waits out
+//! in-flight work on the document (its write lock), marks the entry dropped
+//! and deletes the files under that lock, and only then unlinks the name
+//! from its shard. Every path re-checks the tombstone after acquiring a
+//! slot lock, so a caller that resolved the slot before the drop — or that
+//! races a same-name re-create — reports `UnknownDocument` instead of
+//! leaking work into the wrong document.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 use pxml_core::{
     BatchStats, CoreError, FuzzyQueryResult, FuzzyTree, Simplifier, SimplifyPolicy, SimplifyReport,
-    UpdateStats, UpdateTransaction,
+    UpdateTransaction,
 };
 use pxml_query::Pattern;
 use pxml_store::{DocumentStore, StoreError};
@@ -34,6 +74,8 @@ pub enum WarehouseError {
     UnknownDocument(String),
     /// A document with this name already exists.
     DuplicateDocument(String),
+    /// A module runner was handed modules but no documents to drain into.
+    EmptyDocumentSet,
 }
 
 impl fmt::Display for WarehouseError {
@@ -46,6 +88,12 @@ impl fmt::Display for WarehouseError {
             }
             WarehouseError::DuplicateDocument(name) => {
                 write!(f, "document `{name}` already exists in the warehouse")
+            }
+            WarehouseError::EmptyDocumentSet => {
+                write!(
+                    f,
+                    "no warehouse documents were provided to drain the modules into"
+                )
             }
         }
     }
@@ -73,45 +121,6 @@ impl From<CoreError> for WarehouseError {
     }
 }
 
-/// Maintenance policy of the pre-session warehouse API.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `pxml_warehouse::SessionConfig` (simplification is a `SimplifyPolicy` there)"
-)]
-#[derive(Debug, Clone)]
-pub struct WarehouseConfig {
-    /// Run the simplifier automatically after an update once the document's
-    /// condition-literal count exceeds this threshold (`None` disables it).
-    pub auto_simplify_above_literals: Option<usize>,
-    /// Fold the journal into a fresh checkpoint after this many journaled
-    /// updates (`None` keeps the journal growing until an explicit
-    /// [`Warehouse::checkpoint`]).
-    pub checkpoint_every: Option<usize>,
-}
-
-#[allow(deprecated)]
-impl Default for WarehouseConfig {
-    fn default() -> Self {
-        WarehouseConfig {
-            auto_simplify_above_literals: Some(512),
-            checkpoint_every: Some(64),
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl From<WarehouseConfig> for SessionConfig {
-    fn from(config: WarehouseConfig) -> Self {
-        SessionConfig {
-            simplify: match config.auto_simplify_above_literals {
-                Some(limit) => SimplifyPolicy::Threshold(limit),
-                None => SimplifyPolicy::Never,
-            },
-            checkpoint_every: config.checkpoint_every,
-        }
-    }
-}
-
 /// Running counters exposed by [`Warehouse::stats`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WarehouseStats {
@@ -125,18 +134,77 @@ pub struct WarehouseStats {
     pub checkpoints: usize,
 }
 
+/// The engine-internal counters behind [`WarehouseStats`]: plain atomics, so
+/// recording an update or reading a snapshot never takes any lock and can
+/// never block (or be blocked by) a commit.
+#[derive(Default)]
+struct StatsCounters {
+    updates_applied: AtomicUsize,
+    queries_evaluated: AtomicUsize,
+    simplifications: AtomicUsize,
+    checkpoints: AtomicUsize,
+}
+
+impl StatsCounters {
+    fn snapshot(&self) -> WarehouseStats {
+        WarehouseStats {
+            updates_applied: self.updates_applied.load(Ordering::Relaxed),
+            queries_evaluated: self.queries_evaluated.load(Ordering::Relaxed),
+            simplifications: self.simplifications.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One document's engine-resident state, behind its own lock.
+struct DocEntry {
+    fuzzy: FuzzyTree,
+    /// Tombstone set by [`Warehouse::drop_document`] under the write lock.
+    /// A caller that resolved this slot *before* the drop re-checks it after
+    /// acquiring the lock: without the check, a commit racing a drop + a
+    /// same-name re-create would apply its batch to this orphaned entry while
+    /// journaling it against the unrelated new document.
+    dropped: bool,
+}
+
+impl DocEntry {
+    fn live(fuzzy: FuzzyTree) -> Slot {
+        Arc::new(RwLock::new(DocEntry {
+            fuzzy,
+            dropped: false,
+        }))
+    }
+}
+
+/// A shared handle to one document's lock + state.
+type Slot = Arc<RwLock<DocEntry>>;
+
+/// One shard of the document registry.
+#[derive(Default)]
+struct Shard {
+    slots: RwLock<HashMap<String, Slot>>,
+}
+
+/// Number of registry shards. Sixteen keeps the birthday-collision rate of
+/// *registry* operations (create/drop/lookup) low for the document counts
+/// the warehouse targets; note that post-lookup work never holds a shard
+/// lock, so shard collisions only cost contention on the name lookup itself.
+const SHARD_COUNT: usize = 16;
+
 /// The probabilistic XML warehouse engine: named fuzzy-tree documents with a
 /// query interface, an atomic batch-commit pipeline and durable storage.
 ///
-/// All methods take `&self`; the warehouse is internally synchronised
-/// (per-warehouse read/write lock on the document map) so it can be shared
-/// behind an `Arc` by several module threads — the session API does exactly
-/// that.
+/// All methods take `&self`; the warehouse is internally synchronised with a
+/// sharded registry of per-document locks (see the module docs for the lock
+/// ordering rules) so it can be shared behind an `Arc` by many module
+/// threads — the session API does exactly that. A `&self` method touching
+/// one document synchronises only with other users of *that* document, never
+/// with traffic on the rest of the warehouse.
 pub struct Warehouse {
     store: DocumentStore,
     config: SessionConfig,
-    documents: RwLock<HashMap<String, FuzzyTree>>,
-    stats: Mutex<WarehouseStats>,
+    shards: Vec<Shard>,
+    stats: StatsCounters,
 }
 
 impl Warehouse {
@@ -151,30 +219,46 @@ impl Warehouse {
         config: SessionConfig,
     ) -> Result<Self, WarehouseError> {
         let store = DocumentStore::open(path)?;
-        let mut documents = HashMap::new();
-        for name in store.list_documents()? {
-            let mut fuzzy = store.recover_document(&name)?;
-            if !store.read_batches(&name)?.is_empty() && config.simplify.should_run(&fuzzy) {
-                Simplifier::new().run(&mut fuzzy)?;
-            }
-            documents.insert(name, fuzzy);
-        }
-        Ok(Warehouse {
+        let shards: Vec<Shard> = (0..SHARD_COUNT).map(|_| Shard::default()).collect();
+        let warehouse = Warehouse {
             store,
             config,
-            documents: RwLock::new(documents),
-            stats: Mutex::new(WarehouseStats::default()),
-        })
+            shards,
+            stats: StatsCounters::default(),
+        };
+        for name in warehouse.store.list_documents()? {
+            let mut fuzzy = warehouse.store.recover_document(&name)?;
+            if !warehouse.store.read_batches(&name)?.is_empty()
+                && config.simplify.should_run(&fuzzy)
+            {
+                Simplifier::new().run(&mut fuzzy)?;
+            }
+            warehouse
+                .shard(&name)
+                .slots
+                .write()
+                .insert(name, DocEntry::live(fuzzy));
+        }
+        Ok(warehouse)
     }
 
-    /// Opens a warehouse backed by the given directory.
-    #[deprecated(
-        since = "0.2.0",
-        note = "open a `pxml_warehouse::Session` instead (`Session::open`)"
-    )]
-    #[allow(deprecated)]
-    pub fn open(path: impl AsRef<Path>, config: WarehouseConfig) -> Result<Self, WarehouseError> {
-        Warehouse::with_config(path, config.into())
+    /// The shard a document name maps to.
+    fn shard(&self, name: &str) -> &Shard {
+        let mut hasher = DefaultHasher::new();
+        name.hash(&mut hasher);
+        &self.shards[hasher.finish() as usize % self.shards.len()]
+    }
+
+    /// Resolves a name to its document slot. The shard lock is held only
+    /// long enough to clone the `Arc`; the caller locks the slot afterwards,
+    /// so lookups never block behind another document's commit.
+    fn slot(&self, name: &str) -> Result<Slot, WarehouseError> {
+        self.shard(name)
+            .slots
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| WarehouseError::UnknownDocument(name.to_string()))
     }
 
     /// The session configuration the engine runs under.
@@ -187,11 +271,22 @@ impl Warehouse {
         self.store.root()
     }
 
-    /// The names of the loaded documents (sorted).
+    /// The names of the loaded documents (sorted). Shard locks are taken one
+    /// at a time, so the listing is a point-in-time view per shard, not a
+    /// global snapshot.
     pub fn document_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.documents.read().keys().cloned().collect();
+        let mut names: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|shard| shard.slots.read().keys().cloned().collect::<Vec<_>>())
+            .collect();
         names.sort();
         names
+    }
+
+    /// Whether a document with this name is loaded.
+    pub fn contains(&self, name: &str) -> bool {
+        self.shard(name).slots.read().contains_key(name)
     }
 
     /// Creates a new document from a certain data tree.
@@ -200,49 +295,81 @@ impl Warehouse {
     }
 
     /// Creates a new document from an existing fuzzy tree.
+    ///
+    /// The shard's write lock is held across the (fast, atomic) initial save
+    /// so a duplicate-name race cannot create the same document twice; this
+    /// briefly delays *registry lookups* of same-shard names but never an
+    /// in-flight commit, which operates on its already-resolved slot.
     pub fn create_fuzzy_document(
         &self,
         name: &str,
         fuzzy: FuzzyTree,
     ) -> Result<(), WarehouseError> {
-        let mut documents = self.documents.write();
-        if documents.contains_key(name) {
+        let mut slots = self.shard(name).slots.write();
+        if slots.contains_key(name) {
             return Err(WarehouseError::DuplicateDocument(name.to_string()));
         }
         self.store.save_document(name, &fuzzy)?;
-        documents.insert(name.to_string(), fuzzy);
+        slots.insert(name.to_string(), DocEntry::live(fuzzy));
         Ok(())
     }
 
     /// Removes a document from the warehouse and from storage.
+    ///
+    /// Ordering matters: the document's write lock is taken *first* (waiting
+    /// out in-flight work on this document), the entry is tombstoned and its
+    /// files deleted under that lock, and only then — after the lock is
+    /// released — is the name unlinked from its shard. Until the unlink, a
+    /// concurrent `create` of the same name reports `DuplicateDocument`, so
+    /// no new document can interleave with the deletion; afterwards, any
+    /// caller still holding the old slot sees the tombstone and reports
+    /// `UnknownDocument` instead of touching the store.
     pub fn drop_document(&self, name: &str) -> Result<(), WarehouseError> {
-        let mut documents = self.documents.write();
-        if documents.remove(name).is_none() {
+        let slot = self.slot(name)?;
+        {
+            let mut entry = slot.write();
+            if entry.dropped {
+                // A concurrent drop won the race for the same slot.
+                return Err(WarehouseError::UnknownDocument(name.to_string()));
+            }
+            self.store.remove_document(name)?;
+            entry.dropped = true;
+        }
+        // The tombstone guarantees this mapping still points at `slot`: a
+        // same-name create cannot have replaced it while the name was mapped.
+        self.shard(name).slots.write().remove(name);
+        Ok(())
+    }
+
+    /// Returns `UnknownDocument` if the entry was tombstoned by a concurrent
+    /// [`Warehouse::drop_document`] after this caller resolved the slot.
+    fn check_live(entry: &DocEntry, name: &str) -> Result<(), WarehouseError> {
+        if entry.dropped {
             return Err(WarehouseError::UnknownDocument(name.to_string()));
         }
-        self.store.remove_document(name)?;
         Ok(())
     }
 
     /// A snapshot of a document's current fuzzy tree.
     pub fn document(&self, name: &str) -> Result<FuzzyTree, WarehouseError> {
-        self.documents
-            .read()
-            .get(name)
-            .cloned()
-            .ok_or_else(|| WarehouseError::UnknownDocument(name.to_string()))
+        let slot = self.slot(name)?;
+        let entry = slot.read();
+        Self::check_live(&entry, name)?;
+        Ok(entry.fuzzy.clone())
     }
 
     /// Evaluates a TPWJ query against a document (slide 3's query interface:
-    /// "query → results + confidence").
+    /// "query → results + confidence"). Holds only this document's read
+    /// lock: queries are never blocked by writers of other documents, and
+    /// concurrent readers of the same document share the lock.
     pub fn query(&self, name: &str, pattern: &Pattern) -> Result<FuzzyQueryResult, WarehouseError> {
-        let documents = self.documents.read();
-        let fuzzy = documents
-            .get(name)
-            .ok_or_else(|| WarehouseError::UnknownDocument(name.to_string()))?;
-        let result = fuzzy.query(pattern);
-        drop(documents);
-        self.stats.lock().queries_evaluated += 1;
+        let slot = self.slot(name)?;
+        let result = {
+            let entry = slot.read();
+            Self::check_live(&entry, name)?;
+            entry.fuzzy.query(pattern)
+        };
+        self.stats.queries_evaluated.fetch_add(1, Ordering::Relaxed);
         Ok(result)
     }
 
@@ -256,6 +383,10 @@ impl Warehouse {
     /// reported, but the commit itself is already durable and recoverable at
     /// that point.
     ///
+    /// Locking: exactly one document's write lock is held, start to finish.
+    /// Commits to other documents, and queries against them, proceed in
+    /// parallel; only traffic on *this* document waits.
+    ///
     /// This is the engine path behind [`crate::session::Txn::commit`].
     pub fn commit_batch(
         &self,
@@ -264,16 +395,15 @@ impl Warehouse {
         policy: Option<SimplifyPolicy>,
     ) -> Result<BatchStats, WarehouseError> {
         let policy = policy.unwrap_or(self.config.simplify);
-        let mut documents = self.documents.write();
-        let fuzzy = documents
-            .get_mut(name)
-            .ok_or_else(|| WarehouseError::UnknownDocument(name.to_string()))?;
+        let slot = self.slot(name)?;
+        let mut entry = slot.write();
+        Self::check_live(&entry, name)?;
         if batch.is_empty() {
             return Ok(BatchStats::default());
         }
         // Apply to a working copy first (rollback = dropping the copy), make
         // the batch durable, then swap the new state in.
-        let mut working = fuzzy.clone();
+        let mut working = entry.fuzzy.clone();
         let mut batch_stats = BatchStats::default();
         for update in batch {
             batch_stats
@@ -281,89 +411,84 @@ impl Warehouse {
                 .push(update.apply_to_fuzzy_with(&mut working, policy)?);
         }
         self.store.append_batch(name, batch)?;
-        *fuzzy = working;
+        entry.fuzzy = working;
 
         // The commit happened: record it before any maintenance can fail.
-        {
-            let mut stats = self.stats.lock();
-            stats.updates_applied += batch.len();
-            stats.simplifications += batch_stats.simplify_runs();
-        }
-        let mut checkpointed = false;
+        self.stats
+            .updates_applied
+            .fetch_add(batch.len(), Ordering::Relaxed);
+        self.stats
+            .simplifications
+            .fetch_add(batch_stats.simplify_runs(), Ordering::Relaxed);
         if let Some(every) = self.config.checkpoint_every {
             if self.store.journal_length(name)? >= every {
-                self.store.checkpoint(name, fuzzy)?;
-                checkpointed = true;
+                self.store.checkpoint(name, &entry.fuzzy)?;
+                self.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
             }
         }
-        drop(documents);
-
-        if checkpointed {
-            self.stats.lock().checkpoints += 1;
-        }
         Ok(batch_stats)
-    }
-
-    /// Applies a single probabilistic update transaction to a document.
-    #[deprecated(
-        since = "0.2.0",
-        note = "stage the update through `Document::begin()` and commit the `Txn` instead"
-    )]
-    pub fn update(
-        &self,
-        name: &str,
-        transaction: &UpdateTransaction,
-    ) -> Result<UpdateStats, WarehouseError> {
-        let stats = self.commit_batch(name, std::slice::from_ref(transaction), None)?;
-        Ok(stats.updates.into_iter().next().unwrap_or_default())
     }
 
     /// Runs the simplifier on a document and persists the result as a fresh
     /// checkpoint.
     pub fn simplify(&self, name: &str) -> Result<SimplifyReport, WarehouseError> {
-        let mut documents = self.documents.write();
-        let fuzzy = documents
-            .get_mut(name)
-            .ok_or_else(|| WarehouseError::UnknownDocument(name.to_string()))?;
-        let report = Simplifier::new().run(fuzzy)?;
-        self.store.checkpoint(name, fuzzy)?;
-        drop(documents);
-        let mut stats = self.stats.lock();
-        stats.simplifications += 1;
-        stats.checkpoints += 1;
+        let slot = self.slot(name)?;
+        let mut entry = slot.write();
+        Self::check_live(&entry, name)?;
+        let report = Simplifier::new().run(&mut entry.fuzzy)?;
+        self.store.checkpoint(name, &entry.fuzzy)?;
+        drop(entry);
+        self.stats.simplifications.fetch_add(1, Ordering::Relaxed);
+        self.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
         Ok(report)
     }
 
     /// Writes the current in-memory state of a document as a checkpoint and
     /// truncates its journal.
     pub fn checkpoint(&self, name: &str) -> Result<(), WarehouseError> {
-        let documents = self.documents.read();
-        let fuzzy = documents
-            .get(name)
-            .ok_or_else(|| WarehouseError::UnknownDocument(name.to_string()))?;
-        self.store.checkpoint(name, fuzzy)?;
-        drop(documents);
-        self.stats.lock().checkpoints += 1;
+        let slot = self.slot(name)?;
+        {
+            // Read lock: the state is not mutated, but concurrent commits to
+            // this document must not interleave with the save + truncate.
+            let entry = slot.read();
+            Self::check_live(&entry, name)?;
+            self.store.checkpoint(name, &entry.fuzzy)?;
+        }
+        self.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
-    /// Running counters since the warehouse was opened.
+    /// Running counters since the warehouse was opened. Reads atomics only —
+    /// never blocks, and never delays a commit.
     pub fn stats(&self) -> WarehouseStats {
-        self.stats.lock().clone()
+        self.stats.snapshot()
+    }
+
+    /// Test hook: runs `body` while holding `name`'s document write lock,
+    /// proving what the lock does and does not cover.
+    #[cfg(test)]
+    pub(crate) fn with_document_write_locked<R>(
+        &self,
+        name: &str,
+        body: impl FnOnce() -> R,
+    ) -> Result<R, WarehouseError> {
+        let slot = self.slot(name)?;
+        let _entry = slot.write();
+        Ok(body())
     }
 }
 
 #[cfg(test)]
 mod tests {
-    // These tests deliberately exercise the deprecated pre-session shims so
-    // the one-release compatibility window stays covered.
-    #![allow(deprecated)]
-
     use super::*;
+    use pxml_core::Update;
     use pxml_query::PNodeId;
     use pxml_tree::parse_data_tree;
     use std::path::PathBuf;
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::atomic::AtomicU64;
+    use std::sync::mpsc;
+    use std::sync::Barrier;
+    use std::time::Duration;
 
     static COUNTER: AtomicU64 = AtomicU64::new(0);
 
@@ -389,15 +514,34 @@ mod tests {
     fn add_phone(name: &str, confidence: f64) -> UpdateTransaction {
         let pattern = Pattern::parse(&format!("person {{ name[=\"{name}\"] }}")).unwrap();
         let target = pattern.root();
-        UpdateTransaction::new(pattern, confidence)
+        Update::matching(pattern)
+            .insert_at(target, parse_data_tree("<phone>+33-1</phone>").unwrap())
+            .with_confidence(confidence)
+            .build()
             .unwrap()
-            .with_insert(target, parse_data_tree("<phone>+33-1</phone>").unwrap())
+    }
+
+    fn commit_one(
+        warehouse: &Warehouse,
+        name: &str,
+        update: &UpdateTransaction,
+    ) -> Result<BatchStats, WarehouseError> {
+        warehouse.commit_batch(name, std::slice::from_ref(update), None)
+    }
+
+    /// The engine defaults used by most tests: no background simplification
+    /// or checkpoint folding, so assertions see exactly what they committed.
+    fn plain_config() -> SessionConfig {
+        SessionConfig {
+            simplify: SimplifyPolicy::Never,
+            checkpoint_every: None,
+        }
     }
 
     #[test]
     fn create_query_update_cycle() {
         let dir = scratch("cycle");
-        let warehouse = Warehouse::open(&dir, WarehouseConfig::default()).unwrap();
+        let warehouse = Warehouse::with_config(&dir, plain_config()).unwrap();
         warehouse.create_document("people", directory()).unwrap();
         assert_eq!(warehouse.document_names(), vec!["people"]);
 
@@ -407,10 +551,8 @@ mod tests {
 
         // An extraction module reports a phone number for alice with
         // confidence 0.8.
-        let stats = warehouse
-            .update("people", &add_phone("alice", 0.8))
-            .unwrap();
-        assert_eq!(stats.applied_matches, 1);
+        let stats = commit_one(&warehouse, "people", &add_phone("alice", 0.8)).unwrap();
+        assert_eq!(stats.applied_matches(), 1);
 
         let result = warehouse.query("people", &phones).unwrap();
         assert_eq!(result.len(), 1);
@@ -425,7 +567,7 @@ mod tests {
     #[test]
     fn unknown_and_duplicate_documents_are_rejected() {
         let dir = scratch("errors");
-        let warehouse = Warehouse::open(&dir, WarehouseConfig::default()).unwrap();
+        let warehouse = Warehouse::with_config(&dir, plain_config()).unwrap();
         warehouse.create_document("people", directory()).unwrap();
         assert!(matches!(
             warehouse.create_document("people", directory()),
@@ -437,7 +579,7 @@ mod tests {
             Err(WarehouseError::UnknownDocument(_))
         ));
         assert!(matches!(
-            warehouse.update("ghost", &add_phone("alice", 0.5)),
+            commit_one(&warehouse, "ghost", &add_phone("alice", 0.5)),
             Err(WarehouseError::UnknownDocument(_))
         ));
         assert!(matches!(
@@ -451,22 +593,13 @@ mod tests {
     fn updates_survive_a_restart_via_journal_replay() {
         let dir = scratch("restart");
         {
-            let warehouse = Warehouse::open(
-                &dir,
-                WarehouseConfig {
-                    checkpoint_every: None,
-                    ..WarehouseConfig::default()
-                },
-            )
-            .unwrap();
+            let warehouse = Warehouse::with_config(&dir, plain_config()).unwrap();
             warehouse.create_document("people", directory()).unwrap();
-            warehouse
-                .update("people", &add_phone("alice", 0.8))
-                .unwrap();
-            warehouse.update("people", &add_phone("bob", 0.6)).unwrap();
+            commit_one(&warehouse, "people", &add_phone("alice", 0.8)).unwrap();
+            commit_one(&warehouse, "people", &add_phone("bob", 0.6)).unwrap();
         }
         // Re-open: the checkpoint has no phones, the journal has both.
-        let reopened = Warehouse::open(&dir, WarehouseConfig::default()).unwrap();
+        let reopened = Warehouse::with_config(&dir, plain_config()).unwrap();
         let phones = Pattern::parse("person { phone }").unwrap();
         let result = reopened.query("people", &phones).unwrap();
         assert_eq!(result.len(), 2);
@@ -476,22 +609,20 @@ mod tests {
     #[test]
     fn checkpoint_policy_truncates_journal() {
         let dir = scratch("checkpoint-policy");
-        let warehouse = Warehouse::open(
+        let warehouse = Warehouse::with_config(
             &dir,
-            WarehouseConfig {
+            SessionConfig {
+                simplify: SimplifyPolicy::Never,
                 checkpoint_every: Some(2),
-                auto_simplify_above_literals: None,
             },
         )
         .unwrap();
         warehouse.create_document("people", directory()).unwrap();
-        warehouse
-            .update("people", &add_phone("alice", 0.8))
-            .unwrap();
-        warehouse.update("people", &add_phone("bob", 0.9)).unwrap();
+        commit_one(&warehouse, "people", &add_phone("alice", 0.8)).unwrap();
+        commit_one(&warehouse, "people", &add_phone("bob", 0.9)).unwrap();
         // After the second update the journal is folded into the checkpoint.
         assert_eq!(warehouse.stats().checkpoints, 1);
-        let reopened = Warehouse::open(&dir, WarehouseConfig::default()).unwrap();
+        let reopened = Warehouse::with_config(&dir, plain_config()).unwrap();
         let phones = Pattern::parse("person { phone }").unwrap();
         assert_eq!(reopened.query("people", &phones).unwrap().len(), 2);
         std::fs::remove_dir_all(dir).unwrap();
@@ -500,25 +631,16 @@ mod tests {
     #[test]
     fn explicit_simplify_checkpoints_and_preserves_semantics() {
         let dir = scratch("simplify");
-        let warehouse = Warehouse::open(
-            &dir,
-            WarehouseConfig {
-                auto_simplify_above_literals: None,
-                checkpoint_every: None,
-            },
-        )
-        .unwrap();
+        let warehouse = Warehouse::with_config(&dir, plain_config()).unwrap();
         warehouse.create_document("people", directory()).unwrap();
         // A conditional deletion that duplicates nodes.
         let pattern = Pattern::parse("person { name[=\"alice\"], phone }").unwrap();
         let ids: Vec<PNodeId> = pattern.node_ids().collect();
-        warehouse
-            .update("people", &add_phone("alice", 0.8))
-            .unwrap();
+        commit_one(&warehouse, "people", &add_phone("alice", 0.8)).unwrap();
         let retract = UpdateTransaction::new(pattern, 0.5)
             .unwrap()
             .with_delete(ids[2]);
-        warehouse.update("people", &retract).unwrap();
+        commit_one(&warehouse, "people", &retract).unwrap();
 
         let before = warehouse.document("people").unwrap();
         warehouse.simplify("people").unwrap();
@@ -531,27 +653,260 @@ mod tests {
     #[test]
     fn drop_document_removes_it_everywhere() {
         let dir = scratch("drop");
-        let warehouse = Warehouse::open(&dir, WarehouseConfig::default()).unwrap();
+        let warehouse = Warehouse::with_config(&dir, plain_config()).unwrap();
         warehouse.create_document("people", directory()).unwrap();
         warehouse.drop_document("people").unwrap();
         assert!(warehouse.document_names().is_empty());
-        let reopened = Warehouse::open(&dir, WarehouseConfig::default()).unwrap();
+        assert!(!warehouse.contains("people"));
+        let reopened = Warehouse::with_config(&dir, plain_config()).unwrap();
         assert!(reopened.document_names().is_empty());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// Documents hash across shards, and the registry behaves identically
+    /// however many documents share a shard.
+    #[test]
+    fn many_documents_spread_over_the_shards() {
+        let dir = scratch("many-docs");
+        let warehouse = Warehouse::with_config(&dir, plain_config()).unwrap();
+        let count = 3 * SHARD_COUNT;
+        for i in 0..count {
+            warehouse
+                .create_document(&format!("doc-{i}"), directory())
+                .unwrap();
+        }
+        assert_eq!(warehouse.document_names().len(), count);
+        // Every populated shard resolves its own documents.
+        for i in 0..count {
+            let name = format!("doc-{i}");
+            assert!(warehouse.contains(&name));
+            commit_one(&warehouse, &name, &add_phone("alice", 0.7)).unwrap();
+        }
+        assert_eq!(warehouse.stats().updates_applied, count);
+        // At least two distinct shards are in use (3×SHARD_COUNT names into
+        // SHARD_COUNT buckets cannot all collide unless hashing is broken).
+        let used = warehouse
+            .shards
+            .iter()
+            .filter(|shard| !shard.slots.read().is_empty())
+            .count();
+        assert!(used > 1, "all {count} documents hashed into one shard");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// The core claim of the sharded engine, tested deterministically: while
+    /// one document's write lock is held (a writer mid-commit), queries and
+    /// commits against *another* document complete. With the old global
+    /// document-map lock this test deadlocks (the query blocks until the
+    /// "commit" finishes, which waits for the query).
+    #[test]
+    fn other_documents_stay_available_while_one_is_write_locked() {
+        let dir = scratch("independent-locks");
+        let warehouse = std::sync::Arc::new(Warehouse::with_config(&dir, plain_config()).unwrap());
+        warehouse.create_document("busy", directory()).unwrap();
+        warehouse.create_document("idle", directory()).unwrap();
+
+        let (done_tx, done_rx) = mpsc::channel();
+        let (blocked_tx, blocked_rx) = mpsc::channel();
+        warehouse
+            .with_document_write_locked("busy", || {
+                // A thread works the *other* document while `busy` is locked.
+                let shared = warehouse.clone();
+                let worker = std::thread::spawn(move || {
+                    let phones = Pattern::parse("person { phone }").unwrap();
+                    assert!(shared.query("idle", &phones).unwrap().is_empty());
+                    commit_one(&shared, "idle", &add_phone("alice", 0.9)).unwrap();
+                    assert_eq!(shared.query("idle", &phones).unwrap().len(), 1);
+                    done_tx.send(()).unwrap();
+                });
+                done_rx
+                    .recv_timeout(Duration::from_secs(30))
+                    .expect("work on `idle` must not wait for `busy`'s write lock");
+                worker.join().unwrap();
+
+                // A reader of `busy` itself *does* wait for the writer.
+                let shared = warehouse.clone();
+                let reader = std::thread::spawn(move || {
+                    let phones = Pattern::parse("person { phone }").unwrap();
+                    let _ = shared.query("busy", &phones).unwrap();
+                    blocked_tx.send(()).unwrap();
+                });
+                assert!(
+                    blocked_rx.recv_timeout(Duration::from_millis(100)).is_err(),
+                    "a query against the locked document must block"
+                );
+                reader
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+        // Once the lock is released the blocked reader completes.
+        blocked_rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// Barrier-started commits from many threads to disjoint documents all
+    /// land, and each document ends up exactly as its own journal says.
+    #[test]
+    fn concurrent_commits_to_distinct_documents_all_land() {
+        let dir = scratch("parallel-commits");
+        let warehouse = std::sync::Arc::new(Warehouse::with_config(&dir, plain_config()).unwrap());
+        let docs = 4;
+        for i in 0..docs {
+            warehouse
+                .create_document(&format!("doc-{i}"), directory())
+                .unwrap();
+        }
+        let per_doc = 5;
+        let barrier = std::sync::Arc::new(Barrier::new(docs));
+        std::thread::scope(|scope| {
+            for i in 0..docs {
+                let warehouse = warehouse.clone();
+                let barrier = barrier.clone();
+                scope.spawn(move || {
+                    let name = format!("doc-{i}");
+                    barrier.wait();
+                    for k in 0..per_doc {
+                        let who = if k % 2 == 0 { "alice" } else { "bob" };
+                        commit_one(&warehouse, &name, &add_phone(who, 0.6)).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(warehouse.stats().updates_applied, docs * per_doc);
+        let phones = Pattern::parse("person { phone }").unwrap();
+        for i in 0..docs {
+            assert_eq!(
+                warehouse.query(&format!("doc-{i}"), &phones).unwrap().len(),
+                per_doc
+            );
+        }
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// `stats()` is atomic-read only: a reader thread hammering it while
+    /// writers commit always sees monotonically non-decreasing counters and
+    /// never deadlocks or blocks a commit.
+    #[test]
+    fn stats_reads_never_block_and_stay_monotonic_during_commits() {
+        let dir = scratch("stats-hammer");
+        let warehouse = std::sync::Arc::new(Warehouse::with_config(&dir, plain_config()).unwrap());
+        warehouse.create_document("a", directory()).unwrap();
+        warehouse.create_document("b", directory()).unwrap();
+        let writers = 2;
+        let per_writer = 10;
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            let reader = {
+                let warehouse = warehouse.clone();
+                let stop = stop.clone();
+                scope.spawn(move || {
+                    let mut last = 0usize;
+                    let mut reads = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        let now = warehouse.stats().updates_applied;
+                        assert!(now >= last, "updates_applied went backwards");
+                        last = now;
+                        reads += 1;
+                    }
+                    reads
+                })
+            };
+            let mut handles = Vec::new();
+            for w in 0..writers {
+                let warehouse = warehouse.clone();
+                handles.push(scope.spawn(move || {
+                    let name = if w == 0 { "a" } else { "b" };
+                    for _ in 0..per_writer {
+                        commit_one(&warehouse, name, &add_phone("alice", 0.7)).unwrap();
+                    }
+                }));
+            }
+            for handle in handles {
+                handle.join().unwrap();
+            }
+            stop.store(true, Ordering::Relaxed);
+            let reads = reader.join().unwrap();
+            assert!(reads > 0, "the stats reader must actually have run");
+        });
+        assert_eq!(warehouse.stats().updates_applied, writers * per_writer);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// Dropping and re-creating a name must never let work routed through a
+    /// *stale* slot leak into the new document: the drop tombstones the old
+    /// entry under its write lock, so any engine path that resolved the slot
+    /// before the drop reports `UnknownDocument` instead of touching the
+    /// store, and the re-created document's journal stays its own.
+    #[test]
+    fn drop_and_recreate_tombstones_the_stale_slot() {
+        let dir = scratch("drop-recreate");
+        let warehouse = Warehouse::with_config(&dir, plain_config()).unwrap();
+        warehouse.create_document("people", directory()).unwrap();
+        commit_one(&warehouse, "people", &add_phone("alice", 0.8)).unwrap();
+
+        // The race window: a slot resolved before the drop.
+        let stale = warehouse.slot("people").unwrap();
+        warehouse.drop_document("people").unwrap();
+        assert!(stale.read().dropped, "drop must tombstone the old entry");
+        warehouse.create_document("people", directory()).unwrap();
+
+        // Fresh-name traffic works and starts from the clean re-created state.
+        let phones = Pattern::parse("person { phone }").unwrap();
+        assert!(warehouse.query("people", &phones).unwrap().is_empty());
+        commit_one(&warehouse, "people", &add_phone("bob", 0.6)).unwrap();
+        assert_eq!(warehouse.query("people", &phones).unwrap().len(), 1);
+        // The new document's journal holds exactly its own single batch.
+        let store = pxml_store::DocumentStore::open(&dir).unwrap();
+        assert_eq!(store.read_batches("people").unwrap().len(), 1);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// A drop issued while another thread holds the document's write lock
+    /// (a commit in flight) waits for that work; once it completes, every
+    /// path — including callers still holding the old slot — reports
+    /// `UnknownDocument`.
+    #[test]
+    fn drop_waits_for_in_flight_work_then_invalidates_the_slot() {
+        let dir = scratch("drop-waits");
+        let warehouse = std::sync::Arc::new(Warehouse::with_config(&dir, plain_config()).unwrap());
+        warehouse.create_document("people", directory()).unwrap();
+        let (dropped_tx, dropped_rx) = mpsc::channel();
+        let dropper = warehouse
+            .with_document_write_locked("people", || {
+                let shared = warehouse.clone();
+                let dropper = std::thread::spawn(move || {
+                    shared.drop_document("people").unwrap();
+                    dropped_tx.send(()).unwrap();
+                });
+                assert!(
+                    dropped_rx.recv_timeout(Duration::from_millis(100)).is_err(),
+                    "drop must wait for the in-flight document lock"
+                );
+                dropper
+            })
+            .unwrap();
+        dropper.join().unwrap();
+        dropped_rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert!(matches!(
+            warehouse.query("people", &Pattern::parse("person").unwrap()),
+            Err(WarehouseError::UnknownDocument(_))
+        ));
+        assert!(!warehouse.contains("people"));
         std::fs::remove_dir_all(dir).unwrap();
     }
 
     #[test]
     fn warehouse_is_shareable_across_threads() {
         let dir = scratch("threads");
-        let warehouse =
-            std::sync::Arc::new(Warehouse::open(&dir, WarehouseConfig::default()).unwrap());
+        let warehouse = std::sync::Arc::new(Warehouse::with_config(&dir, plain_config()).unwrap());
         warehouse.create_document("people", directory()).unwrap();
         let mut handles = Vec::new();
         for i in 0..4 {
             let shared = warehouse.clone();
             handles.push(std::thread::spawn(move || {
                 let who = if i % 2 == 0 { "alice" } else { "bob" };
-                shared.update("people", &add_phone(who, 0.7)).unwrap();
+                commit_one(&shared, "people", &add_phone(who, 0.7)).unwrap();
                 let query = Pattern::parse("person { phone }").unwrap();
                 shared.query("people", &query).unwrap().len()
             }));

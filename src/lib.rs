@@ -72,10 +72,11 @@
 //!
 //! ## Migrating from the pre-session API
 //!
-//! The free-standing warehouse calls survive one release as deprecated
-//! shims; new code should use the session API:
+//! The free-standing warehouse calls (`Warehouse::open` / `update`,
+//! `WarehouseConfig`, `DocumentStore::append_update`) survived release 0.2
+//! as shims and are now **removed**; the session API is the only path:
 //!
-//! | Old call | New call |
+//! | Removed call | Replacement |
 //! |---|---|
 //! | `Warehouse::open(path, WarehouseConfig { auto_simplify_above_literals, .. })` | `Session::open(path, SessionConfig { simplify: SimplifyPolicy::…, .. })` |
 //! | `warehouse.create_document(name, tree)` | `session.create(name, tree)` → [`Document`](prelude::Document) handle |

@@ -1,0 +1,303 @@
+//! The concurrency and crash-recovery battery for the sharded warehouse
+//! engine: barrier-started writer fleets whose final state must equal a
+//! per-document sequential replay, and kill-point scenarios with several
+//! documents mid-commit.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use pxml::gen::scenarios::{people_directory, PeopleScenarioConfig};
+use pxml::prelude::*;
+use pxml::store::parse_batched_journal;
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn scratch(label: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "pxml-concurrency-{}-{}-{}",
+        std::process::id(),
+        label,
+        COUNTER.fetch_add(1, Ordering::SeqCst)
+    ))
+}
+
+/// The people-directory names for `people_directory(people: 4)`.
+const PEOPLE: &[&str] = &["alice-0", "bob-0", "carol-0", "dan-0"];
+
+fn directory() -> pxml::tree::Tree {
+    people_directory(&PeopleScenarioConfig {
+        people: PEOPLE.len(),
+        ..PeopleScenarioConfig::default()
+    })
+}
+
+/// An insertion of a phone with a traceable value under a known person.
+fn tagged_phone(person: usize, tag: &str, confidence: f64) -> Update {
+    let pattern = Pattern::parse(&format!(
+        "person {{ name[=\"{}\"] }}",
+        PEOPLE[person % PEOPLE.len()]
+    ))
+    .unwrap();
+    let target = pattern.root();
+    let mut phone = pxml::tree::Tree::new("phone");
+    phone.add_text(phone.root(), tag);
+    Update::matching(pattern)
+        .insert_at(target, phone)
+        .with_confidence(confidence)
+}
+
+/// The replay-free session configuration used throughout: what the threads
+/// committed is exactly what the journals hold and what recovery rebuilds.
+fn plain_config() -> SessionConfig {
+    SessionConfig {
+        simplify: SimplifyPolicy::Never,
+        checkpoint_every: None,
+    }
+}
+
+/// Every value carried by phone inserts in a parsed journal batch list.
+fn journal_phone_tags(batches: &[Vec<UpdateTransaction>]) -> Vec<String> {
+    batches
+        .iter()
+        .flatten()
+        .flat_map(|update| update.operations())
+        .filter_map(|op| match op {
+            UpdateOperation::Insert { subtree, .. } => subtree
+                .node_value(subtree.root())
+                .map(|value| value.to_string()),
+            UpdateOperation::Delete { .. } => None,
+        })
+        .collect()
+}
+
+/// N barrier-started writer threads spray commits over M shared documents;
+/// afterwards every document must equal the sequential replay of its own
+/// journal (which is the store's recovery path), and the engine counters
+/// must account for every update.
+#[test]
+fn concurrent_writers_equal_sequential_replay_per_document() {
+    let dir = scratch("writers-vs-replay");
+    let session = Session::open(&dir, plain_config()).unwrap();
+    let docs = 3;
+    let threads = 6;
+    let commits_per_thread = 4;
+    let documents: Vec<Document> = (0..docs)
+        .map(|i| session.create(&format!("doc-{i}"), directory()).unwrap())
+        .collect();
+
+    let barrier = Arc::new(Barrier::new(threads));
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let documents = documents.clone();
+            let barrier = barrier.clone();
+            scope.spawn(move || {
+                barrier.wait();
+                for k in 0..commits_per_thread {
+                    // Each thread walks the documents starting at its own
+                    // offset, so every document sees interleaved writers.
+                    let doc = &documents[(t + k) % docs];
+                    doc.begin()
+                        .stage(tagged_phone(t, &format!("t{t}-k{k}"), 0.7))
+                        .commit()
+                        .unwrap();
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        session.stats().updates_applied,
+        threads * commits_per_thread
+    );
+    // A second store handle over the same directory sees the journals the
+    // commits wrote; its recovery (checkpoint + in-order journal replay) is
+    // the sequential-replay reference.
+    let store = DocumentStore::open(&dir).unwrap();
+    let mut journaled_total = 0;
+    for (i, doc) in documents.iter().enumerate() {
+        let name = format!("doc-{i}");
+        let replayed = store.recover_document(&name).unwrap();
+        let live = doc.snapshot().unwrap();
+        assert!(
+            live.semantically_equivalent(&replayed, 1e-9).unwrap(),
+            "document {name} diverged from its journal replay"
+        );
+        journaled_total += store.read_batches(&name).unwrap().len();
+    }
+    assert_eq!(journaled_total, threads * commits_per_thread);
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+/// Kill-point with two documents mid-commit: `committed`'s batch passed its
+/// commit point (journal renamed) while `staged`'s was still in the `.tmp`
+/// staging file when the process died. Recovery replays the first, discards
+/// the second, and the two journals stay fully separate.
+#[test]
+fn crash_with_two_in_flight_documents_recovers_independently() {
+    let dir = scratch("two-doc-kill-point");
+    {
+        let session = Session::open(&dir, plain_config()).unwrap();
+        let committed = session.create("committed", directory()).unwrap();
+        session.create("staged", directory()).unwrap();
+        committed
+            .begin()
+            .stage(tagged_phone(0, "doc-committed-0", 0.8))
+            .stage(tagged_phone(1, "doc-committed-1", 0.6))
+            .commit()
+            .unwrap();
+        // `staged` reached the staging write but died before the rename:
+        // fabricate the torn commit the way the store would have left it.
+        let orphan = tagged_phone(2, "doc-staged-0", 0.9).build().unwrap();
+        std::fs::write(
+            dir.join(".staged.journal.tmp"),
+            pxml::store::serialize_batched_journal(std::slice::from_ref(&vec![orphan])),
+        )
+        .unwrap();
+        // The session drops here: the crash.
+    }
+
+    let session = Session::open(&dir, plain_config()).unwrap();
+    assert!(!dir.join(".staged.journal.tmp").exists(), "debris swept");
+    let phones = Pattern::parse("person { phone }").unwrap();
+    let committed = session.document("committed").unwrap();
+    assert_eq!(
+        committed.query(&phones).unwrap().len(),
+        2,
+        "the committed batch must replay in full"
+    );
+    let staged = session.document("staged").unwrap();
+    assert!(
+        staged.query(&phones).unwrap().is_empty(),
+        "the staged-but-uncommitted batch must be discarded"
+    );
+
+    // Per-document journals never interleave: `committed`'s journal holds
+    // exactly its own two updates, `staged` has no journal at all.
+    let journal = std::fs::read_to_string(dir.join("committed.journal")).unwrap();
+    let batches = parse_batched_journal(&journal).unwrap();
+    assert_eq!(batches.len(), 1);
+    assert_eq!(
+        journal_phone_tags(&batches),
+        vec!["doc-committed-0", "doc-committed-1"]
+    );
+    assert!(!dir.join("staged.journal").exists());
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+/// Concurrent commits to two documents followed by a crash: each document
+/// recovers exactly its own batches, and neither journal contains a single
+/// entry belonging to the other document.
+#[test]
+fn concurrent_commits_keep_journals_separate_across_a_crash() {
+    let dir = scratch("journal-isolation");
+    let commits = 3;
+    {
+        let session = Session::open(&dir, plain_config()).unwrap();
+        let documents: Vec<Document> = (0..2)
+            .map(|i| session.create(&format!("doc-{i}"), directory()).unwrap())
+            .collect();
+        let barrier = Arc::new(Barrier::new(2));
+        std::thread::scope(|scope| {
+            for (i, doc) in documents.iter().enumerate() {
+                let barrier = barrier.clone();
+                scope.spawn(move || {
+                    barrier.wait();
+                    for k in 0..commits {
+                        doc.begin()
+                            .stage(tagged_phone(k, &format!("doc-{i}-k{k}"), 0.7))
+                            .commit()
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        // Crash: drop without checkpointing.
+    }
+
+    let session = Session::open(&dir, plain_config()).unwrap();
+    let phones = Pattern::parse("person { phone }").unwrap();
+    for i in 0..2 {
+        let name = format!("doc-{i}");
+        let doc = session.document(&name).unwrap();
+        assert_eq!(doc.query(&phones).unwrap().len(), commits);
+
+        let journal = std::fs::read_to_string(dir.join(format!("{name}.journal"))).unwrap();
+        let batches = parse_batched_journal(&journal).unwrap();
+        assert_eq!(batches.len(), commits, "one journal batch per commit");
+        let tags = journal_phone_tags(&batches);
+        assert_eq!(tags.len(), commits);
+        assert!(
+            tags.iter().all(|tag| tag.starts_with(&format!("doc-{i}-"))),
+            "journal of {name} holds a foreign entry: {tags:?}"
+        );
+    }
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+/// Mixed traffic from many threads — queries, commits and stats polling over
+/// disjoint and shared documents — finishes with a consistent ledger: every
+/// thread's commits are counted, every document validates, and a reopened
+/// session agrees with the live one.
+#[test]
+fn mixed_traffic_stress_stays_consistent() {
+    let dir = scratch("mixed-stress");
+    let session = Session::open(&dir, plain_config()).unwrap();
+    let docs = 4;
+    let threads = 8;
+    let rounds = 6;
+    let documents: Vec<Document> = (0..docs)
+        .map(|i| session.create(&format!("doc-{i}"), directory()).unwrap())
+        .collect();
+    let barrier = Arc::new(Barrier::new(threads));
+    let phones = Pattern::parse("person { phone }").unwrap();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let documents = documents.clone();
+            let session = session.clone();
+            let barrier = barrier.clone();
+            let phones = phones.clone();
+            scope.spawn(move || {
+                barrier.wait();
+                for k in 0..rounds {
+                    let doc = &documents[(t + k) % docs];
+                    if t % 2 == 0 {
+                        doc.begin()
+                            .stage(tagged_phone(t + k, &format!("t{t}-k{k}"), 0.6))
+                            .commit()
+                            .unwrap();
+                    } else {
+                        let _ = doc.query(&phones).unwrap();
+                        let _ = session.stats();
+                    }
+                }
+            });
+        }
+    });
+    let committed = (threads / 2) * rounds;
+    let stats = session.stats();
+    assert_eq!(stats.updates_applied, committed);
+    assert_eq!(stats.queries_evaluated, (threads / 2) * rounds);
+    let mut total_phones = 0;
+    for doc in &documents {
+        let snapshot = doc.snapshot().unwrap();
+        assert!(snapshot.validate().is_ok());
+        total_phones += doc.query(&phones).unwrap().len();
+    }
+    assert_eq!(total_phones, committed);
+
+    drop(documents);
+    drop(session);
+    let reopened = Session::open(&dir, plain_config()).unwrap();
+    let mut recovered_phones = 0;
+    for i in 0..docs {
+        recovered_phones += reopened
+            .document(&format!("doc-{i}"))
+            .unwrap()
+            .query(&phones)
+            .unwrap()
+            .len();
+    }
+    assert_eq!(recovered_phones, committed);
+    std::fs::remove_dir_all(dir).unwrap();
+}
