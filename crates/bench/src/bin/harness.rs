@@ -1,4 +1,4 @@
-//! The experiment harness: re-runs every experiment E1–E11 (each described
+//! The experiment harness: re-runs every experiment E1–E12 (each described
 //! at its section below) and prints paper-style result tables.
 //!
 //! Usage:
@@ -23,9 +23,11 @@ use pxml_gen::concurrent::{
     concurrent_workload, initial_document, ConcurrentWorkloadConfig, DocumentWorkload, WorkloadOp,
 };
 use pxml_gen::scenarios::{extraction_update, people_directory, PeopleScenarioConfig};
+use pxml_gen::storage::journal_batches;
 use pxml_query::{MatchStrategy, Pattern};
+use pxml_store::{FsBackend, MemBackend, StorageBackend};
 use pxml_tree::parse_data_tree;
-use pxml_warehouse::{Session, SessionConfig};
+use pxml_warehouse::{CompactionPolicy, Session, SessionConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -75,6 +77,9 @@ fn main() {
     }
     if want("e11") {
         e11_concurrent_engine(quick);
+    }
+    if want("e12") {
+        e12_commit_latency_vs_journal(quick);
     }
 }
 
@@ -394,7 +399,7 @@ fn e7_warehouse(quick: bool) {
             &dir,
             SessionConfig {
                 simplify: SimplifyPolicy::Threshold(4096),
-                checkpoint_every: Some(64),
+                compaction: CompactionPolicy::EveryNBatches(64),
             },
         )
         .unwrap();
@@ -733,7 +738,7 @@ fn e11_concurrent_engine(quick: bool) {
             &dir,
             SessionConfig {
                 simplify: SimplifyPolicy::Threshold(4096),
-                checkpoint_every: Some(16),
+                compaction: CompactionPolicy::EveryNBatches(16),
             },
         )
         .unwrap();
@@ -785,6 +790,90 @@ fn e11_concurrent_engine(quick: bool) {
         drop(documents);
         drop(session);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------------------
+// E12 — commit latency vs accumulated journal length.
+// ---------------------------------------------------------------------------
+
+/// Seeds a store with `seeded` committed batches and measures the latency of
+/// appending one more: the median over `probes` appends (each a real durable
+/// commit — on `FsBackend` that includes the fsync).
+fn e12_probe(
+    store: &dyn StorageBackend,
+    seeded: usize,
+    probes: usize,
+    scenario: &PeopleScenarioConfig,
+) -> Duration {
+    store
+        .save_document("people", &FuzzyTree::from_tree(people_directory(scenario)))
+        .unwrap();
+    for batch in journal_batches(BENCH_SEED, seeded, 2, scenario) {
+        store.append_batch("people", &batch).unwrap();
+    }
+    let probe_batches = journal_batches(BENCH_SEED + 1, probes, 2, scenario);
+    let mut samples: Vec<Duration> = probe_batches
+        .iter()
+        .map(|batch| {
+            let start = Instant::now();
+            store.append_batch("people", batch).unwrap();
+            start.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// The claim behind the append-only segment journal: committing one batch
+/// costs O(batch), independent of how many batches the journal already
+/// holds. The old monolithic journal rewrote the whole file per commit —
+/// O(journal) — so its "vs empty" column grew linearly with the seed count.
+fn e12_commit_latency_vs_journal(quick: bool) {
+    header(
+        "E12",
+        "commit latency vs accumulated journal length (O(batch) claim, both backends)",
+    );
+    let seeds: &[usize] = &[0, 100, 1000, 5000];
+    let probes = if quick { 15 } else { 41 };
+    let scenario = PeopleScenarioConfig {
+        people: 16,
+        ..PeopleScenarioConfig::default()
+    };
+    println!(
+        "{:>10} {:>14} {:>16} {:>10} {:>18}",
+        "backend", "seeded", "append (µs)", "vs empty", "journal_len (µs)"
+    );
+    for backend in ["fs", "mem"] {
+        let mut empty_us = None;
+        for &seeded in seeds {
+            let dir = std::env::temp_dir().join(format!(
+                "pxml-harness-e12-{}-{backend}-{seeded}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let store: Box<dyn StorageBackend> = match backend {
+                "fs" => Box::new(FsBackend::open(&dir).unwrap()),
+                _ => Box::new(MemBackend::new()),
+            };
+            let append = e12_probe(store.as_ref(), seeded, probes, &scenario);
+            // The O(1) journal meter: time a batch of length queries.
+            let meter_reads = 1000;
+            let meter_start = Instant::now();
+            for _ in 0..meter_reads {
+                let _ = store.journal_length("people").unwrap();
+            }
+            let meter_us = meter_start.elapsed().as_secs_f64() * 1e6 / meter_reads as f64;
+            let append_us = append.as_secs_f64() * 1e6;
+            let baseline = *empty_us.get_or_insert(append_us);
+            println!(
+                "{backend:>10} {seeded:>14} {append_us:>16.1} {:>9.2}x {meter_us:>18.3}",
+                append_us / baseline
+            );
+            drop(store);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
     println!();
 }

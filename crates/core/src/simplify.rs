@@ -183,25 +183,30 @@ pub fn prune_impossible_nodes(fuzzy: &mut FuzzyTree) -> Result<usize, CoreError>
 
 /// Removes, from every node's condition, the literals already guaranteed by
 /// its ancestors; returns the number of literals removed.
+///
+/// One top-down walk carries the accumulated ancestor context, extending it
+/// by each node's (already reduced) own condition on the way down — the
+/// context is never re-conjoined from the root per node, which would make
+/// the pass O(depth) slower on deep documents.
 pub fn strip_implied_literals(fuzzy: &mut FuzzyTree) -> Result<usize, CoreError> {
     let mut stripped = 0;
-    for node in fuzzy.tree().nodes() {
-        if node == fuzzy.root() {
-            continue;
-        }
-        let own = fuzzy.condition(node);
-        if own.is_empty() {
-            continue;
-        }
-        let parent = fuzzy
-            .tree()
-            .parent(node)
-            .expect("non-root node has a parent");
-        let context = fuzzy.existence_condition(parent);
-        let reduced = own.without_implied_by(&context);
-        if reduced.len() < own.len() {
-            stripped += own.len() - reduced.len();
-            fuzzy.set_condition(node, reduced)?;
+    let mut stack: Vec<(NodeId, Condition)> = vec![(fuzzy.root(), Condition::always())];
+    while let Some((node, context)) = stack.pop() {
+        for child in fuzzy.tree().children(node).to_vec() {
+            let own = fuzzy.condition(child);
+            let reduced = if own.is_empty() {
+                own
+            } else {
+                let reduced = own.without_implied_by(&context);
+                if reduced.len() < own.len() {
+                    stripped += own.len() - reduced.len();
+                    fuzzy.set_condition(child, reduced.clone())?;
+                }
+                reduced
+            };
+            if !fuzzy.tree().children(child).is_empty() {
+                stack.push((child, context.and(&reduced)));
+            }
         }
     }
     Ok(stripped)
@@ -290,18 +295,28 @@ pub fn merge_complementary_siblings(fuzzy: &mut FuzzyTree) -> Result<usize, Core
 
 /// Pairwise Shannon merging restricted to the children of one parent, run to
 /// a local fixpoint.
+///
+/// Body keys are computed **once per call**, not once per fixpoint
+/// iteration: a merge removes one sibling and rewrites the kept sibling's
+/// own root condition, which its body key excludes, so the surviving keys
+/// stay valid for the whole local fixpoint — re-deriving them each round
+/// was the dominant cost of this pass (each key is an O(subtree) canonical
+/// form).
 fn merge_children_of(fuzzy: &mut FuzzyTree, parent: NodeId) -> Result<usize, CoreError> {
     let mut merged_nodes = 0;
+    let children = fuzzy.tree().children(parent).to_vec();
+    if children.len() < 2 {
+        return Ok(merged_nodes);
+    }
+    let mut keyed: Vec<(String, NodeId)> = children
+        .iter()
+        .map(|&child| (body_key(fuzzy, child), child))
+        .collect();
+    keyed.sort();
     loop {
-        let children = fuzzy.tree().children(parent).to_vec();
-        if children.len() < 2 {
+        if keyed.len() < 2 {
             return Ok(merged_nodes);
         }
-        let mut keyed: Vec<(String, NodeId)> = children
-            .iter()
-            .map(|&child| (body_key(fuzzy, child), child))
-            .collect();
-        keyed.sort();
         let mut found = None;
         'search: for i in 0..keyed.len() {
             for j in (i + 1)..keyed.len() {
@@ -312,17 +327,18 @@ fn merge_children_of(fuzzy: &mut FuzzyTree, parent: NodeId) -> Result<usize, Cor
                 let b = keyed[j].1;
                 if let Some(merged) = complementary_merge(&fuzzy.condition(a), &fuzzy.condition(b))
                 {
-                    found = Some((a, b, merged));
+                    found = Some((j, a, b, merged));
                     break 'search;
                 }
             }
         }
-        let Some((keep, drop, merged_condition)) = found else {
+        let Some((drop_index, keep, drop, merged_condition)) = found else {
             return Ok(merged_nodes);
         };
         merged_nodes += fuzzy.tree().subtree_size(drop);
         fuzzy.remove_subtree(drop)?;
         fuzzy.set_condition(keep, merged_condition)?;
+        keyed.remove(drop_index);
     }
 }
 

@@ -21,7 +21,9 @@
 //!   confidences;
 //! * [`concurrent`] — seeded concurrent mixed workloads (experiment E11):
 //!   per-document streams of interleaved queries and committed update
-//!   batches for multi-threaded warehouse drivers.
+//!   batches for multi-threaded warehouse drivers;
+//! * [`storage`] — deterministic committed-batch streams for journal seeding
+//!   (experiment E12 and the storage-backend tests).
 //!
 //! Every generator takes an explicit [`rand::Rng`] (or derives one from a
 //! seed), so workloads are reproducible.
@@ -30,6 +32,7 @@ pub mod concurrent;
 pub mod fuzzy;
 pub mod queries;
 pub mod scenarios;
+pub mod storage;
 pub mod trees;
 pub mod updates;
 
@@ -39,5 +42,6 @@ pub use concurrent::{
 pub use fuzzy::{random_fuzzy_tree, FuzzyGenConfig};
 pub use queries::{derived_query, random_query, QueryGenConfig};
 pub use scenarios::{extraction_update, people_directory, PeopleScenarioConfig};
+pub use storage::journal_batches;
 pub use trees::{random_tree, TreeGenConfig};
 pub use updates::{random_update, UpdateGenConfig};

@@ -23,6 +23,14 @@
 //! be attached to character data). Certain nodes are written without any
 //! PrXML markup, so a certain document round-trips as plain XML plus a small
 //! header.
+//!
+//! Checkpoints written by the segment-journal store additionally carry a
+//! `pxml:epoch` attribute on the root: the journal generation this checkpoint
+//! folded. It rides the checkpoint file itself so the checkpoint rename stays
+//! the *single* atomic commit point of a compaction — recovery replays only
+//! segments of the checkpoint's own epoch, which makes a crash between the
+//! rename and the deletion of the folded segments harmless (see
+//! [`crate::fs`]). Documents without the attribute are epoch 0.
 
 use pxml_core::FuzzyTree;
 use pxml_event::Condition;
@@ -34,9 +42,19 @@ use crate::error::StoreError;
 pub const CONDITION_ATTRIBUTE: &str = "pxml:cond";
 /// Wrapper element for conditional text nodes.
 pub const TEXT_ELEMENT: &str = "pxml:text";
+/// Attribute on `<pxml:document>` carrying the journal epoch the checkpoint
+/// folded (absent = epoch 0).
+pub const EPOCH_ATTRIBUTE: &str = "pxml:epoch";
 
-/// Serializes a fuzzy tree to the PrXML textual format.
+/// Serializes a fuzzy tree to the PrXML textual format (epoch 0).
 pub fn serialize_fuzzy_document(fuzzy: &FuzzyTree, pretty: bool) -> String {
+    serialize_fuzzy_document_with_epoch(fuzzy, pretty, 0)
+}
+
+/// Serializes a fuzzy tree to the PrXML textual format, stamping the given
+/// journal epoch on the `<pxml:document>` root (0 is omitted, keeping plain
+/// documents free of storage metadata).
+pub fn serialize_fuzzy_document_with_epoch(fuzzy: &FuzzyTree, pretty: bool, epoch: u64) -> String {
     let mut events = XmlElement::new("pxml:events");
     for (_, name, probability) in fuzzy.events().iter() {
         events.children.push(XmlNode::Element(
@@ -49,13 +67,38 @@ pub fn serialize_fuzzy_document(fuzzy: &FuzzyTree, pretty: bool) -> String {
     content
         .children
         .push(XmlNode::Element(element_for(fuzzy, fuzzy.root())));
-    let document = XmlDocument::new(
-        XmlElement::new("pxml:document")
-            .with_attribute("xmlns:pxml", "urn:pxml")
-            .with_child(events)
-            .with_child(content),
-    );
+    let mut root = XmlElement::new("pxml:document").with_attribute("xmlns:pxml", "urn:pxml");
+    if epoch != 0 {
+        root.set_attribute(EPOCH_ATTRIBUTE, epoch.to_string());
+    }
+    let document = XmlDocument::new(root.with_child(events).with_child(content));
     document.to_xml_string(pretty)
+}
+
+/// Extracts the journal epoch from serialized PrXML text without parsing the
+/// whole document: the attribute lives in the opening `<pxml:document>` tag,
+/// so only the text up to the first `>` is scanned. Returns 0 when the
+/// attribute is absent (plain or pre-segment documents).
+pub fn extract_epoch(input: &str) -> u64 {
+    let Some(open) = input.find("<pxml:document") else {
+        return 0;
+    };
+    let rest = &input[open..];
+    let Some(tag_end) = rest.find('>') else {
+        return 0;
+    };
+    let tag = &rest[..tag_end];
+    let Some(at) = tag.find(EPOCH_ATTRIBUTE) else {
+        return 0;
+    };
+    tag[at + EPOCH_ATTRIBUTE.len()..]
+        .trim_start()
+        .strip_prefix('=')
+        .map(|rest| rest.trim_start())
+        .and_then(|rest| rest.strip_prefix('"'))
+        .and_then(|rest| rest.split('"').next())
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(0)
 }
 
 fn format_probability(probability: f64) -> String {

@@ -117,6 +117,34 @@ pub fn parse_update(input: &str) -> Result<UpdateTransaction, StoreError> {
     update_from_element(&document.root)
 }
 
+/// Serializes one committed batch as a standalone `<pxml:batch>` document —
+/// the payload of a single segment-journal record (see [`crate::fs`]).
+pub fn serialize_batch(batch: &[UpdateTransaction]) -> String {
+    let mut element = XmlElement::new("pxml:batch");
+    for update in batch {
+        element
+            .children
+            .push(XmlNode::Element(update_to_element(update)));
+    }
+    XmlDocument::new(element).to_xml_string(false)
+}
+
+/// Parses one standalone `<pxml:batch>` document (a segment-record payload).
+pub fn parse_batch(input: &str) -> Result<Vec<UpdateTransaction>, StoreError> {
+    let document = XmlDocument::parse(input)?;
+    if document.root.name != "pxml:batch" {
+        return Err(StoreError::Format(format!(
+            "expected <pxml:batch>, found <{}>",
+            document.root.name
+        )));
+    }
+    document
+        .root
+        .child_elements()
+        .map(update_from_element)
+        .collect()
+}
+
 /// Serializes a whole journal as a sequence of single-update batches.
 pub fn serialize_journal(updates: &[UpdateTransaction]) -> String {
     let batches: Vec<Vec<UpdateTransaction>> = updates.iter().map(|u| vec![u.clone()]).collect();

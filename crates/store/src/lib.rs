@@ -1,20 +1,28 @@
 //! # pxml-store
 //!
-//! File-system storage for probabilistic XML documents.
+//! Storage for probabilistic XML documents behind a pluggable backend
+//! abstraction.
 //!
 //! The paper's prototype stores fuzzy XML documents as plain files on the
 //! file system ("File system storage", slide 16). This crate provides that
-//! substrate in a durable form:
+//! substrate in a durable form, and the trait that lets the warehouse run
+//! over alternative representations:
 //!
+//! * [`backend`] — the [`StorageBackend`] trait: checkpoint + journal
+//!   operations with a documented per-document locking/atomicity contract;
 //! * [`mod@format`] — the **PrXML** textual format: a fuzzy tree is written as an
 //!   ordinary XML document whose uncertain nodes carry a `pxml:cond`
-//!   attribute and whose event table is stored in a `pxml:events` header;
-//! * [`journal`] — the textual form of probabilistic update transactions and
-//!   the append-only, batch-structured update journal;
-//! * [`store`] — the [`DocumentStore`]: a directory of named documents with
-//!   atomic saves (write-to-temp + rename), per-document update journals
-//!   whose batch appends commit atomically at a rename, and crash recovery
-//!   by journal replay.
+//!   attribute, whose event table is stored in a `pxml:events` header, and
+//!   whose root carries the journal epoch its checkpoint folded;
+//! * [`journal`] — the textual form of probabilistic update transactions,
+//!   batch payloads, and the legacy monolithic journal layout;
+//! * [`fs`] — [`FsBackend`]: the durable file-system backend with an
+//!   **append-only segment journal** (O(batch) commits, torn-tail crash
+//!   recovery, auto-migration of legacy monolithic journals);
+//! * [`mem`] — [`MemBackend`]: the in-process backend for tests and benches.
+//!
+//! [`DocumentStore`] is the historical name of the file-system store and
+//! remains an alias for [`FsBackend`].
 //!
 //! ```no_run
 //! use pxml_core::FuzzyTree;
@@ -26,14 +34,22 @@
 //! assert_eq!(loaded.node_count(), 1);
 //! ```
 
+pub mod backend;
 pub mod error;
 pub mod format;
+pub mod fs;
 pub mod journal;
-pub mod store;
+pub mod mem;
 
+pub use backend::StorageBackend;
 pub use error::StoreError;
 pub use format::{parse_fuzzy_document, serialize_fuzzy_document};
+pub use fs::{FsBackend, DEFAULT_SEGMENT_ROLL_BYTES};
 pub use journal::{
-    parse_batched_journal, parse_update, serialize_batched_journal, serialize_update,
+    parse_batch, parse_batched_journal, parse_update, serialize_batch, serialize_batched_journal,
+    serialize_update,
 };
-pub use store::DocumentStore;
+pub use mem::MemBackend;
+
+/// The historical name of the file-system store: an alias for [`FsBackend`].
+pub type DocumentStore = FsBackend;

@@ -1,0 +1,258 @@
+//! The backend conformance suite: one set of behavioural checks run against
+//! every shipped [`StorageBackend`] implementation through a shared harness
+//! function, so `FsBackend` and `MemBackend` cannot drift apart on the
+//! semantics the warehouse engine relies on.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pxml_core::{FuzzyTree, UpdateTransaction};
+use pxml_query::Pattern;
+use pxml_store::{FsBackend, MemBackend, StorageBackend, StoreError};
+use pxml_tree::parse_data_tree;
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn scratch(label: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "pxml-conformance-{}-{}-{}",
+        std::process::id(),
+        label,
+        COUNTER.fetch_add(1, Ordering::SeqCst)
+    ))
+}
+
+fn sample_fuzzy() -> FuzzyTree {
+    use pxml_event::{Condition, Literal};
+    let mut fuzzy = FuzzyTree::new("directory");
+    let w = fuzzy.add_event("w", 0.6).unwrap();
+    let person = fuzzy.add_element(fuzzy.root(), "person");
+    let name = fuzzy.add_element(person, "name");
+    fuzzy.add_text(name, "alice");
+    let phone = fuzzy.add_element(person, "phone");
+    fuzzy.add_text(phone, "+33-1");
+    fuzzy
+        .set_condition(phone, Condition::from_literal(Literal::pos(w)))
+        .unwrap();
+    fuzzy
+}
+
+fn tagged_update(tag: &str) -> UpdateTransaction {
+    let pattern = Pattern::parse("person { name[=\"alice\"] }").unwrap();
+    let target = pattern.root();
+    UpdateTransaction::new(pattern, 0.8).unwrap().with_insert(
+        target,
+        parse_data_tree(&format!("<email>{tag}@example.org</email>")).unwrap(),
+    )
+}
+
+/// Runs every conformance check against one backend.
+fn conformance_suite(backend: &dyn StorageBackend) {
+    // --- empty store ------------------------------------------------------
+    assert!(backend.list_documents().unwrap().is_empty());
+    assert!(!backend.contains("people"));
+    assert!(matches!(
+        backend.load_document("people"),
+        Err(StoreError::MissingDocument(_))
+    ));
+    assert!(matches!(
+        backend.append_batch("people", &[tagged_update("a")]),
+        Err(StoreError::MissingDocument(_))
+    ));
+    assert!(matches!(
+        backend.remove_document("people"),
+        Err(StoreError::MissingDocument(_))
+    ));
+    // An unknown document has an empty journal rather than an error: the
+    // engine polls the meters without first checking existence.
+    assert_eq!(backend.journal_length("people").unwrap(), 0);
+    assert_eq!(backend.journal_batches("people").unwrap(), 0);
+    assert_eq!(backend.journal_size_bytes("people").unwrap(), 0);
+    assert!(backend.read_batches("people").unwrap().is_empty());
+
+    // --- save / load round trip ------------------------------------------
+    let fuzzy = sample_fuzzy();
+    backend.save_document("people", &fuzzy).unwrap();
+    assert!(backend.contains("people"));
+    assert_eq!(backend.list_documents().unwrap(), vec!["people"]);
+    let loaded = backend.load_document("people").unwrap();
+    assert!(fuzzy.semantically_equivalent(&loaded, 1e-12).unwrap());
+
+    // --- journal append / meters / read-back ------------------------------
+    backend
+        .append_batch("people", &[tagged_update("b1u1"), tagged_update("b1u2")])
+        .unwrap();
+    backend
+        .append_batch("people", &[tagged_update("b2u1")])
+        .unwrap();
+    assert_eq!(backend.journal_batches("people").unwrap(), 2);
+    assert_eq!(backend.journal_length("people").unwrap(), 3);
+    assert!(backend.journal_size_bytes("people").unwrap() > 0);
+    let batches = backend.read_batches("people").unwrap();
+    assert_eq!(batches.len(), 2);
+    assert_eq!(batches[0].len(), 2, "batch boundaries preserved");
+    assert_eq!(batches[1].len(), 1);
+    // Commit order is replay order.
+    let tags: Vec<String> = backend
+        .read_journal("people")
+        .unwrap()
+        .iter()
+        .map(|u| match &u.operations()[0] {
+            pxml_core::UpdateOperation::Insert { subtree, .. } => subtree
+                .node_value(subtree.root())
+                .unwrap_or_default()
+                .to_string(),
+            _ => unreachable!("conformance updates are inserts"),
+        })
+        .collect();
+    assert_eq!(
+        tags,
+        vec!["b1u1@example.org", "b1u2@example.org", "b2u1@example.org",]
+    );
+
+    // --- recovery = checkpoint + in-order replay --------------------------
+    let mut replayed = backend.load_document("people").unwrap();
+    for update in backend.read_journal("people").unwrap() {
+        update.apply_to_fuzzy(&mut replayed).unwrap();
+    }
+    let recovered = backend.recover_document("people").unwrap();
+    assert!(recovered.semantically_equivalent(&replayed, 1e-9).unwrap());
+    assert_eq!(recovered.tree().find_elements("email").len(), 3);
+    // The checkpoint itself is untouched by appends.
+    assert!(backend
+        .load_document("people")
+        .unwrap()
+        .tree()
+        .find_elements("email")
+        .is_empty());
+
+    // --- overwriting a checkpoint leaves the journal alone ----------------
+    backend.save_document("people", &sample_fuzzy()).unwrap();
+    assert_eq!(backend.journal_batches("people").unwrap(), 2);
+
+    // --- checkpoint folds the journal atomically --------------------------
+    let folded = backend.recover_document("people").unwrap();
+    backend.checkpoint("people", &folded).unwrap();
+    assert_eq!(backend.journal_length("people").unwrap(), 0);
+    assert_eq!(backend.journal_batches("people").unwrap(), 0);
+    assert_eq!(backend.journal_size_bytes("people").unwrap(), 0);
+    assert!(backend.read_batches("people").unwrap().is_empty());
+    assert_eq!(
+        backend
+            .load_document("people")
+            .unwrap()
+            .tree()
+            .find_elements("email")
+            .len(),
+        3
+    );
+    // Appends keep working after a fold and replay on the new base.
+    backend
+        .append_batch("people", &[tagged_update("post")])
+        .unwrap();
+    assert_eq!(backend.journal_batches("people").unwrap(), 1);
+    assert_eq!(
+        backend
+            .recover_document("people")
+            .unwrap()
+            .tree()
+            .find_elements("email")
+            .len(),
+        4
+    );
+
+    // --- multiple documents stay independent ------------------------------
+    backend
+        .save_document("other", &FuzzyTree::new("lib"))
+        .unwrap();
+    backend
+        .append_batch("other", &[tagged_update("o")])
+        .unwrap();
+    assert_eq!(backend.list_documents().unwrap(), vec!["other", "people"]);
+    assert_eq!(backend.journal_batches("people").unwrap(), 1);
+    assert_eq!(backend.journal_batches("other").unwrap(), 1);
+
+    // --- removal deletes checkpoint and journal ---------------------------
+    backend.remove_document("people").unwrap();
+    assert!(!backend.contains("people"));
+    assert_eq!(backend.list_documents().unwrap(), vec!["other"]);
+    assert_eq!(backend.journal_length("people").unwrap(), 0);
+    // A same-named re-created document starts clean.
+    backend.save_document("people", &sample_fuzzy()).unwrap();
+    assert!(backend.read_batches("people").unwrap().is_empty());
+    assert_eq!(
+        backend
+            .recover_document("people")
+            .unwrap()
+            .tree()
+            .find_elements("email")
+            .len(),
+        0
+    );
+}
+
+/// Concurrent same-document appends must serialize (none lost), and
+/// distinct-document appends must not interleave — exercised through the
+/// `Arc<dyn StorageBackend>` the engine actually uses.
+fn concurrent_conformance(backend: Arc<dyn StorageBackend>) {
+    backend.save_document("shared", &sample_fuzzy()).unwrap();
+    let threads = 4;
+    let per_thread = 5;
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(threads));
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let backend = backend.clone();
+            let barrier = barrier.clone();
+            scope.spawn(move || {
+                barrier.wait();
+                for k in 0..per_thread {
+                    backend
+                        .append_batch("shared", &[tagged_update(&format!("t{t}k{k}"))])
+                        .unwrap();
+                }
+            });
+        }
+    });
+    assert_eq!(
+        backend.journal_batches("shared").unwrap(),
+        threads * per_thread
+    );
+    assert_eq!(
+        backend.read_batches("shared").unwrap().len(),
+        threads * per_thread
+    );
+}
+
+#[test]
+fn fs_backend_conforms() {
+    let dir = scratch("fs");
+    conformance_suite(&FsBackend::open(&dir).unwrap());
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn mem_backend_conforms() {
+    conformance_suite(&MemBackend::new());
+}
+
+#[test]
+fn fs_backend_conforms_concurrently() {
+    let dir = scratch("fs-concurrent");
+    concurrent_conformance(Arc::new(FsBackend::open(&dir).unwrap()));
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn mem_backend_conforms_concurrently() {
+    concurrent_conformance(Arc::new(MemBackend::new()));
+}
+
+/// The multi-segment configuration must pass the same suite: rolling the
+/// active segment is invisible at the trait level.
+#[test]
+fn fs_backend_conforms_with_tiny_segments() {
+    let dir = scratch("fs-tiny-segments");
+    conformance_suite(&FsBackend::with_segment_roll_bytes(&dir, 64).unwrap());
+    std::fs::remove_dir_all(dir).unwrap();
+}

@@ -1,0 +1,337 @@
+//! The segment-level crash battery: every kill-point of the append-only
+//! journal and its compaction protocol, simulated by leaving the exact disk
+//! state the killed process would have left, then recovering through a fresh
+//! [`FsBackend`]. Also covers the auto-migration of legacy monolithic
+//! journals and the open-time debris sweep.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pxml_core::{FuzzyTree, UpdateTransaction};
+use pxml_query::Pattern;
+use pxml_store::{serialize_batch, serialize_batched_journal, FsBackend};
+use pxml_tree::parse_data_tree;
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn scratch(label: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "pxml-segment-crash-{}-{}-{}",
+        std::process::id(),
+        label,
+        COUNTER.fetch_add(1, Ordering::SeqCst)
+    ))
+}
+
+fn sample_fuzzy() -> FuzzyTree {
+    let mut fuzzy = FuzzyTree::new("directory");
+    let person = fuzzy.add_element(fuzzy.root(), "person");
+    let name = fuzzy.add_element(person, "name");
+    fuzzy.add_text(name, "alice");
+    fuzzy
+}
+
+fn tagged_update(tag: &str) -> UpdateTransaction {
+    let pattern = Pattern::parse("person { name[=\"alice\"] }").unwrap();
+    let target = pattern.root();
+    UpdateTransaction::new(pattern, 0.8).unwrap().with_insert(
+        target,
+        parse_data_tree(&format!("<email>{tag}</email>")).unwrap(),
+    )
+}
+
+/// The e-mail tags a recovered document carries, in replay order.
+fn recovered_tags(store: &FsBackend, name: &str) -> Vec<String> {
+    let recovered = store.recover_document(name).unwrap();
+    let mut tags: Vec<String> = recovered
+        .tree()
+        .find_elements("email")
+        .into_iter()
+        .map(|node| recovered.tree().node_value(node).unwrap_or("").to_string())
+        .collect();
+    tags.sort();
+    tags
+}
+
+/// One whole record as `append_batch` writes it.
+fn encode_record(batch: &[UpdateTransaction]) -> Vec<u8> {
+    let payload = serialize_batch(batch);
+    let mut record = Vec::new();
+    record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    record.extend_from_slice(&(batch.len() as u32).to_le_bytes());
+    record.extend_from_slice(payload.as_bytes());
+    record
+}
+
+/// Kill mid-record: the tail record's payload is cut short of its length
+/// prefix. Recovery keeps the whole records before it, discards the tail,
+/// and truncates the file so later appends start on a record boundary.
+#[test]
+fn torn_tail_payload_is_discarded_and_prefix_replays() {
+    let dir = scratch("torn-payload");
+    {
+        let store = FsBackend::open(&dir).unwrap();
+        store.save_document("doc", &sample_fuzzy()).unwrap();
+        store
+            .append_batch("doc", &[tagged_update("whole")])
+            .unwrap();
+        // The crash: a second record is half-written into the same segment.
+        let torn = encode_record(&[tagged_update("torn")]);
+        let mut bytes = fs::read(dir.join("doc.journal.0.0.seg")).unwrap();
+        let sound = bytes.len();
+        bytes.extend_from_slice(&torn[..torn.len() - 7]);
+        fs::write(dir.join("doc.journal.0.0.seg"), &bytes).unwrap();
+
+        let reopened = FsBackend::open(&dir).unwrap();
+        assert_eq!(recovered_tags(&reopened, "doc"), vec!["whole"]);
+        assert_eq!(
+            fs::metadata(dir.join("doc.journal.0.0.seg")).unwrap().len(),
+            sound as u64,
+            "the torn tail must be truncated away"
+        );
+        // The next append lands cleanly on the truncated boundary.
+        reopened
+            .append_batch("doc", &[tagged_update("after")])
+            .unwrap();
+    }
+    let reopened = FsBackend::open(&dir).unwrap();
+    assert_eq!(recovered_tags(&reopened, "doc"), vec!["after", "whole"]);
+    fs::remove_dir_all(dir).unwrap();
+}
+
+/// Kill even earlier: not all of the 8 header bytes made it to disk.
+#[test]
+fn torn_tail_header_is_discarded() {
+    let dir = scratch("torn-header");
+    let store = FsBackend::open(&dir).unwrap();
+    store.save_document("doc", &sample_fuzzy()).unwrap();
+    store
+        .append_batch("doc", &[tagged_update("whole")])
+        .unwrap();
+    let mut bytes = fs::read(dir.join("doc.journal.0.0.seg")).unwrap();
+    bytes.extend_from_slice(&[42, 0, 0]); // 3 of 8 header bytes
+    fs::write(dir.join("doc.journal.0.0.seg"), &bytes).unwrap();
+
+    let reopened = FsBackend::open(&dir).unwrap();
+    assert_eq!(recovered_tags(&reopened, "doc"), vec!["whole"]);
+    assert_eq!(reopened.journal_batches("doc").unwrap(), 1);
+    fs::remove_dir_all(dir).unwrap();
+}
+
+/// Kill between segments: the journal had rolled into several segment files
+/// and the crash hit while the *newest* segment's record was in flight. The
+/// whole multi-segment prefix replays; only the torn record in the newest
+/// segment is discarded.
+#[test]
+fn kill_between_segments_replays_the_prefix() {
+    let dir = scratch("between-segments");
+    {
+        // 1-byte roll threshold: every record gets its own segment.
+        let store = FsBackend::with_segment_roll_bytes(&dir, 1).unwrap();
+        store.save_document("doc", &sample_fuzzy()).unwrap();
+        for tag in ["s0", "s1", "s2"] {
+            store.append_batch("doc", &[tagged_update(tag)]).unwrap();
+        }
+        // The crash: segment 3 only received half a record.
+        let torn = encode_record(&[tagged_update("s3")]);
+        fs::write(dir.join("doc.journal.0.3.seg"), &torn[..torn.len() / 2]).unwrap();
+    }
+    let reopened = FsBackend::with_segment_roll_bytes(&dir, 1).unwrap();
+    assert_eq!(recovered_tags(&reopened, "doc"), vec!["s0", "s1", "s2"]);
+    assert_eq!(reopened.journal_batches("doc").unwrap(), 3);
+    // The journal keeps rolling from where the sound prefix ended.
+    reopened
+        .append_batch("doc", &[tagged_update("s4")])
+        .unwrap();
+    assert_eq!(
+        recovered_tags(&reopened, "doc"),
+        vec!["s0", "s1", "s2", "s4"]
+    );
+    fs::remove_dir_all(dir).unwrap();
+}
+
+/// Kill between a compaction's checkpoint rename (its commit point) and the
+/// deletion of the folded segments: the stale-epoch segments must be ignored
+/// by recovery — replaying them would double-apply their batches — and swept
+/// by the scan.
+#[test]
+fn stale_epoch_segments_after_a_compaction_crash_are_ignored() {
+    let dir = scratch("stale-epoch");
+    let stale_segment = dir.join("doc.journal.0.0.seg");
+    {
+        let store = FsBackend::open(&dir).unwrap();
+        store.save_document("doc", &sample_fuzzy()).unwrap();
+        store
+            .append_batch("doc", &[tagged_update("folded")])
+            .unwrap();
+        let folded = store.recover_document("doc").unwrap();
+        let stale_bytes = fs::read(&stale_segment).unwrap();
+        store.checkpoint("doc", &folded).unwrap();
+        // The crash: resurrect the epoch-0 segment the checkpoint deleted,
+        // exactly as if the process died between the rename and the delete.
+        fs::write(&stale_segment, stale_bytes).unwrap();
+    }
+    let reopened = FsBackend::open(&dir).unwrap();
+    // Exactly one copy of the folded update: from the checkpoint, not the
+    // stale segment.
+    assert_eq!(recovered_tags(&reopened, "doc"), vec!["folded"]);
+    assert_eq!(reopened.journal_batches("doc").unwrap(), 0);
+    assert!(!stale_segment.exists(), "stale-epoch segment swept");
+    fs::remove_dir_all(dir).unwrap();
+}
+
+/// Kill during a document removal (checkpoint deleted, segments not yet):
+/// the orphaned segments are swept at the next open instead of leaking into
+/// a same-named re-created document.
+#[test]
+fn orphaned_segments_without_a_checkpoint_are_swept_at_open() {
+    let dir = scratch("orphan-segments");
+    {
+        let store = FsBackend::open(&dir).unwrap();
+        store.save_document("doc", &sample_fuzzy()).unwrap();
+        store
+            .append_batch("doc", &[tagged_update("ghost")])
+            .unwrap();
+        // The crash mid-removal: the checkpoint is gone, the segment stays.
+        fs::remove_file(dir.join("doc.pxml")).unwrap();
+    }
+    let reopened = FsBackend::open(&dir).unwrap();
+    assert!(!dir.join("doc.journal.0.0.seg").exists(), "orphan swept");
+    // A re-created document starts clean.
+    reopened.save_document("doc", &sample_fuzzy()).unwrap();
+    assert!(recovered_tags(&reopened, "doc").is_empty());
+    fs::remove_dir_all(dir).unwrap();
+}
+
+/// A half-written compaction output (the `.tmp` the checkpoint writer was
+/// killed over before its rename) is swept at open and the previous
+/// checkpoint + journal remain authoritative.
+#[test]
+fn half_written_compaction_output_is_swept_at_open() {
+    let dir = scratch("compaction-tmp");
+    {
+        let store = FsBackend::open(&dir).unwrap();
+        store.save_document("doc", &sample_fuzzy()).unwrap();
+        store.append_batch("doc", &[tagged_update("kept")]).unwrap();
+        // The crash: a compaction died mid-write of its staged checkpoint.
+        fs::write(dir.join(".doc.pxml.tmp"), "half a checkpoi").unwrap();
+    }
+    let reopened = FsBackend::open(&dir).unwrap();
+    assert!(!dir.join(".doc.pxml.tmp").exists(), "staging debris swept");
+    assert_eq!(recovered_tags(&reopened, "doc"), vec!["kept"]);
+    assert_eq!(reopened.journal_batches("doc").unwrap(), 1);
+    fs::remove_dir_all(dir).unwrap();
+}
+
+/// A legacy monolithic `<name>.journal` is auto-migrated at open: the same
+/// batches, in the same order, now in segment form — and the round trip
+/// through a full recovery matches what the legacy layout would have
+/// replayed.
+#[test]
+fn legacy_monolithic_journal_migrates_on_open() {
+    let dir = scratch("legacy-migration");
+    fs::create_dir_all(&dir).unwrap();
+    // Fabricate a pre-segment store state by hand: checkpoint + monolithic
+    // batched journal.
+    let fuzzy = sample_fuzzy();
+    {
+        let store = FsBackend::open(&dir).unwrap();
+        store.save_document("doc", &fuzzy).unwrap();
+    }
+    let batches = vec![
+        vec![tagged_update("m1a"), tagged_update("m1b")],
+        vec![tagged_update("m2")],
+    ];
+    fs::write(dir.join("doc.journal"), serialize_batched_journal(&batches)).unwrap();
+
+    // Reference: what the legacy layout replays.
+    let mut reference = fuzzy.clone();
+    for update in batches.iter().flatten() {
+        update.apply_to_fuzzy(&mut reference).unwrap();
+    }
+
+    let migrated = FsBackend::open(&dir).unwrap();
+    assert!(!dir.join("doc.journal").exists(), "legacy journal removed");
+    assert!(dir.join("doc.journal.0.0.seg").exists(), "segment written");
+    assert_eq!(migrated.journal_batches("doc").unwrap(), 2);
+    assert_eq!(migrated.journal_length("doc").unwrap(), 3);
+    let recovered = migrated.recover_document("doc").unwrap();
+    assert!(recovered.semantically_equivalent(&reference, 1e-9).unwrap());
+    assert_eq!(recovered_tags(&migrated, "doc"), vec!["m1a", "m1b", "m2"]);
+
+    // Appends continue into the migrated segment and everything replays.
+    migrated
+        .append_batch("doc", &[tagged_update("post")])
+        .unwrap();
+    let reopened = FsBackend::open(&dir).unwrap();
+    assert_eq!(
+        recovered_tags(&reopened, "doc"),
+        vec!["m1a", "m1b", "m2", "post"]
+    );
+    fs::remove_dir_all(dir).unwrap();
+}
+
+/// A migration killed after its rename commit point but before the legacy
+/// file's removal leaves both forms on disk; the next open must keep the
+/// segment (already authoritative) and drop the leftover source instead of
+/// double-migrating.
+#[test]
+fn migration_crash_after_rename_does_not_double_migrate() {
+    let dir = scratch("legacy-double");
+    fs::create_dir_all(&dir).unwrap();
+    {
+        let store = FsBackend::open(&dir).unwrap();
+        store.save_document("doc", &sample_fuzzy()).unwrap();
+    }
+    let batches = vec![vec![tagged_update("once")]];
+    let legacy = serialize_batched_journal(&batches);
+    fs::write(dir.join("doc.journal"), &legacy).unwrap();
+    // First open migrates…
+    let _ = FsBackend::open(&dir).unwrap();
+    // …then the "crash": the legacy file reappears next to the segment,
+    // exactly as if the process had died before removing it.
+    fs::write(dir.join("doc.journal"), &legacy).unwrap();
+
+    let reopened = FsBackend::open(&dir).unwrap();
+    assert!(!dir.join("doc.journal").exists());
+    assert_eq!(reopened.journal_batches("doc").unwrap(), 1, "no duplicate");
+    assert_eq!(recovered_tags(&reopened, "doc"), vec!["once"]);
+    fs::remove_dir_all(dir).unwrap();
+}
+
+/// An orphaned legacy journal (its document was removed under the old
+/// layout) is swept, not migrated.
+#[test]
+fn orphaned_legacy_journal_is_swept_at_open() {
+    let dir = scratch("legacy-orphan");
+    fs::create_dir_all(&dir).unwrap();
+    fs::write(
+        dir.join("gone.journal"),
+        serialize_batched_journal(&[vec![tagged_update("x")]]),
+    )
+    .unwrap();
+    let store = FsBackend::open(&dir).unwrap();
+    assert!(!dir.join("gone.journal").exists());
+    assert!(store.list_documents().unwrap().is_empty());
+    fs::remove_dir_all(dir).unwrap();
+}
+
+/// The fully-written-record kill-point: the process died immediately after
+/// `append_batch` returned (fsync done). The batch is durable and must
+/// replay — the counterpart of the torn-tail discard.
+#[test]
+fn crash_after_append_returns_replays_the_batch() {
+    let dir = scratch("durable-append");
+    {
+        let store = FsBackend::open(&dir).unwrap();
+        store.save_document("doc", &sample_fuzzy()).unwrap();
+        store
+            .append_batch("doc", &[tagged_update("a"), tagged_update("b")])
+            .unwrap();
+        // Dropped without checkpoint: the crash.
+    }
+    let reopened = FsBackend::open(&dir).unwrap();
+    assert_eq!(recovered_tags(&reopened, "doc"), vec!["a", "b"]);
+    fs::remove_dir_all(dir).unwrap();
+}

@@ -40,5 +40,5 @@ pub mod warehouse;
 pub use modules::{
     run_modules, run_modules_parallel, DataCleaningModule, ExtractionModule, SourceModule,
 };
-pub use session::{Document, Session, SessionConfig, Txn};
+pub use session::{CompactionPolicy, Document, Session, SessionConfig, Txn};
 pub use warehouse::{Warehouse, WarehouseError, WarehouseStats};

@@ -55,9 +55,40 @@ use pxml_core::{
     UpdateTransaction,
 };
 use pxml_query::Pattern;
+use pxml_store::StorageBackend;
 use pxml_tree::Tree;
 
 use crate::warehouse::{Warehouse, WarehouseError, WarehouseStats};
+
+/// When the commit pipeline folds a document's journal into a fresh
+/// checkpoint (a **compaction**: the checkpoint write and the journal
+/// truncation are one crash-safe step of the storage backend).
+///
+/// Compaction trades a periodic O(document) checkpoint write for bounded
+/// journal replay at recovery; between compactions every commit stays
+/// O(batch) in the segment journal. The policy is evaluated *after* the
+/// batch is durable, so a compaction failure never loses the commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactionPolicy {
+    /// Never compact; the journal grows until an explicit
+    /// [`Document::checkpoint`].
+    Never,
+    /// Compact once the journal holds this many committed batches.
+    EveryNBatches(usize),
+    /// Compact once the journal's serialized size reaches this many bytes.
+    SizeThreshold(u64),
+}
+
+impl CompactionPolicy {
+    /// Whether a journal with these meters is due for compaction.
+    pub fn is_due(&self, batches: usize, bytes: u64) -> bool {
+        match self {
+            CompactionPolicy::Never => false,
+            CompactionPolicy::EveryNBatches(n) => *n > 0 && batches >= *n,
+            CompactionPolicy::SizeThreshold(limit) => bytes >= *limit,
+        }
+    }
+}
 
 /// Maintenance policy of a [`Session`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,17 +97,16 @@ pub struct SessionConfig {
     /// [`SimplifyPolicy::Inline`] so deletion-induced duplication is won back
     /// where it is created.
     pub simplify: SimplifyPolicy,
-    /// Fold the journal into a fresh checkpoint once it holds this many
-    /// updates (`None` keeps the journal growing until an explicit
-    /// [`Document::checkpoint`]).
-    pub checkpoint_every: Option<usize>,
+    /// When the commit pipeline folds the journal into a fresh checkpoint;
+    /// defaults to [`CompactionPolicy::EveryNBatches`]`(64)`.
+    pub compaction: CompactionPolicy,
 }
 
 impl Default for SessionConfig {
     fn default() -> Self {
         SessionConfig {
             simplify: SimplifyPolicy::Inline,
-            checkpoint_every: Some(64),
+            compaction: CompactionPolicy::EveryNBatches(64),
         }
     }
 }
@@ -91,16 +121,30 @@ pub struct Session {
 }
 
 impl Session {
-    /// Opens (creating it if needed) a session backed by the given directory,
-    /// recovering every stored document (checkpoint + journal replay).
+    /// Opens (creating it if needed) a session backed by the given directory
+    /// through the default [`pxml_store::FsBackend`], recovering every stored
+    /// document (checkpoint + journal replay).
     pub fn open(path: impl AsRef<Path>, config: SessionConfig) -> Result<Self, WarehouseError> {
         Ok(Session {
             engine: Arc::new(Warehouse::with_config(path, config)?),
         })
     }
 
-    /// The storage directory backing the session.
-    pub fn storage_root(&self) -> &Path {
+    /// Opens a session over an explicit storage backend — e.g. a
+    /// [`pxml_store::MemBackend`] for tests, or a custom implementation of
+    /// [`StorageBackend`].
+    pub fn open_with_backend(
+        backend: Arc<dyn StorageBackend>,
+        config: SessionConfig,
+    ) -> Result<Self, WarehouseError> {
+        Ok(Session {
+            engine: Arc::new(Warehouse::with_backend(backend, config)?),
+        })
+    }
+
+    /// The directory backing the session, when its storage backend has one
+    /// (`None` for in-memory backends).
+    pub fn storage_root(&self) -> Option<&Path> {
         self.engine.storage_root()
     }
 
@@ -198,6 +242,13 @@ impl Document {
     pub fn checkpoint(&self) -> Result<(), WarehouseError> {
         self.engine.checkpoint(&self.name)
     }
+
+    /// Number of journaled updates awaiting a compaction — an observability
+    /// hook for monitoring journal growth against the session's
+    /// [`CompactionPolicy`]. O(1) from the backend's journal meters.
+    pub fn journal_length(&self) -> Result<usize, WarehouseError> {
+        self.engine.journal_length(&self.name)
+    }
 }
 
 /// A staged update batch against one [`Document`].
@@ -206,7 +257,8 @@ impl Document {
 /// [`Update`] builder and prebuilt [`UpdateTransaction`]s) and applied only
 /// at [`Txn::commit`], atomically: the whole batch is applied through the
 /// policy-aware pipeline to a working copy, journaled as one durable entry
-/// (the journal rename is the commit point), and swapped in. An error before
+/// (the backend's durable journal append is the commit point), and swapped
+/// in. An error before
 /// the commit point — including a staging error — changes nothing at all;
 /// see [`Warehouse::commit_batch`](crate::Warehouse::commit_batch) for the
 /// post-commit maintenance caveat.
@@ -329,7 +381,7 @@ mod tests {
             let session = Session::open(
                 &dir,
                 SessionConfig {
-                    checkpoint_every: None,
+                    compaction: CompactionPolicy::Never,
                     ..SessionConfig::default()
                 },
             )
@@ -389,7 +441,7 @@ mod tests {
         let people = session.create("people", directory()).unwrap();
         let before = people.snapshot().unwrap();
         // Sabotage durability: remove the storage directory so the journal
-        // rename cannot happen.
+        // append cannot happen.
         std::fs::remove_dir_all(&dir).unwrap();
         let err = people
             .begin()
@@ -495,6 +547,66 @@ mod tests {
         }
         assert_eq!(session.stats().updates_applied, 4);
         std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// A session over the in-memory backend runs the full pipeline — create,
+    /// staged commit, query, journal meters — and a second session over the
+    /// *same* backend recovers the documents from checkpoint + journal
+    /// replay, exactly like a file-system reopen.
+    #[test]
+    fn mem_backend_session_round_trips_and_recovers() {
+        let backend: Arc<dyn pxml_store::StorageBackend> = Arc::new(pxml_store::MemBackend::new());
+        let config = SessionConfig {
+            compaction: CompactionPolicy::Never,
+            ..SessionConfig::default()
+        };
+        let session = Session::open_with_backend(backend.clone(), config).unwrap();
+        assert!(session.storage_root().is_none());
+        let people = session.create("people", directory()).unwrap();
+        people
+            .begin()
+            .stage(add_fact("alice", "phone", "+33-1", 0.8))
+            .commit()
+            .unwrap();
+        assert_eq!(people.journal_length().unwrap(), 1);
+
+        let recovered = Session::open_with_backend(backend, config).unwrap();
+        let phones = Pattern::parse("person { phone }").unwrap();
+        assert_eq!(
+            recovered
+                .document("people")
+                .unwrap()
+                .query(&phones)
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    /// The size-threshold compaction policy folds the journal once its
+    /// serialized size crosses the limit, on any backend.
+    #[test]
+    fn size_threshold_compaction_folds_the_journal() {
+        let backend: Arc<dyn pxml_store::StorageBackend> = Arc::new(pxml_store::MemBackend::new());
+        let session = Session::open_with_backend(
+            backend,
+            SessionConfig {
+                simplify: SimplifyPolicy::Never,
+                compaction: CompactionPolicy::SizeThreshold(1),
+            },
+        )
+        .unwrap();
+        let people = session.create("people", directory()).unwrap();
+        people
+            .begin()
+            .stage(add_fact("alice", "phone", "+33-1", 0.8))
+            .commit()
+            .unwrap();
+        // Any non-empty journal crosses a 1-byte threshold: compacted.
+        assert_eq!(people.journal_length().unwrap(), 0);
+        assert_eq!(session.stats().checkpoints, 1);
+        let phones = Pattern::parse("person { phone }").unwrap();
+        assert_eq!(people.query(&phones).unwrap().len(), 1);
     }
 
     #[test]

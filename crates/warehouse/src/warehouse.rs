@@ -18,7 +18,8 @@
 //! │        │  (held only to look up / insert / remove a slot)
 //! │        └── slot: Arc<RwLock<DocEntry>>   (one lock per document)
 //! ├── stats: atomic counters (never block anything)
-//! └── store: DocumentStore (its own per-document write mutexes)
+//! └── store: Arc<dyn StorageBackend> (per-document serialization per the
+//!            trait contract; FsBackend by default)
 //! ```
 //!
 //! Lock ordering rules (every method obeys them, so the engine cannot
@@ -58,7 +59,7 @@ use pxml_core::{
     UpdateTransaction,
 };
 use pxml_query::Pattern;
-use pxml_store::{DocumentStore, StoreError};
+use pxml_store::{FsBackend, StorageBackend, StoreError};
 use pxml_tree::Tree;
 
 use crate::session::SessionConfig;
@@ -201,24 +202,33 @@ const SHARD_COUNT: usize = 16;
 /// one document synchronises only with other users of *that* document, never
 /// with traffic on the rest of the warehouse.
 pub struct Warehouse {
-    store: DocumentStore,
+    store: Arc<dyn StorageBackend>,
     config: SessionConfig,
     shards: Vec<Shard>,
     stats: StatsCounters,
 }
 
 impl Warehouse {
-    /// Opens the engine backed by the given directory, recovering every
+    /// Opens the engine backed by the given directory through the default
+    /// [`FsBackend`], recovering every stored document (checkpoint + journal
+    /// replay).
+    pub fn with_config(
+        path: impl AsRef<Path>,
+        config: SessionConfig,
+    ) -> Result<Self, WarehouseError> {
+        Self::with_backend(Arc::new(FsBackend::open(path)?), config)
+    }
+
+    /// Opens the engine over an explicit storage backend, recovering every
     /// stored document (checkpoint + journal replay). Recovery honours the
     /// session's [`SimplifyPolicy`]: replay alone would resurrect the
     /// deletion-induced fragmentation that inline simplification removed
     /// before the crash, so a policy that would have simplified gets one
     /// pass over each replayed document.
-    pub fn with_config(
-        path: impl AsRef<Path>,
+    pub fn with_backend(
+        store: Arc<dyn StorageBackend>,
         config: SessionConfig,
     ) -> Result<Self, WarehouseError> {
-        let store = DocumentStore::open(path)?;
         let shards: Vec<Shard> = (0..SHARD_COUNT).map(|_| Shard::default()).collect();
         let warehouse = Warehouse {
             store,
@@ -228,9 +238,7 @@ impl Warehouse {
         };
         for name in warehouse.store.list_documents()? {
             let mut fuzzy = warehouse.store.recover_document(&name)?;
-            if !warehouse.store.read_batches(&name)?.is_empty()
-                && config.simplify.should_run(&fuzzy)
-            {
+            if warehouse.store.journal_batches(&name)? > 0 && config.simplify.should_run(&fuzzy) {
                 Simplifier::new().run(&mut fuzzy)?;
             }
             warehouse
@@ -266,9 +274,15 @@ impl Warehouse {
         &self.config
     }
 
-    /// The storage directory backing the warehouse.
-    pub fn storage_root(&self) -> &Path {
-        self.store.root()
+    /// The directory backing the warehouse, when its storage backend has one
+    /// (`None` for in-memory backends).
+    pub fn storage_root(&self) -> Option<&Path> {
+        self.store.root_dir()
+    }
+
+    /// The storage backend behind the engine.
+    pub fn backend(&self) -> &Arc<dyn StorageBackend> {
+        &self.store
     }
 
     /// The names of the loaded documents (sorted). Shard locks are taken one
@@ -376,7 +390,8 @@ impl Warehouse {
     /// Commits a staged transaction batch to a document atomically: the
     /// batch is applied to a working copy through the policy-aware pipeline
     /// (`policy` overrides the session policy when given), journaled as one
-    /// durable entry (the journal rename is the commit point), and only then
+    /// durable entry (the fsync'd journal-record append is the commit
+    /// point), and only then
     /// swapped in — an error *before* the commit point leaves the in-memory
     /// document and the journal exactly as they were. Configured maintenance
     /// (checkpoint folding) runs after the commit; a maintenance error is
@@ -420,13 +435,26 @@ impl Warehouse {
         self.stats
             .simplifications
             .fetch_add(batch_stats.simplify_runs(), Ordering::Relaxed);
-        if let Some(every) = self.config.checkpoint_every {
-            if self.store.journal_length(name)? >= every {
-                self.store.checkpoint(name, &entry.fuzzy)?;
-                self.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
-            }
+        // Compaction rides the commit pipeline: the journal meters are O(1)
+        // backend metadata, so an undue policy costs two counter reads.
+        let due = self.config.compaction.is_due(
+            self.store.journal_batches(name)?,
+            self.store.journal_size_bytes(name)?,
+        );
+        if due {
+            self.store.checkpoint(name, &entry.fuzzy)?;
+            self.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
         }
         Ok(batch_stats)
+    }
+
+    /// Number of journaled updates a document has accumulated since its last
+    /// compaction — O(1) from the backend's journal meters.
+    pub fn journal_length(&self, name: &str) -> Result<usize, WarehouseError> {
+        let slot = self.slot(name)?;
+        let entry = slot.read();
+        Self::check_live(&entry, name)?;
+        Ok(self.store.journal_length(name)?)
     }
 
     /// Runs the simplifier on a document and persists the result as a fresh
@@ -481,6 +509,7 @@ impl Warehouse {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::CompactionPolicy;
     use pxml_core::Update;
     use pxml_query::PNodeId;
     use pxml_tree::parse_data_tree;
@@ -530,11 +559,11 @@ mod tests {
     }
 
     /// The engine defaults used by most tests: no background simplification
-    /// or checkpoint folding, so assertions see exactly what they committed.
+    /// or compaction, so assertions see exactly what they committed.
     fn plain_config() -> SessionConfig {
         SessionConfig {
             simplify: SimplifyPolicy::Never,
-            checkpoint_every: None,
+            compaction: CompactionPolicy::Never,
         }
     }
 
@@ -607,21 +636,23 @@ mod tests {
     }
 
     #[test]
-    fn checkpoint_policy_truncates_journal() {
-        let dir = scratch("checkpoint-policy");
+    fn compaction_policy_folds_the_journal() {
+        let dir = scratch("compaction-policy");
         let warehouse = Warehouse::with_config(
             &dir,
             SessionConfig {
                 simplify: SimplifyPolicy::Never,
-                checkpoint_every: Some(2),
+                compaction: CompactionPolicy::EveryNBatches(2),
             },
         )
         .unwrap();
         warehouse.create_document("people", directory()).unwrap();
         commit_one(&warehouse, "people", &add_phone("alice", 0.8)).unwrap();
+        assert_eq!(warehouse.journal_length("people").unwrap(), 1);
         commit_one(&warehouse, "people", &add_phone("bob", 0.9)).unwrap();
-        // After the second update the journal is folded into the checkpoint.
+        // After the second batch the journal is folded into the checkpoint.
         assert_eq!(warehouse.stats().checkpoints, 1);
+        assert_eq!(warehouse.journal_length("people").unwrap(), 0);
         let reopened = Warehouse::with_config(&dir, plain_config()).unwrap();
         let phones = Pattern::parse("person { phone }").unwrap();
         assert_eq!(reopened.query("people", &phones).unwrap().len(), 2);

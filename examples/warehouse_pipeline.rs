@@ -22,7 +22,7 @@ fn main() {
         &storage,
         SessionConfig {
             simplify: SimplifyPolicy::Inline,
-            checkpoint_every: Some(16),
+            compaction: CompactionPolicy::EveryNBatches(16),
         },
     )
     .expect("session opens");
@@ -33,7 +33,13 @@ fn main() {
     let document = session
         .create("people", people_directory(&scenario))
         .expect("document created");
-    println!("warehouse storage: {}", session.storage_root().display());
+    println!(
+        "warehouse storage: {}",
+        session
+            .storage_root()
+            .expect("the default backend is file-backed")
+            .display()
+    );
 
     // -----------------------------------------------------------------------
     // 2. Three imprecise modules feed the document (slide 3's Module 1..3);

@@ -15,7 +15,7 @@
 //! | [`event`] | `pxml-event` | probabilistic events, conditions, formulas |
 //! | [`query`] | `pxml-query` | TPWJ queries: syntax, matcher, answers |
 //! | [`core`] | `pxml-core` | possible worlds, fuzzy trees, updates, batches, simplification |
-//! | [`store`] | `pxml-store` | PrXML format, document store, batched update journal |
+//! | [`store`] | `pxml-store` | `StorageBackend` trait, PrXML format, segment-journal `FsBackend`, `MemBackend` |
 //! | [`warehouse`] | `pxml-warehouse` | sessions, document handles, staged transactions, source modules |
 //! | [`gen`] | `pxml-gen` | seeded workload generators |
 //!
@@ -86,6 +86,16 @@
 //! | `warehouse.update(name, &tx)` | `document.begin().stage(update).commit()` |
 //! | `warehouse.simplify(name)` / `warehouse.checkpoint(name)` | `document.simplify()` / `document.checkpoint()` |
 //! | `store.append_update(name, &tx)` | `store.append_batch(name, &[tx])` |
+//! | `SessionConfig { checkpoint_every: Some(n)/None, .. }` | `SessionConfig { compaction: CompactionPolicy::EveryNBatches(n)/Never, .. }` |
+//!
+//! Storage is pluggable since 0.4: [`Session::open`](prelude::Session::open)
+//! keeps its one-line file-backed default
+//! ([`FsBackend`](prelude::FsBackend), an append-only segment journal with
+//! O(batch) commits that auto-migrates pre-0.4 monolithic journals), while
+//! `Session::open_with_backend` accepts any
+//! [`StorageBackend`](prelude::StorageBackend) — e.g. the in-memory
+//! [`MemBackend`](prelude::MemBackend). See the README's "Storage
+//! architecture" section for the on-disk format.
 
 pub use pxml_core as core;
 pub use pxml_event as event;
@@ -104,9 +114,9 @@ pub mod prelude {
     };
     pub use pxml_event::{Condition, EventId, EventTable, Formula, Literal, Valuation};
     pub use pxml_query::{Axis, MatchStrategy, Pattern, QueryAnswers};
-    pub use pxml_store::DocumentStore;
+    pub use pxml_store::{DocumentStore, FsBackend, MemBackend, StorageBackend};
     pub use pxml_tree::{parse_data_tree, write_data_tree, Label, NodeId, Tree};
-    pub use pxml_warehouse::{Document, Session, SessionConfig, Txn, Warehouse};
+    pub use pxml_warehouse::{CompactionPolicy, Document, Session, SessionConfig, Txn, Warehouse};
 }
 
 #[cfg(test)]

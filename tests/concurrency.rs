@@ -9,7 +9,7 @@ use std::sync::{Arc, Barrier};
 
 use pxml::gen::scenarios::{people_directory, PeopleScenarioConfig};
 use pxml::prelude::*;
-use pxml::store::parse_batched_journal;
+use pxml::store::serialize_batch;
 
 static COUNTER: AtomicU64 = AtomicU64::new(0);
 
@@ -52,7 +52,7 @@ fn tagged_phone(person: usize, tag: &str, confidence: f64) -> Update {
 fn plain_config() -> SessionConfig {
     SessionConfig {
         simplify: SimplifyPolicy::Never,
-        checkpoint_every: None,
+        compaction: CompactionPolicy::Never,
     }
 }
 
@@ -130,9 +130,10 @@ fn concurrent_writers_equal_sequential_replay_per_document() {
 }
 
 /// Kill-point with two documents mid-commit: `committed`'s batch passed its
-/// commit point (journal renamed) while `staged`'s was still in the `.tmp`
-/// staging file when the process died. Recovery replays the first, discards
-/// the second, and the two journals stay fully separate.
+/// commit point (its segment record was fully written) while `staged`'s
+/// append died mid-record, leaving a torn tail whose length prefix promises
+/// more bytes than the file holds. Recovery replays the first, discards the
+/// second, and the two journals stay fully separate.
 #[test]
 fn crash_with_two_in_flight_documents_recovers_independently() {
     let dir = scratch("two-doc-kill-point");
@@ -146,19 +147,20 @@ fn crash_with_two_in_flight_documents_recovers_independently() {
             .stage(tagged_phone(1, "doc-committed-1", 0.6))
             .commit()
             .unwrap();
-        // `staged` reached the staging write but died before the rename:
-        // fabricate the torn commit the way the store would have left it.
+        // `staged`'s append died mid-record: fabricate the torn tail the way
+        // the segment journal would have left it (full header, then only
+        // half of the payload the length prefix promises).
         let orphan = tagged_phone(2, "doc-staged-0", 0.9).build().unwrap();
-        std::fs::write(
-            dir.join(".staged.journal.tmp"),
-            pxml::store::serialize_batched_journal(std::slice::from_ref(&vec![orphan])),
-        )
-        .unwrap();
+        let payload = serialize_batch(std::slice::from_ref(&orphan));
+        let mut torn = Vec::new();
+        torn.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        torn.extend_from_slice(&1u32.to_le_bytes());
+        torn.extend_from_slice(&payload.as_bytes()[..payload.len() / 2]);
+        std::fs::write(dir.join("staged.journal.0.0.seg"), torn).unwrap();
         // The session drops here: the crash.
     }
 
     let session = Session::open(&dir, plain_config()).unwrap();
-    assert!(!dir.join(".staged.journal.tmp").exists(), "debris swept");
     let phones = Pattern::parse("person { phone }").unwrap();
     let committed = session.document("committed").unwrap();
     assert_eq!(
@@ -169,19 +171,27 @@ fn crash_with_two_in_flight_documents_recovers_independently() {
     let staged = session.document("staged").unwrap();
     assert!(
         staged.query(&phones).unwrap().is_empty(),
-        "the staged-but-uncommitted batch must be discarded"
+        "the torn-tail batch must be discarded"
     );
 
     // Per-document journals never interleave: `committed`'s journal holds
-    // exactly its own two updates, `staged` has no journal at all.
-    let journal = std::fs::read_to_string(dir.join("committed.journal")).unwrap();
-    let batches = parse_batched_journal(&journal).unwrap();
+    // exactly its own two updates, `staged`'s is empty (the torn record was
+    // truncated away).
+    let store = DocumentStore::open(&dir).unwrap();
+    let batches = store.read_batches("committed").unwrap();
     assert_eq!(batches.len(), 1);
     assert_eq!(
         journal_phone_tags(&batches),
         vec!["doc-committed-0", "doc-committed-1"]
     );
-    assert!(!dir.join("staged.journal").exists());
+    assert!(store.read_batches("staged").unwrap().is_empty());
+    assert_eq!(
+        std::fs::metadata(dir.join("staged.journal.0.0.seg"))
+            .unwrap()
+            .len(),
+        0,
+        "the torn tail must be truncated away"
+    );
     std::fs::remove_dir_all(dir).unwrap();
 }
 
@@ -216,14 +226,14 @@ fn concurrent_commits_keep_journals_separate_across_a_crash() {
     }
 
     let session = Session::open(&dir, plain_config()).unwrap();
+    let store = DocumentStore::open(&dir).unwrap();
     let phones = Pattern::parse("person { phone }").unwrap();
     for i in 0..2 {
         let name = format!("doc-{i}");
         let doc = session.document(&name).unwrap();
         assert_eq!(doc.query(&phones).unwrap().len(), commits);
 
-        let journal = std::fs::read_to_string(dir.join(format!("{name}.journal"))).unwrap();
-        let batches = parse_batched_journal(&journal).unwrap();
+        let batches = store.read_batches(&name).unwrap();
         assert_eq!(batches.len(), commits, "one journal batch per commit");
         let tags = journal_phone_tags(&batches);
         assert_eq!(tags.len(), commits);

@@ -80,7 +80,7 @@ fn warehouse_state_survives_crash_and_restart() {
         let session = Session::open(
             &dir,
             SessionConfig {
-                checkpoint_every: None,
+                compaction: CompactionPolicy::Never,
                 simplify: SimplifyPolicy::Never,
             },
         )
@@ -127,7 +127,7 @@ fn recovered_state_is_semantically_identical_to_the_in_memory_one() {
     let session = Session::open(
         &dir,
         SessionConfig {
-            checkpoint_every: None,
+            compaction: CompactionPolicy::Never,
             simplify: SimplifyPolicy::Never,
         },
     )
@@ -147,7 +147,7 @@ fn recovered_state_is_semantically_identical_to_the_in_memory_one() {
     let reopened = Session::open(
         &dir,
         SessionConfig {
-            checkpoint_every: None,
+            compaction: CompactionPolicy::Never,
             simplify: SimplifyPolicy::Never,
         },
     )
@@ -186,7 +186,7 @@ fn simplification_keeps_warehouse_queries_stable() {
         &dir,
         SessionConfig {
             simplify: SimplifyPolicy::Never,
-            checkpoint_every: None,
+            compaction: CompactionPolicy::Never,
         },
     )
     .unwrap();
@@ -239,7 +239,7 @@ fn staged_batches_commit_atomically_and_recover() {
         .collect();
 
     let config = SessionConfig {
-        checkpoint_every: None,
+        compaction: CompactionPolicy::Never,
         simplify: SimplifyPolicy::Never,
     };
     {
