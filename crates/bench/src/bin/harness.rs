@@ -1,4 +1,4 @@
-//! The experiment harness: re-runs every experiment E1–E12 (each described
+//! The experiment harness: re-runs every experiment E1–E13 (each described
 //! at its section below) and prints paper-style result tables.
 //!
 //! Usage:
@@ -8,17 +8,23 @@
 //! cargo run --release -p pxml-bench --bin harness e3 e5         # a selection
 //! cargo run --release -p pxml-bench --bin harness -- --quick    # smaller sweeps
 //! cargo run --release -p pxml-bench --bin harness quick e3      # ditto, no `--` needed
+//! cargo run --release -p pxml-bench --bin harness -- --json benchmarks
 //! ```
 //!
-//! Quick mode is also enabled by setting `PXML_HARNESS_QUICK=1`.
+//! `--json <dir>` additionally writes one `BENCH_E<n>.json` file per
+//! experiment that ran — the machine-readable perf trajectory CI archives
+//! (and `benchmarks/` commits). Quick mode is also enabled by setting
+//! `PXML_HARNESS_QUICK=1`.
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use pxml_bench::{
     cleaning_history, deletion_growth_document, deletion_growth_step, document, fuzzy_document,
-    insert_update_for, query_for, slide12, update_for, BENCH_SEED,
+    insert_update_for, merged_answer_document, query_for, slide12, update_for, BENCH_SEED,
 };
 use pxml_core::{encode_possible_worlds, FuzzyTree, Simplifier, SimplifyPolicy, UpdateTransaction};
+use pxml_event::Formula;
 use pxml_gen::concurrent::{
     concurrent_workload, initial_document, ConcurrentWorkloadConfig, DocumentWorkload, WorkloadOp,
 };
@@ -32,11 +38,27 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
-    let quick = args.iter().any(|a| a == "--quick" || a == "quick")
+    let mut json_dir: Option<PathBuf> = None;
+    let mut words: Vec<String> = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(arg) = raw.next() {
+        if arg == "--json" {
+            let dir = raw
+                .next()
+                .filter(|d| !d.starts_with("--"))
+                .unwrap_or_else(|| {
+                    eprintln!("--json requires a directory argument");
+                    std::process::exit(2);
+                });
+            json_dir = Some(PathBuf::from(dir));
+        } else {
+            words.push(arg.to_lowercase());
+        }
+    }
+    let quick = words.iter().any(|a| a == "--quick" || a == "quick")
         || std::env::var("PXML_HARNESS_QUICK")
             .is_ok_and(|v| !matches!(v.trim(), "" | "0" | "false" | "off"));
-    let selected: Vec<String> = args
+    let selected: Vec<String> = words
         .iter()
         .filter(|a| !a.starts_with("--") && *a != "quick")
         .cloned()
@@ -45,41 +67,202 @@ fn main() {
 
     println!("pxml experiment harness (quick = {quick})");
     println!("=========================================\n");
-    if want("e1") {
-        e1_possible_worlds_example();
+    type Experiment = fn(bool, &mut Report);
+    let experiments: [(&str, Experiment); 13] = [
+        ("e1", e1_possible_worlds_example),
+        ("e2", e2_expressiveness),
+        ("e3", e3_query_models),
+        ("e4", e4_updates),
+        ("e5", e5_deletion_growth),
+        ("e6", e6_conditional_replacement),
+        ("e7", e7_warehouse),
+        ("e8", e8_simplification),
+        ("e9", e9_query_scaling),
+        ("e10", e10_complexity_summary),
+        ("e11", e11_concurrent_engine),
+        ("e12", e12_commit_latency_vs_journal),
+        ("e13", e13_bdd_vs_shannon),
+    ];
+    for (name, body) in experiments {
+        if !want(name) {
+            continue;
+        }
+        let mut report = Report::new(name, quick);
+        body(quick, &mut report);
+        if let Some(dir) = &json_dir {
+            report.write_to(dir);
+        }
     }
-    if want("e2") {
-        e2_expressiveness(quick);
+}
+
+// ---------------------------------------------------------------------------
+// The JSON trajectory sink (`--json <dir>`).
+// ---------------------------------------------------------------------------
+
+/// A JSON scalar — the offline build has no serde, and scalar rows are all
+/// the trajectory needs.
+#[derive(Debug, Clone)]
+enum Json {
+    Int(i64),
+    Num(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl Json {
+    fn render(&self, out: &mut String) {
+        match self {
+            Json::Int(value) => out.push_str(&value.to_string()),
+            Json::Num(value) if value.is_finite() => out.push_str(&value.to_string()),
+            Json::Num(_) => out.push_str("null"),
+            Json::Bool(value) => out.push_str(if *value { "true" } else { "false" }),
+            Json::Str(value) => {
+                out.push('"');
+                for ch in value.chars() {
+                    match ch {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+        }
     }
-    if want("e3") {
-        e3_query_models(quick);
+}
+
+impl From<i64> for Json {
+    fn from(value: i64) -> Self {
+        Json::Int(value)
     }
-    if want("e4") {
-        e4_updates(quick);
+}
+
+impl From<usize> for Json {
+    fn from(value: usize) -> Self {
+        Json::Int(value as i64)
     }
-    if want("e5") {
-        e5_deletion_growth(quick);
+}
+
+impl From<u64> for Json {
+    fn from(value: u64) -> Self {
+        Json::Int(value as i64)
     }
-    if want("e6") {
-        e6_conditional_replacement();
+}
+
+impl From<u32> for Json {
+    fn from(value: u32) -> Self {
+        Json::Int(value as i64)
     }
-    if want("e7") {
-        e7_warehouse(quick);
+}
+
+impl From<i32> for Json {
+    fn from(value: i32) -> Self {
+        Json::Int(value as i64)
     }
-    if want("e8") {
-        e8_simplification(quick);
+}
+
+impl From<f64> for Json {
+    fn from(value: f64) -> Self {
+        Json::Num(value)
     }
-    if want("e9") {
-        e9_query_scaling(quick);
+}
+
+impl From<bool> for Json {
+    fn from(value: bool) -> Self {
+        Json::Bool(value)
     }
-    if want("e10") {
-        e10_complexity_summary(quick);
+}
+
+impl From<&str> for Json {
+    fn from(value: &str) -> Self {
+        Json::Str(value.to_string())
     }
-    if want("e11") {
-        e11_concurrent_engine(quick);
+}
+
+impl From<String> for Json {
+    fn from(value: String) -> Self {
+        Json::Str(value)
     }
-    if want("e12") {
-        e12_commit_latency_vs_journal(quick);
+}
+
+/// One result row: `(field, value)` pairs in column order.
+type JsonRow = Vec<(String, Json)>;
+
+/// Collects one experiment's results as named tables of field/value rows and
+/// serializes them to `BENCH_<EXPERIMENT>.json`.
+struct Report {
+    experiment: String,
+    quick: bool,
+    /// `(table, rows)` in insertion order.
+    tables: Vec<(String, Vec<JsonRow>)>,
+}
+
+impl Report {
+    fn new(experiment: &str, quick: bool) -> Self {
+        Report {
+            experiment: experiment.to_string(),
+            quick,
+            tables: Vec::new(),
+        }
+    }
+
+    /// Appends one row to `table` (created on first use).
+    fn row(&mut self, table: &str, fields: &[(&str, Json)]) {
+        let owned: JsonRow = fields
+            .iter()
+            .map(|(name, value)| (name.to_string(), value.clone()))
+            .collect();
+        match self.tables.iter_mut().find(|(name, _)| name == table) {
+            Some((_, rows)) => rows.push(owned),
+            None => self.tables.push((table.to_string(), vec![owned])),
+        }
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"experiment\": \"{}\",\n  \"quick\": {},\n  \"tables\": {{\n",
+            self.experiment, self.quick
+        ));
+        for (t, (table, rows)) in self.tables.iter().enumerate() {
+            out.push_str(&format!("    \"{table}\": [\n"));
+            for (r, row) in rows.iter().enumerate() {
+                out.push_str("      {");
+                for (f, (field, value)) in row.iter().enumerate() {
+                    if f > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("\"{field}\": "));
+                    value.render(&mut out);
+                }
+                out.push('}');
+                out.push_str(if r + 1 < rows.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("    ]");
+            out.push_str(if t + 1 < self.tables.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    fn write_to(&self, dir: &PathBuf) {
+        if let Err(error) = std::fs::create_dir_all(dir) {
+            eprintln!("--json: cannot create {}: {error}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("BENCH_{}.json", self.experiment.to_uppercase()));
+        if let Err(error) = std::fs::write(&path, self.render()) {
+            eprintln!("--json: cannot write {}: {error}", path.display());
+        } else {
+            println!("[--json] wrote {}", path.display());
+        }
     }
 }
 
@@ -109,7 +292,7 @@ fn header(id: &str, title: &str) {
 // E1 — slide 9.
 // ---------------------------------------------------------------------------
 
-fn e1_possible_worlds_example() {
+fn e1_possible_worlds_example(_quick: bool, report: &mut Report) {
     header("E1", "possible-worlds example (slide 9)");
     let worlds = pxml_core::PossibleWorlds::from_worlds(vec![
         (parse_data_tree("<A><C/></A>").unwrap(), 0.06),
@@ -126,21 +309,29 @@ fn e1_possible_worlds_example() {
         ("<A><B/><C/><D/></A>", 0.56),
     ] {
         let tree = parse_data_tree(xml).unwrap();
-        println!(
-            "{:<28} {:>12.2} {:>12.2}",
-            xml,
-            expected,
-            worlds.probability_of_tree(&tree)
+        let measured = worlds.probability_of_tree(&tree);
+        println!("{xml:<28} {expected:>12.2} {measured:>12.2}");
+        report.row(
+            "worlds",
+            &[
+                ("world", xml.into()),
+                ("paper_p", expected.into()),
+                ("measured_p", measured.into()),
+            ],
         );
     }
     println!("total probability: {:.6}\n", worlds.total_probability());
+    report.row(
+        "summary",
+        &[("total_probability", worlds.total_probability().into())],
+    );
 }
 
 // ---------------------------------------------------------------------------
 // E2 — slide 12 + expressiveness.
 // ---------------------------------------------------------------------------
 
-fn e2_expressiveness(quick: bool) {
+fn e2_expressiveness(quick: bool, report: &mut Report) {
     header("E2", "fuzzy-tree semantics and expressiveness (slide 12)");
     let fuzzy = slide12();
     let worlds = fuzzy.to_possible_worlds().unwrap();
@@ -151,21 +342,24 @@ fn e2_expressiveness(quick: bool) {
         ("<A><B/><C/></A>", 0.24),
     ] {
         let tree = parse_data_tree(xml).unwrap();
-        println!(
-            "{:<22} {:>12.2} {:>12.2}",
-            xml,
-            expected,
-            worlds.probability_of_tree(&tree)
+        let measured = worlds.probability_of_tree(&tree);
+        println!("{xml:<22} {expected:>12.2} {measured:>12.2}");
+        report.row(
+            "worlds",
+            &[
+                ("world", xml.into()),
+                ("paper_p", expected.into()),
+                ("measured_p", measured.into()),
+            ],
         );
     }
     let encoded = encode_possible_worlds(&worlds).unwrap();
-    println!(
-        "round trip PW -> fuzzy -> PW equivalent: {}",
-        encoded
-            .to_possible_worlds()
-            .unwrap()
-            .equivalent(&worlds, 1e-9)
-    );
+    let round_trip = encoded
+        .to_possible_worlds()
+        .unwrap()
+        .equivalent(&worlds, 1e-9);
+    println!("round trip PW -> fuzzy -> PW equivalent: {round_trip}");
+    report.row("summary", &[("round_trip_equivalent", round_trip.into())]);
 
     // Expansion cost vs number of events (the exponential the fuzzy-tree
     // representation avoids paying until asked).
@@ -178,6 +372,14 @@ fn e2_expressiveness(quick: bool) {
             world_count = fuzzy.to_possible_worlds().unwrap().len();
         });
         println!("{events:>8} {world_count:>10} {:>14.3}", ms(elapsed));
+        report.row(
+            "expansion",
+            &[
+                ("events", events.into()),
+                ("worlds", world_count.into()),
+                ("expand_ms", ms(elapsed).into()),
+            ],
+        );
     }
     println!();
 }
@@ -186,7 +388,7 @@ fn e2_expressiveness(quick: bool) {
 // E3 — query on fuzzy trees vs on possible worlds.
 // ---------------------------------------------------------------------------
 
-fn e3_query_models(quick: bool) {
+fn e3_query_models(quick: bool, report: &mut Report) {
     header(
         "E3",
         "query commutation and fuzzy-vs-possible-worlds query cost (slide 13)",
@@ -219,6 +421,16 @@ fn e3_query_models(quick: bool) {
             ms(fuzzy_time),
             ms(worlds_time)
         );
+        report.row(
+            "models",
+            &[
+                ("events", events.into()),
+                ("worlds", world_count.into()),
+                ("fuzzy_query_ms", ms(fuzzy_time).into()),
+                ("worlds_query_ms", ms(worlds_time).into()),
+                ("agree", agree.into()),
+            ],
+        );
         let _ = fuzzy_answers;
     }
 
@@ -236,6 +448,13 @@ fn e3_query_models(quick: bool) {
             let _ = fuzzy.query(&query);
         });
         println!("{size:>10} {:>16.3}", ms(elapsed));
+        report.row(
+            "scaling",
+            &[
+                ("elements", size.into()),
+                ("fuzzy_query_ms", ms(elapsed).into()),
+            ],
+        );
     }
     println!();
 }
@@ -244,7 +463,7 @@ fn e3_query_models(quick: bool) {
 // E4 — probabilistic updates.
 // ---------------------------------------------------------------------------
 
-fn e4_updates(quick: bool) {
+fn e4_updates(quick: bool, report: &mut Report) {
     header(
         "E4",
         "probabilistic updates: insertion cost and commutation (slide 14)",
@@ -275,6 +494,14 @@ fn e4_updates(quick: bool) {
             ms(insert_time),
             ms(mixed_time)
         );
+        report.row(
+            "updates",
+            &[
+                ("elements", size.into()),
+                ("insert_tx_ms", ms(insert_time).into()),
+                ("mixed_tx_ms", ms(mixed_time).into()),
+            ],
+        );
     }
 
     // Commutation spot check on small instances.
@@ -291,13 +518,17 @@ fn e4_updates(quick: bool) {
         }
     }
     println!("\nupdate commutation diagram holds on {agreements}/{total} random instances\n");
+    report.row(
+        "commutation",
+        &[("agreements", agreements.into()), ("total", total.into())],
+    );
 }
 
 // ---------------------------------------------------------------------------
 // E5 — deletion-induced growth.
 // ---------------------------------------------------------------------------
 
-fn e5_deletion_growth(quick: bool) {
+fn e5_deletion_growth(quick: bool, report: &mut Report) {
     header(
         "E5",
         "exponential growth under conditional deletions (slide 14)",
@@ -322,6 +553,19 @@ fn e5_deletion_growth(quick: bool) {
             simplified.node_count(),
             simplified.condition_literal_count()
         );
+        report.row(
+            "growth",
+            &[
+                ("round", k.into()),
+                ("copies_of_c", raw.tree().find_elements("C").len().into()),
+                ("nodes", raw.node_count().into()),
+                ("nodes_simplified", simplified.node_count().into()),
+                (
+                    "literals_simplified",
+                    simplified.condition_literal_count().into(),
+                ),
+            ],
+        );
     }
     println!();
 }
@@ -330,7 +574,7 @@ fn e5_deletion_growth(quick: bool) {
 // E6 — conditional replacement (slide 15).
 // ---------------------------------------------------------------------------
 
-fn e6_conditional_replacement() {
+fn e6_conditional_replacement(_quick: bool, report: &mut Report) {
     header("E6", "conditional replacement example (slide 15)");
     let mut fuzzy = FuzzyTree::new("A");
     let w1 = fuzzy.add_event("w1", 0.8).unwrap();
@@ -366,10 +610,12 @@ fn e6_conditional_replacement() {
         if node == fuzzy.root() {
             continue;
         }
-        println!(
-            "{:<10} {:<30}",
-            fuzzy.tree().label(node).as_str(),
-            fuzzy.condition(node).display(fuzzy.events())
+        let label = fuzzy.tree().label(node).as_str().to_string();
+        let condition = fuzzy.condition(node).display(fuzzy.events());
+        println!("{label:<10} {condition:<30}");
+        report.row(
+            "conditions",
+            &[("node", label.into()), ("condition", condition.into())],
         );
     }
     println!("{}", fuzzy.events());
@@ -379,7 +625,7 @@ fn e6_conditional_replacement() {
 // E7 — warehouse end-to-end throughput.
 // ---------------------------------------------------------------------------
 
-fn e7_warehouse(quick: bool) {
+fn e7_warehouse(quick: bool, report: &mut Report) {
     header(
         "E7",
         "warehouse architecture: update/query throughput and recovery (slides 3, 16)",
@@ -441,6 +687,16 @@ fn e7_warehouse(quick: bool) {
             "{people:>10} {updates:>12} {update_rate:>14.1} {query_rate:>14.1} {:>14.2}",
             ms(recovery)
         );
+        report.row(
+            "throughput",
+            &[
+                ("people", people.into()),
+                ("updates", updates.into()),
+                ("updates_per_s", update_rate.into()),
+                ("queries_per_s", query_rate.into()),
+                ("recover_ms", ms(recovery).into()),
+            ],
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
     println!();
@@ -450,7 +706,7 @@ fn e7_warehouse(quick: bool) {
 // E8 — simplification effectiveness.
 // ---------------------------------------------------------------------------
 
-fn e8_simplification(quick: bool) {
+fn e8_simplification(quick: bool, report: &mut Report) {
     header("E8", "fuzzy-data simplification (slide 19 perspective)");
     let histories = if quick { 40 } else { 120 };
     println!(
@@ -484,6 +740,20 @@ fn e8_simplification(quick: bool) {
             simplified.condition_literal_count(),
             ms(elapsed)
         );
+        report.row(
+            "histories",
+            &[
+                ("updates", updates.into()),
+                ("nodes_before", nodes_before.into()),
+                ("nodes_after", simplified.node_count().into()),
+                ("literals_before", literals_before.into()),
+                (
+                    "literals_after",
+                    simplified.condition_literal_count().into(),
+                ),
+                ("simplify_ms", ms(elapsed).into()),
+            ],
+        );
     }
 
     // Growth history (the E5 document): independent chained deletions are
@@ -496,14 +766,28 @@ fn e8_simplification(quick: bool) {
     }
     let before = (grown.node_count(), grown.condition_literal_count());
     let mut simplified = grown.clone();
-    let report = Simplifier::new().run(&mut simplified).unwrap();
+    let simplify_report = Simplifier::new().run(&mut simplified).unwrap();
     println!(
         "\nafter {rounds} chained deletions: {} nodes / {} literals  →  {} nodes / {} literals ({} passes)",
         before.0,
         before.1,
         simplified.node_count(),
         simplified.condition_literal_count(),
-        report.passes
+        simplify_report.passes
+    );
+    report.row(
+        "growth_chain",
+        &[
+            ("rounds", rounds.into()),
+            ("nodes_before", before.0.into()),
+            ("literals_before", before.1.into()),
+            ("nodes_after", simplified.node_count().into()),
+            (
+                "literals_after",
+                simplified.condition_literal_count().into(),
+            ),
+            ("passes", simplify_report.passes.into()),
+        ],
     );
 
     // Data-cleaning history: multi-match retractions fragment the survivor
@@ -511,7 +795,7 @@ fn e8_simplification(quick: bool) {
     let (people, phones, cleaning_rounds) = if quick { (10, 3, 2) } else { (20, 3, 3) };
     let mut cleaned = cleaning_history(people, phones, cleaning_rounds);
     let before = (cleaned.node_count(), cleaned.condition_literal_count());
-    let report = Simplifier::new().run(&mut cleaned).unwrap();
+    let simplify_report = Simplifier::new().run(&mut cleaned).unwrap();
     println!(
         "cleaning history ({people} people × {phones} phones, {cleaning_rounds} retraction rounds): \
          {} nodes / {} literals  →  {} nodes / {} literals ({} merged)\n",
@@ -519,7 +803,20 @@ fn e8_simplification(quick: bool) {
         before.1,
         cleaned.node_count(),
         cleaned.condition_literal_count(),
-        report.merged_nodes
+        simplify_report.merged_nodes
+    );
+    report.row(
+        "cleaning",
+        &[
+            ("people", people.into()),
+            ("phones", phones.into()),
+            ("rounds", cleaning_rounds.into()),
+            ("nodes_before", before.0.into()),
+            ("literals_before", before.1.into()),
+            ("nodes_after", cleaned.node_count().into()),
+            ("literals_after", cleaned.condition_literal_count().into()),
+            ("merged_nodes", simplify_report.merged_nodes.into()),
+        ],
     );
 }
 
@@ -527,7 +824,7 @@ fn e8_simplification(quick: bool) {
 // E9 — query evaluation scaling and the matcher ablation.
 // ---------------------------------------------------------------------------
 
-fn e9_query_scaling(quick: bool) {
+fn e9_query_scaling(quick: bool, report: &mut Report) {
     header(
         "E9",
         "TPWJ evaluation scaling and matcher ablation (slide 19 perspective)",
@@ -569,6 +866,16 @@ fn e9_query_scaling(quick: bool) {
                 ms(naive) / queries.len() as f64,
                 ms(indexed) / queries.len() as f64
             );
+            report.row(
+                "matcher",
+                &[
+                    ("elements", size.into()),
+                    ("pattern_nodes", pattern_nodes.into()),
+                    ("naive_ms", (ms(naive) / queries.len() as f64).into()),
+                    ("indexed_ms", (ms(indexed) / queries.len() as f64).into()),
+                    ("speedup", speedup.into()),
+                ],
+            );
         }
     }
     println!();
@@ -578,7 +885,7 @@ fn e9_query_scaling(quick: bool) {
 // E10 — empirical complexity summary.
 // ---------------------------------------------------------------------------
 
-fn e10_complexity_summary(quick: bool) {
+fn e10_complexity_summary(quick: bool, report: &mut Report) {
     header(
         "E10",
         "empirical complexity of query / update / simplification",
@@ -641,6 +948,16 @@ fn e10_complexity_summary(quick: bool) {
             ms(inline_time),
             ms(simplify_time)
         );
+        report.row(
+            "complexity",
+            &[
+                ("elements", size.into()),
+                ("query_ms", ms(query_time).into()),
+                ("update_ms", ms(update_time).into()),
+                ("update_inline_ms", ms(inline_time).into()),
+                ("simplify_ms", ms(simplify_time).into()),
+            ],
+        );
         rows.push((
             size,
             ms(query_time),
@@ -663,6 +980,15 @@ fn e10_complexity_summary(quick: bool) {
             slope(&|r| r.2),
             slope(&|r| r.3),
             slope(&|r| r.4)
+        );
+        report.row(
+            "exponents",
+            &[
+                ("query", slope(&|r| r.1).into()),
+                ("update", slope(&|r| r.2).into()),
+                ("update_inline", slope(&|r| r.3).into()),
+                ("simplify", slope(&|r| r.4).into()),
+            ],
         );
     }
 }
@@ -704,7 +1030,7 @@ fn e11_drive(
     ops
 }
 
-fn e11_concurrent_engine(quick: bool) {
+fn e11_concurrent_engine(quick: bool, report: &mut Report) {
     header(
         "E11",
         "concurrent engine: mixed-workload throughput scaling over independent documents",
@@ -787,6 +1113,15 @@ fn e11_concurrent_engine(quick: bool) {
             total_ops as f64 / wall.as_secs_f64(),
             baseline / wall_ms
         );
+        report.row(
+            "scaling",
+            &[
+                ("threads", threads.into()),
+                ("wall_ms", wall_ms.into()),
+                ("ops_per_s", (total_ops as f64 / wall.as_secs_f64()).into()),
+                ("speedup", (baseline / wall_ms).into()),
+            ],
+        );
         drop(documents);
         drop(session);
         let _ = std::fs::remove_dir_all(&dir);
@@ -830,7 +1165,7 @@ fn e12_probe(
 /// costs O(batch), independent of how many batches the journal already
 /// holds. The old monolithic journal rewrote the whole file per commit —
 /// O(journal) — so its "vs empty" column grew linearly with the seed count.
-fn e12_commit_latency_vs_journal(quick: bool) {
+fn e12_commit_latency_vs_journal(quick: bool, report: &mut Report) {
     header(
         "E12",
         "commit latency vs accumulated journal length (O(batch) claim, both backends)",
@@ -871,9 +1206,154 @@ fn e12_commit_latency_vs_journal(quick: bool) {
                 "{backend:>10} {seeded:>14} {append_us:>16.1} {:>9.2}x {meter_us:>18.3}",
                 append_us / baseline
             );
+            report.row(
+                "latency",
+                &[
+                    ("backend", backend.into()),
+                    ("seeded", seeded.into()),
+                    ("append_us", append_us.into()),
+                    ("vs_empty", (append_us / baseline).into()),
+                    ("journal_len_us", meter_us.into()),
+                ],
+            );
             drop(store);
             let _ = std::fs::remove_dir_all(&dir);
         }
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------------------
+// E13 — exact disjunction probability and group re-cover: BDD vs Shannon.
+// ---------------------------------------------------------------------------
+
+/// The claim behind the ROBDD engine (PR 5): the probability of a
+/// disjunction of match conditions — the computation behind
+/// `merged_answers` / `selection_probability` and the commutation theorem —
+/// is one model-counting walk linear in diagram size, where Shannon
+/// expansion pays `2^events`. The first table sweeps the number of distinct
+/// events a single merged answer group spans and times the full
+/// `merged_answers` path (grouping + BDD) against the Shannon oracle on the
+/// same disjunction; Shannon is skipped beyond a cap where it becomes
+/// intractable. The second table sweeps the width of deletion-fragmented
+/// sibling groups through the simplifier's re-cover, which the BDD lifted
+/// from 8 to `GROUP_RECOVER_MAX_EVENTS` (24) events: widths above 8 were
+/// previously not re-covered at all.
+fn e13_bdd_vs_shannon(quick: bool, report: &mut Report) {
+    header(
+        "E13",
+        "exact disjunction probability and re-cover: BDD vs Shannon expansion",
+    );
+    let event_counts: &[usize] = if quick {
+        &[4, 8, 12, 16, 18, 20, 24]
+    } else {
+        &[4, 8, 12, 16, 18, 20, 24, 28, 32]
+    };
+    let shannon_cap = if quick { 18 } else { 20 };
+    println!(
+        "merged-answer probability, one group of `events` matches × 3 literals:\n\
+         {:>8} {:>9} {:>14} {:>16} {:>10} {:>8}",
+        "events", "matches", "bdd (ms)", "shannon (ms)", "ratio", "agree"
+    );
+    for &events in event_counts {
+        let fuzzy = merged_answer_document(events, events, 3, BENCH_SEED + events as u64);
+        let query = Pattern::parse("r { a }").unwrap();
+        let result = fuzzy.query(&query);
+        let mut merged = Vec::new();
+        let bdd_time = time_it(5, || {
+            merged = result.merged_answers(fuzzy.events());
+        });
+        assert_eq!(merged.len(), 1, "same-body matches must form one group");
+        let conditions: Vec<_> = result.matches.iter().map(|m| m.condition.clone()).collect();
+        let disjunction = Formula::any_of_conditions(&conditions);
+        let (shannon_ms, ratio, agree) = if events <= shannon_cap {
+            let mut by_shannon = 0.0;
+            let shannon_time = time_it(3, || {
+                by_shannon = disjunction.probability_shannon(fuzzy.events());
+            });
+            let agree = (by_shannon - merged[0].1).abs() < 1e-9;
+            (
+                Some(ms(shannon_time)),
+                Some(ms(shannon_time) / ms(bdd_time).max(1e-6)),
+                Some(agree),
+            )
+        } else {
+            // 2^events Shannon recursions: intractable, oracle skipped — so
+            // no agreement check ran either ('-' / null, not a pass).
+            (None, None, None)
+        };
+        println!(
+            "{events:>8} {:>9} {:>14.3} {:>16} {:>10} {:>8}",
+            result.len(),
+            ms(bdd_time),
+            shannon_ms.map_or("-".into(), |t| format!("{t:.3}")),
+            ratio.map_or("-".into(), |r| format!("{r:.0}x")),
+            agree.map_or("-".into(), |a: bool| a.to_string()),
+        );
+        report.row(
+            "merged_probability",
+            &[
+                ("events", events.into()),
+                ("matches", result.len().into()),
+                ("bdd_ms", ms(bdd_time).into()),
+                (
+                    "shannon_ms",
+                    shannon_ms.map_or(Json::Num(f64::NAN), Json::from),
+                ),
+                (
+                    "shannon_over_bdd",
+                    ratio.map_or(Json::Num(f64::NAN), Json::from),
+                ),
+                // null when the oracle (and thus the check) was skipped.
+                ("agree", agree.map_or(Json::Num(f64::NAN), Json::from)),
+            ],
+        );
+    }
+
+    // Group re-cover vs width: one retraction round over `phones` uncertain
+    // phones fragments each person's email into `phones + 1` disjoint
+    // pieces spanning `phones + 2` events (the phones, the email's own
+    // event, the shared confidence). The BDD path cover collapses every
+    // ladder to its 2-piece optimum at any width ≤ GROUP_RECOVER_MAX_EVENTS;
+    // before PR 5 widths above 8 were left fully fragmented.
+    let phone_counts: &[usize] = if quick {
+        &[6, 10, 14, 22]
+    } else {
+        &[6, 10, 14, 18, 22]
+    };
+    let people = 3;
+    println!(
+        "\ngroup re-cover on deletion ladders ({people} people, 1 retraction round):\n\
+         {:>8} {:>11} {:>16} {:>15} {:>15} {:>14}",
+        "width", "fragments", "fragments after", "nodes before", "nodes after", "simplify (ms)"
+    );
+    for &phones in phone_counts {
+        let width = phones + 2;
+        let mut fuzzy = cleaning_history(people, phones, 1);
+        let fragments = fuzzy.tree().find_elements("email").len();
+        let nodes_before = fuzzy.node_count();
+        let simplify_time = {
+            let start = Instant::now();
+            Simplifier::new().run(&mut fuzzy).unwrap();
+            start.elapsed()
+        };
+        let fragments_after = fuzzy.tree().find_elements("email").len();
+        println!(
+            "{width:>8} {fragments:>11} {fragments_after:>16} {nodes_before:>15} {:>15} {:>14.3}",
+            fuzzy.node_count(),
+            ms(simplify_time)
+        );
+        report.row(
+            "recover",
+            &[
+                ("width", width.into()),
+                ("fragments", fragments.into()),
+                ("fragments_after", fragments_after.into()),
+                ("nodes_before", nodes_before.into()),
+                ("nodes_after", fuzzy.node_count().into()),
+                ("simplify_ms", ms(simplify_time).into()),
+            ],
+        );
     }
     println!();
 }

@@ -6,7 +6,7 @@
 //! same workloads.
 
 use pxml_core::{FuzzyTree, Update, UpdateTransaction};
-use pxml_event::{Condition, Literal};
+use pxml_event::{Condition, EventId, Literal};
 use pxml_gen::{
     derived_query, random_fuzzy_tree, random_tree, random_update, FuzzyGenConfig, QueryGenConfig,
     TreeGenConfig, UpdateGenConfig,
@@ -166,6 +166,53 @@ pub fn cleaning_history(people: usize, phones: usize, rounds: usize) -> FuzzyTre
     fuzzy
 }
 
+/// The E13 merged-answer workload: a root with `matches` same-body uncertain
+/// `a` children whose conditions together span `events` distinct events
+/// (each condition conjoins `literals_per_match` distinct literals, signs
+/// mixed). The query `r { a }` then yields `matches` matches that all merge
+/// into **one** answer group, so the group's probability is the exact
+/// disjunction of all the conditions — the computation whose cost separates
+/// the BDD engine (linear in diagram size) from Shannon expansion
+/// (exponential in `events`).
+pub fn merged_answer_document(
+    matches: usize,
+    events: usize,
+    literals_per_match: usize,
+    seed: u64,
+) -> FuzzyTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fuzzy = FuzzyTree::new("r");
+    let ids: Vec<EventId> = (0..events)
+        .map(|i| {
+            let probability = rand::Rng::gen_range(&mut rng, 0.05..0.95);
+            fuzzy
+                .add_event(format!("e{i}"), probability)
+                .expect("fresh event names")
+        })
+        .collect();
+    let root = fuzzy.root();
+    for m in 0..matches {
+        let node = fuzzy.add_element(root, "a");
+        let literals = (0..literals_per_match).map(|j| {
+            // A contiguous window of events per condition: distinct within
+            // one condition, sweeping the full event set across the group —
+            // the locality match conditions inherit from shared ancestor
+            // chains (and what keeps the union's BDD near-linear; scattered
+            // events would make the diagram itself blow up).
+            let event = ids[(m + j) % events];
+            if (m + j) % 3 == 0 {
+                Literal::neg(event)
+            } else {
+                Literal::pos(event)
+            }
+        });
+        fuzzy
+            .set_condition(node, Condition::from_literals(literals))
+            .expect("not the root");
+    }
+    fuzzy
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +239,23 @@ mod tests {
             .operations()
             .iter()
             .all(|op| matches!(op, pxml_core::UpdateOperation::Insert { .. })));
+    }
+
+    #[test]
+    fn merged_answer_document_yields_one_group_spanning_all_events() {
+        let fuzzy = merged_answer_document(12, 12, 3, 7);
+        let query = Pattern::parse("r { a }").unwrap();
+        let result = fuzzy.query(&query);
+        assert_eq!(result.len(), 12);
+        let merged = result.merged_answers(fuzzy.events());
+        assert_eq!(merged.len(), 1, "same-body matches must merge");
+        let mentioned: std::collections::BTreeSet<_> = result
+            .matches
+            .iter()
+            .flat_map(|m| m.condition.events())
+            .collect();
+        assert_eq!(mentioned.len(), 12, "the group must span every event");
+        assert!(merged[0].1 > 0.0 && merged[0].1 <= 1.0);
     }
 
     #[test]

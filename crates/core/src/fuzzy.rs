@@ -16,7 +16,7 @@
 use std::collections::HashMap;
 
 use pxml_event::{
-    enumerate_valuations_over, Condition, EventError, EventId, EventTable, Valuation,
+    enumerate_valuations_over, Condition, EventError, EventId, EventTable, Literal, Valuation,
 };
 use pxml_tree::{Label, NodeId, Tree};
 
@@ -213,11 +213,29 @@ impl FuzzyTree {
     /// condition and the conditions of all its ancestors (a node only exists
     /// in worlds where its whole ancestor chain exists).
     pub fn existence_condition(&self, node: NodeId) -> Condition {
-        let mut condition = Condition::always();
+        let mut literals = Vec::new();
+        self.extend_existence_literals(node, &mut literals);
+        Condition::from_literals(literals)
+    }
+
+    /// The literals of a node's own condition, borrowed (empty for nodes
+    /// without a condition). Lets callers accumulate literals across nodes
+    /// and sort/dedup once, instead of conjoining [`Condition`]s in a loop
+    /// (each [`Condition::and`] re-sorts and re-allocates).
+    pub fn condition_literals(&self, node: NodeId) -> &[Literal] {
+        self.conditions
+            .get(&node)
+            .map(|condition| condition.literals())
+            .unwrap_or(&[])
+    }
+
+    /// Appends the literals of every condition on the root→`node` path to
+    /// `out` (unsorted, possibly with duplicates — callers build one
+    /// [`Condition`] from the accumulated batch).
+    pub fn extend_existence_literals(&self, node: NodeId, out: &mut Vec<Literal>) {
         for n in self.tree.ancestors_or_self(node) {
-            condition = condition.and(&self.condition(n));
+            out.extend_from_slice(self.condition_literals(n));
         }
-        condition
     }
 
     /// The probability that a node is present in a random world.

@@ -11,11 +11,15 @@
 //!
 //! When several matches yield unordered-isomorphic answers, the probability
 //! of that *answer* is the probability of the **disjunction** of their match
-//! conditions, computed exactly by Shannon expansion; this is what makes the
-//! commutation theorem of slide 13 hold:
+//! conditions, computed exactly on a reduced ordered BDD (one weighted
+//! model-counting walk, linear in diagram size — see [`pxml_event::Bdd`]);
+//! this is what makes the commutation theorem of slide 13 hold:
 //! `query(worlds(F)) = worlds(query(F))`.
 
-use pxml_event::{Condition, EventTable, Formula};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use pxml_event::{Bdd, BddRef, Condition, EventTable, Literal};
 use pxml_query::{Matching, Pattern};
 use pxml_tree::{CanonicalForm, NodeId, Tree};
 
@@ -56,22 +60,36 @@ impl FuzzyQueryResult {
     /// Groups unordered-isomorphic answers and computes, for each group, the
     /// probability that *at least one* of its matches exists (the disjunction
     /// of the match conditions, evaluated exactly).
+    ///
+    /// Groups are indexed by a hash map keyed on the answers' canonical form
+    /// (O(matches) instead of the former O(matches²) linear scan), each
+    /// group's disjunction BDD is built incrementally as its matches stream
+    /// by (no condition is cloned), and the final probabilities share one
+    /// model-counting cache across groups.
     pub fn merged_answers(&self, events: &EventTable) -> Vec<(Tree, f64)> {
-        let mut groups: Vec<(CanonicalForm, Tree, Vec<Condition>)> = Vec::new();
+        let mut bdd = Bdd::new();
+        let mut groups: Vec<(Tree, BddRef)> = Vec::new();
+        let mut index: HashMap<CanonicalForm, usize> = HashMap::with_capacity(self.matches.len());
         for m in &self.matches {
             let form = CanonicalForm::of_tree(&m.answer);
-            if let Some(group) = groups.iter_mut().find(|(existing, _, _)| *existing == form) {
-                group.2.push(m.condition.clone());
-            } else {
-                groups.push((form, m.answer.clone(), vec![m.condition.clone()]));
+            let node = bdd.condition(&m.condition);
+            match index.entry(form) {
+                Entry::Occupied(slot) => {
+                    let group = &mut groups[*slot.get()];
+                    group.1 = bdd.or(group.1, node);
+                }
+                Entry::Vacant(slot) => {
+                    slot.insert(groups.len());
+                    groups.push((m.answer.clone(), node));
+                }
             }
         }
+        let nodes: Vec<BddRef> = groups.iter().map(|(_, node)| *node).collect();
+        let probabilities = bdd.probabilities(&nodes, events);
         groups
             .into_iter()
-            .map(|(_, tree, conditions)| {
-                let probability = Formula::any_of_conditions(&conditions).probability(events);
-                (tree, probability)
-            })
+            .zip(probabilities)
+            .map(|((tree, _), probability)| (tree, probability))
             .collect()
     }
 
@@ -86,10 +104,12 @@ impl FuzzyQueryResult {
     }
 
     /// The probability that the query matches at all (the document is
-    /// *selected* by the query) — the disjunction of every match condition.
+    /// *selected* by the query) — the disjunction of every match condition,
+    /// built incrementally on a BDD straight from the borrowed conditions.
     pub fn selection_probability(&self, events: &EventTable) -> f64 {
-        let conditions: Vec<Condition> = self.matches.iter().map(|m| m.condition.clone()).collect();
-        Formula::any_of_conditions(&conditions).probability(events)
+        let mut bdd = Bdd::new();
+        let any = bdd.any_of(self.matches.iter().map(|m| &m.condition));
+        bdd.probability(any, events)
     }
 }
 
@@ -101,9 +121,12 @@ pub(crate) fn match_condition(
     pattern: &Pattern,
     matching: &Matching,
 ) -> Condition {
-    let mut condition = Condition::always();
+    // Accumulate every contributing literal first and sort/dedup once:
+    // conjoining per-node `Condition`s in a loop re-sorts and re-allocates
+    // at every step.
+    let mut literals: Vec<Literal> = Vec::new();
     for node in matching.mapped_nodes() {
-        condition = condition.and(&fuzzy.existence_condition(node));
+        fuzzy.extend_existence_literals(node, &mut literals);
     }
     for pattern_node in pattern.node_ids() {
         let spec = pattern.node(pattern_node);
@@ -112,10 +135,10 @@ pub(crate) fn match_condition(
         }
         let image = matching.image(pattern_node);
         if let Some(text_child) = value_text_child(fuzzy.tree(), image) {
-            condition = condition.and(&fuzzy.condition(text_child));
+            literals.extend_from_slice(fuzzy.condition_literals(text_child));
         }
     }
-    condition
+    Condition::from_literals(literals)
 }
 
 /// The text child providing [`Tree::node_value`] for an element node, if any.

@@ -24,7 +24,7 @@
 
 use std::collections::HashMap;
 
-use pxml_event::{Condition, EventId, EventTable, Literal};
+use pxml_event::{Bdd, Condition, EventId, EventTable, Literal};
 use pxml_tree::NodeId;
 
 use crate::error::CoreError;
@@ -257,8 +257,22 @@ pub fn resolve_deterministic_events(fuzzy: &mut FuzzyTree) -> Result<usize, Core
 
 /// Upper bound on the number of distinct events a same-body sibling group may
 /// mention for the exact re-cover (see [`merge_complementary_siblings`]) to
-/// run; beyond it the valuation enumeration is not worth the candidate win.
-pub const GROUP_RECOVER_MAX_EVENTS: usize = 8;
+/// run.
+///
+/// The cover is read off a BDD's path structure, so the cost is bounded by
+/// diagram size and the number of emitted terms — not by `2^events` — and
+/// the bound is only a guard against pathological groups. It was 8 when the
+/// re-cover enumerated the `2^events` valuations directly; the BDD engine
+/// lifted it to 24 (experiment E13 measures re-covers at widths the old
+/// enumeration could not touch).
+pub const GROUP_RECOVER_MAX_EVENTS: usize = 24;
+
+/// Width up to which the greedy maximal-subcube cover (which enumerates all
+/// `2^events` valuations) is also computed and compared against the BDD path
+/// cover — the greedy cover can use fewer, larger cubes on small groups, and
+/// taking the better of the two guarantees the lifted re-cover never does
+/// worse than the old capped one.
+const GREEDY_RECOVER_MAX_EVENTS: usize = 8;
 
 /// Merges sibling subtrees with identical bodies whose root conditions are
 /// redundant, in two tiers. Returns the net number of nodes removed.
@@ -389,10 +403,16 @@ fn recover_sibling_groups(fuzzy: &mut FuzzyTree) -> Result<usize, CoreError> {
 }
 
 /// For pairwise-disjoint conjunctive `conditions` over at most
-/// [`GROUP_RECOVER_MAX_EVENTS`] events, computes a disjoint conjunctive cover
-/// of their union with strictly fewer terms (greedy maximal subcubes over the
-/// exact valuation set), or `None` when the group does not qualify or cannot
-/// shrink.
+/// [`GROUP_RECOVER_MAX_EVENTS`] events, computes a disjoint conjunctive
+/// cover of their union with strictly fewer terms, or `None` when the group
+/// does not qualify or cannot shrink.
+///
+/// The cover is read off the path structure of the union's BDD
+/// ([`Bdd::disjoint_cover`]) — bounded by diagram size, not `2^events`. For
+/// groups up to [`GREEDY_RECOVER_MAX_EVENTS`] events the old greedy
+/// maximal-subcube cover is computed as well and the better of the two is
+/// returned (fewer terms, then fewer literals), so the lifted re-cover is
+/// never worse than the capped one it replaces.
 fn disjoint_group_cover(conditions: &[Condition]) -> Option<Vec<Condition>> {
     let mut events: Vec<EventId> = conditions.iter().flat_map(|c| c.events()).collect();
     events.sort_unstable();
@@ -414,6 +434,62 @@ fn disjoint_group_cover(conditions: &[Condition]) -> Option<Vec<Condition>> {
             }
         }
     }
+    // The path cover's size depends on the variable order; try the plain
+    // event-id order and the guard-first heuristic order, plus (on small
+    // widths) the old exhaustive greedy subcube cover, and keep the best.
+    let mut candidates: Vec<Vec<Condition>> = Vec::new();
+    for order in [Vec::new(), guard_first_order(conditions, &events)] {
+        let mut bdd = Bdd::with_order(order);
+        let union = bdd.any_of(conditions.iter());
+        if let Some(cover) = bdd.disjoint_cover(union, conditions.len() - 1) {
+            candidates.push(cover);
+        }
+    }
+    if width <= GREEDY_RECOVER_MAX_EVENTS {
+        if let Some(cover) = greedy_subcube_cover(conditions, &events) {
+            candidates.push(cover);
+        }
+    }
+    let cost = |cover: &[Condition]| (cover.len(), cover.iter().map(Condition::len).sum::<usize>());
+    candidates.into_iter().min_by_key(|cover| cost(cover))
+}
+
+/// A variable order that collapses deletion-shaped fragmentations: events
+/// appearing with one uniform sign across the whole group (the deletion
+/// confidence shows up only negated in survivors, the target's own event
+/// only positively) act as guards that split the union cleanly, so they go
+/// on top — most frequent first; mixed-sign "ladder" events follow.
+fn guard_first_order(conditions: &[Condition], events: &[EventId]) -> Vec<EventId> {
+    let mut keyed: Vec<(bool, usize, EventId)> = events
+        .iter()
+        .map(|&event| {
+            let mut positive = 0usize;
+            let mut negative = 0usize;
+            for condition in conditions {
+                if condition.contains(Literal::pos(event)) {
+                    positive += 1;
+                }
+                if condition.contains(Literal::neg(event)) {
+                    negative += 1;
+                }
+            }
+            let mixed = positive > 0 && negative > 0;
+            (mixed, positive + negative, event)
+        })
+        .collect();
+    // Uniform-sign guards first (mixed = false sorts first), most frequent
+    // first within each class, event id as the final tie-break.
+    keyed.sort_unstable_by_key(|&(mixed, count, event)| (mixed, usize::MAX - count, event));
+    keyed.into_iter().map(|(_, _, event)| event).collect()
+}
+
+/// The pre-BDD re-cover: a greedy cover of the union by maximal subcubes,
+/// computed over the exact set of `2^events` valuations — exponential in the
+/// group width, which is why it only runs up to
+/// [`GREEDY_RECOVER_MAX_EVENTS`] events. Returns a cover with strictly fewer
+/// terms than `conditions`, or `None`.
+fn greedy_subcube_cover(conditions: &[Condition], events: &[EventId]) -> Option<Vec<Condition>> {
+    let width = events.len();
     // The union of the conditions, as a set of valuations over `events`.
     let space = 1usize << width;
     let index_of = |event: EventId| events.iter().position(|&e| e == event).expect("own event");
@@ -797,6 +873,107 @@ mod tests {
         let report = Simplifier::new().run(&mut fuzzy).unwrap();
         assert!(report.merged_nodes > 0, "the group re-cover must fire");
         assert_eq!(fuzzy.tree().find_elements("email").len(), 2);
+        assert_semantics_preserved(&before, &fuzzy);
+        assert!(fuzzy.validate().is_ok());
+    }
+
+    /// E8-shape regression for the BDD-lifted re-cover: on every group the
+    /// old capped greedy subcube cover could shrink, the lifted cover must
+    /// shrink at least as much (it takes the better of the two), and the
+    /// cover must carry exactly the union's probability mass.
+    #[test]
+    fn lifted_cover_is_never_worse_than_the_capped_greedy_one() {
+        for phones in 1..=5 {
+            let mut fuzzy = FuzzyTree::new("person");
+            let root = fuzzy.root();
+            for i in 0..phones {
+                let w = fuzzy
+                    .add_event(format!("w{i}"), 0.6 + 0.05 * i as f64)
+                    .unwrap();
+                let phone = fuzzy.add_element(root, "phone");
+                fuzzy
+                    .set_condition(phone, Condition::from_literal(Literal::pos(w)))
+                    .unwrap();
+            }
+            let v = fuzzy.add_event("v", 0.8).unwrap();
+            let email = fuzzy.add_element(root, "email");
+            fuzzy
+                .set_condition(email, Condition::from_literal(Literal::pos(v)))
+                .unwrap();
+            let pattern = Pattern::parse("person { phone, email }").unwrap();
+            let target = pattern.node_ids().nth(2).unwrap();
+            UpdateTransaction::new(pattern, 0.9)
+                .unwrap()
+                .with_delete(target)
+                .apply_to_fuzzy(&mut fuzzy)
+                .unwrap();
+            let conditions: Vec<Condition> = fuzzy
+                .tree()
+                .find_elements("email")
+                .into_iter()
+                .map(|n| fuzzy.condition(n))
+                .collect();
+            assert!(conditions.len() >= 2, "the deletion must fragment");
+            let mut events: Vec<EventId> = conditions.iter().flat_map(|c| c.events()).collect();
+            events.sort_unstable();
+            events.dedup();
+            let greedy = greedy_subcube_cover(&conditions, &events);
+            let lifted = disjoint_group_cover(&conditions);
+            if let Some(greedy) = greedy {
+                let lifted = lifted.expect("the greedy cover shrank, so the lifted one must");
+                assert!(
+                    lifted.len() <= greedy.len(),
+                    "lifted cover has {} terms, greedy {}",
+                    lifted.len(),
+                    greedy.len()
+                );
+            }
+            if let Some(lifted) = disjoint_group_cover(&conditions) {
+                // Exactness: disjoint terms sum to the union's probability.
+                let union: f64 =
+                    pxml_event::Formula::any_of(conditions.iter()).probability(fuzzy.events());
+                let mass: f64 = lifted
+                    .iter()
+                    .map(|term| term.probability(fuzzy.events()))
+                    .sum();
+                assert!((mass - union).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// The lifted re-cover fires on groups wider than the old 8-event cap:
+    /// ten uncertain phones plus the shared deletion confidence put the
+    /// fragmented email group at 12 distinct events, which the valuation
+    /// enumeration never touched — the BDD path cover collapses the 11
+    /// fragments to the 2-piece optimum.
+    #[test]
+    fn group_recover_fires_past_the_old_eight_event_cap() {
+        let mut fuzzy = FuzzyTree::new("person");
+        let root = fuzzy.root();
+        for i in 0..10 {
+            let w = fuzzy.add_event(format!("w{i}"), 0.7).unwrap();
+            let phone = fuzzy.add_element(root, "phone");
+            fuzzy
+                .set_condition(phone, Condition::from_literal(Literal::pos(w)))
+                .unwrap();
+        }
+        let v = fuzzy.add_event("v", 0.8).unwrap();
+        let email = fuzzy.add_element(root, "email");
+        fuzzy
+            .set_condition(email, Condition::from_literal(Literal::pos(v)))
+            .unwrap();
+        let pattern = Pattern::parse("person { phone, email }").unwrap();
+        let target = pattern.node_ids().nth(2).unwrap();
+        UpdateTransaction::new(pattern, 0.9)
+            .unwrap()
+            .with_delete(target)
+            .apply_to_fuzzy(&mut fuzzy)
+            .unwrap();
+        assert_eq!(fuzzy.tree().find_elements("email").len(), 11);
+        let before = fuzzy.clone();
+        let report = Simplifier::new().run(&mut fuzzy).unwrap();
+        assert!(report.merged_nodes > 0, "the wide re-cover must fire");
+        assert!(fuzzy.tree().find_elements("email").len() <= 2);
         assert_semantics_preserved(&before, &fuzzy);
         assert!(fuzzy.validate().is_ok());
     }

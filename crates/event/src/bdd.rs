@@ -1,0 +1,774 @@
+//! Reduced ordered binary decision diagrams (ROBDDs) over probabilistic
+//! events — the exact-probability engine behind [`Formula`].
+//!
+//! Shannon expansion (the original [`Formula::probability_shannon`] path) is
+//! exponential in the number of *distinct events* a formula mentions; a
+//! hash-consed decision diagram makes the practical cases fast without
+//! giving up exactness:
+//!
+//! * nodes live in an arena and are **hash-consed** through a unique table,
+//!   so structurally equal functions share one node — canonicity makes
+//!   equivalence checking a pointer comparison;
+//! * [`Bdd::and`] / [`Bdd::or`] / [`Bdd::not`] are the classic memoized
+//!   `apply` recursions, polynomial in the sizes of their operands;
+//! * [`Bdd::probability`] is **one weighted model-counting walk** over the
+//!   DAG with a per-node cache — linear in BDD size, where Shannon expansion
+//!   pays `2^events`;
+//! * [`Bdd::disjoint_cover`] reads a pairwise-disjoint conjunctive cover off
+//!   the root→⊤ path structure (any two distinct paths fix some variable to
+//!   opposite values), which is what lets the simplifier's group re-cover
+//!   scale past small event counts.
+//!
+//! The default variable order is the event-id order of the owning
+//! [`EventTable`]: conditions produced by the update pipeline mention events
+//! in creation order, which keeps related literals adjacent. Path-structure
+//! consumers ([`Bdd::disjoint_cover`]) are sensitive to the order — fewer
+//! paths mean smaller covers — so [`Bdd::with_order`] lets callers hoist
+//! chosen events to the top of the diagram (the simplifier puts
+//! uniform-sign "guard" events like deletion confidences first, which
+//! collapses deletion-ladder fragments to their minimal cover).
+//!
+//! A [`Bdd`] is an explicit manager: every node handle ([`BddRef`]) is only
+//! meaningful relative to the manager that created it. Managers are cheap to
+//! create (two terminal nodes), so per-computation managers are the normal
+//! usage pattern; long-lived managers amortize the unique table and apply
+//! caches across computations over the same events.
+//!
+//! ```
+//! use pxml_event::{Bdd, Condition, EventTable, Literal};
+//!
+//! let mut events = EventTable::new();
+//! let w1 = events.add_event("w1", 0.8).unwrap();
+//! let w2 = events.add_event("w2", 0.7).unwrap();
+//!
+//! let mut bdd = Bdd::new();
+//! let a = bdd.condition(&Condition::from_literal(Literal::pos(w1)));
+//! let b = bdd.condition(&Condition::from_literal(Literal::pos(w2)));
+//! let either = bdd.or(a, b);
+//! // P(w1 ∨ w2) = 0.8 + 0.7 − 0.56.
+//! assert!((bdd.probability(either, &events) - 0.94).abs() < 1e-12);
+//! ```
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use crate::condition::{Condition, Literal};
+use crate::formula::Formula;
+use crate::table::{EventId, EventTable};
+
+/// A handle to a node of a [`Bdd`] manager.
+///
+/// Handles are only meaningful relative to the manager that produced them.
+/// Because the manager hash-conses, two handles from the same manager denote
+/// the same boolean function **iff they are equal** — this is what makes
+/// equivalence, tautology and contradiction checks O(1) after construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BddRef(u32);
+
+impl BddRef {
+    /// The constant-false function `⊥`.
+    pub const FALSE: BddRef = BddRef(0);
+    /// The constant-true function `⊤`.
+    pub const TRUE: BddRef = BddRef(1);
+
+    /// `true` when this is the constant-false function.
+    pub fn is_false(self) -> bool {
+        self == BddRef::FALSE
+    }
+
+    /// `true` when this is the constant-true function.
+    pub fn is_true(self) -> bool {
+        self == BddRef::TRUE
+    }
+
+    /// `true` for either terminal.
+    pub fn is_constant(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+/// Variable index reserved for the two terminal nodes; ordered after every
+/// real variable so `min` over node variables picks the topmost decision.
+const TERMINAL_VAR: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    /// Decision variable (the raw event index), or [`TERMINAL_VAR`].
+    var: u32,
+    /// Cofactor when the event is false.
+    lo: BddRef,
+    /// Cofactor when the event is true.
+    hi: BddRef,
+}
+
+/// A reduced ordered BDD manager: arena, unique table and apply caches.
+#[derive(Debug, Default)]
+pub struct Bdd {
+    nodes: Vec<Node>,
+    /// Hash-consing table: `(var, lo, hi) → node`.
+    unique: HashMap<(u32, BddRef, BddRef), BddRef>,
+    and_cache: HashMap<(BddRef, BddRef), BddRef>,
+    or_cache: HashMap<(BddRef, BddRef), BddRef>,
+    not_cache: HashMap<BddRef, BddRef>,
+    /// Custom variable order: events listed in [`Bdd::with_order`] get the
+    /// topmost levels in listing order; unlisted events follow in id order.
+    /// Empty = plain event-id order.
+    levels: HashMap<u32, u64>,
+}
+
+impl Bdd {
+    /// An empty manager holding only the two terminals, ordering variables
+    /// by event id.
+    pub fn new() -> Self {
+        Bdd {
+            nodes: vec![
+                Node {
+                    var: TERMINAL_VAR,
+                    lo: BddRef::FALSE,
+                    hi: BddRef::FALSE,
+                },
+                Node {
+                    var: TERMINAL_VAR,
+                    lo: BddRef::TRUE,
+                    hi: BddRef::TRUE,
+                },
+            ],
+            unique: HashMap::new(),
+            and_cache: HashMap::new(),
+            or_cache: HashMap::new(),
+            not_cache: HashMap::new(),
+            levels: HashMap::new(),
+        }
+    }
+
+    /// A manager whose variable order starts with `order` (topmost first);
+    /// events not listed come after all listed ones, in event-id order. The
+    /// order is fixed for the manager's lifetime.
+    pub fn with_order(order: impl IntoIterator<Item = EventId>) -> Self {
+        let mut bdd = Bdd::new();
+        for (level, event) in order.into_iter().enumerate() {
+            bdd.levels
+                .entry(event.index() as u32)
+                .or_insert(level as u64);
+        }
+        bdd
+    }
+
+    /// The position of a variable in the order (smaller = nearer the root);
+    /// terminals sort after everything.
+    fn level(&self, var: u32) -> u64 {
+        if var == TERMINAL_VAR {
+            return u64::MAX;
+        }
+        match self.levels.get(&var) {
+            Some(&level) => level,
+            // Unlisted events keep id order, after every listed event.
+            None => (1u64 << 32) + var as u64,
+        }
+    }
+
+    /// Number of live nodes (terminals included).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The number of nodes reachable from `node` (terminals included) — the
+    /// "BDD size" that probability computation is linear in.
+    pub fn reachable_count(&self, node: BddRef) -> usize {
+        let mut seen: Vec<bool> = vec![false; self.nodes.len()];
+        let mut stack = vec![node];
+        let mut count = 0;
+        while let Some(n) = stack.pop() {
+            if std::mem::replace(&mut seen[n.0 as usize], true) {
+                continue;
+            }
+            count += 1;
+            if !n.is_constant() {
+                let node = self.nodes[n.0 as usize];
+                stack.push(node.lo);
+                stack.push(node.hi);
+            }
+        }
+        count
+    }
+
+    /// The hash-consing constructor: reduced (no redundant tests) and unique
+    /// (structurally equal functions share one node).
+    fn mk(&mut self, var: u32, lo: BddRef, hi: BddRef) -> BddRef {
+        if lo == hi {
+            return lo;
+        }
+        match self.unique.entry((var, lo, hi)) {
+            Entry::Occupied(hit) => *hit.get(),
+            Entry::Vacant(slot) => {
+                let fresh = BddRef(self.nodes.len() as u32);
+                self.nodes.push(Node { var, lo, hi });
+                *slot.insert(fresh)
+            }
+        }
+    }
+
+    /// The constant function.
+    pub fn constant(&self, value: bool) -> BddRef {
+        if value {
+            BddRef::TRUE
+        } else {
+            BddRef::FALSE
+        }
+    }
+
+    /// The function of a single literal.
+    pub fn literal(&mut self, literal: Literal) -> BddRef {
+        let var = literal.event.index() as u32;
+        if literal.positive {
+            self.mk(var, BddRef::FALSE, BddRef::TRUE)
+        } else {
+            self.mk(var, BddRef::TRUE, BddRef::FALSE)
+        }
+    }
+
+    /// The function of a conjunctive [`Condition`] — built bottom-up in one
+    /// pass, no `apply` needed.
+    pub fn condition(&mut self, condition: &Condition) -> BddRef {
+        if !condition.is_consistent() {
+            return BddRef::FALSE;
+        }
+        let mut literals: Vec<Literal> = condition.literals().to_vec();
+        literals.sort_unstable_by_key(|lit| self.level(lit.event.index() as u32));
+        let mut acc = BddRef::TRUE;
+        for literal in literals.iter().rev() {
+            let var = literal.event.index() as u32;
+            acc = if literal.positive {
+                self.mk(var, BddRef::FALSE, acc)
+            } else {
+                self.mk(var, acc, BddRef::FALSE)
+            };
+        }
+        acc
+    }
+
+    /// The disjunction of a set of conjunctive conditions (a DNF), built
+    /// incrementally — the existence condition of "at least one of these".
+    pub fn any_of<'a>(&mut self, conditions: impl IntoIterator<Item = &'a Condition>) -> BddRef {
+        let mut acc = BddRef::FALSE;
+        for condition in conditions {
+            let node = self.condition(condition);
+            acc = self.or(acc, node);
+        }
+        acc
+    }
+
+    /// The function of an arbitrary [`Formula`].
+    pub fn formula(&mut self, formula: &Formula) -> BddRef {
+        match formula {
+            Formula::True => BddRef::TRUE,
+            Formula::False => BddRef::FALSE,
+            Formula::Lit(literal) => self.literal(*literal),
+            Formula::And(parts) => {
+                let mut acc = BddRef::TRUE;
+                for part in parts {
+                    if acc.is_false() {
+                        break;
+                    }
+                    let node = self.formula(part);
+                    acc = self.and(acc, node);
+                }
+                acc
+            }
+            Formula::Or(parts) => {
+                let mut acc = BddRef::FALSE;
+                for part in parts {
+                    if acc.is_true() {
+                        break;
+                    }
+                    let node = self.formula(part);
+                    acc = self.or(acc, node);
+                }
+                acc
+            }
+            Formula::Not(inner) => {
+                let node = self.formula(inner);
+                self.not(node)
+            }
+        }
+    }
+
+    /// Splits `a` and `b` on their topmost variable: returns the variable and
+    /// both pairs of cofactors (an operand not testing that variable is its
+    /// own cofactor on both branches).
+    fn cofactors(&self, a: BddRef, b: BddRef) -> (u32, (BddRef, BddRef), (BddRef, BddRef)) {
+        let node_a = self.nodes[a.0 as usize];
+        let node_b = self.nodes[b.0 as usize];
+        let var = if self.level(node_a.var) <= self.level(node_b.var) {
+            node_a.var
+        } else {
+            node_b.var
+        };
+        let split = |node: Node, handle: BddRef| {
+            if node.var == var {
+                (node.lo, node.hi)
+            } else {
+                (handle, handle)
+            }
+        };
+        (var, split(node_a, a), split(node_b, b))
+    }
+
+    /// Memoized conjunction.
+    pub fn and(&mut self, a: BddRef, b: BddRef) -> BddRef {
+        if a == b || b.is_true() {
+            return a;
+        }
+        if a.is_true() {
+            return b;
+        }
+        if a.is_false() || b.is_false() {
+            return BddRef::FALSE;
+        }
+        let key = (a.min(b), a.max(b));
+        if let Some(&hit) = self.and_cache.get(&key) {
+            return hit;
+        }
+        let (var, (a_lo, a_hi), (b_lo, b_hi)) = self.cofactors(a, b);
+        let lo = self.and(a_lo, b_lo);
+        let hi = self.and(a_hi, b_hi);
+        let result = self.mk(var, lo, hi);
+        self.and_cache.insert(key, result);
+        result
+    }
+
+    /// Memoized disjunction.
+    pub fn or(&mut self, a: BddRef, b: BddRef) -> BddRef {
+        if a == b || b.is_false() {
+            return a;
+        }
+        if a.is_false() {
+            return b;
+        }
+        if a.is_true() || b.is_true() {
+            return BddRef::TRUE;
+        }
+        let key = (a.min(b), a.max(b));
+        if let Some(&hit) = self.or_cache.get(&key) {
+            return hit;
+        }
+        let (var, (a_lo, a_hi), (b_lo, b_hi)) = self.cofactors(a, b);
+        let lo = self.or(a_lo, b_lo);
+        let hi = self.or(a_hi, b_hi);
+        let result = self.mk(var, lo, hi);
+        self.or_cache.insert(key, result);
+        result
+    }
+
+    /// Memoized negation.
+    pub fn not(&mut self, a: BddRef) -> BddRef {
+        if a.is_false() {
+            return BddRef::TRUE;
+        }
+        if a.is_true() {
+            return BddRef::FALSE;
+        }
+        if let Some(&hit) = self.not_cache.get(&a) {
+            return hit;
+        }
+        let node = self.nodes[a.0 as usize];
+        let lo = self.not(node.lo);
+        let hi = self.not(node.hi);
+        let result = self.mk(node.var, lo, hi);
+        self.not_cache.insert(a, result);
+        self.not_cache.insert(result, a);
+        result
+    }
+
+    /// The cofactor of `node` with `event` fixed to `value` (memoized per
+    /// call — restriction results are not shared across calls because the
+    /// fixed event differs).
+    pub fn restrict(&mut self, node: BddRef, event: EventId, value: bool) -> BddRef {
+        let var = event.index() as u32;
+        let mut memo: HashMap<BddRef, BddRef> = HashMap::new();
+        self.restrict_rec(node, var, value, &mut memo)
+    }
+
+    fn restrict_rec(
+        &mut self,
+        node: BddRef,
+        var: u32,
+        value: bool,
+        memo: &mut HashMap<BddRef, BddRef>,
+    ) -> BddRef {
+        let data = self.nodes[node.0 as usize];
+        if self.level(data.var) > self.level(var) {
+            // Terminals and nodes entirely below `var` never test it.
+            return node;
+        }
+        if data.var == var {
+            return if value { data.hi } else { data.lo };
+        }
+        if let Some(&hit) = memo.get(&node) {
+            return hit;
+        }
+        let lo = self.restrict_rec(data.lo, var, value, memo);
+        let hi = self.restrict_rec(data.hi, var, value, memo);
+        let result = self.mk(data.var, lo, hi);
+        memo.insert(node, result);
+        result
+    }
+
+    /// Exact probability of the function being true under the independent
+    /// event probabilities of `table`: one weighted model-counting walk over
+    /// the DAG with a per-node cache — **linear in BDD size**.
+    ///
+    /// # Panics
+    /// Panics if the function tests an event `table` does not contain (the
+    /// same contract as [`EventTable::probability`]).
+    pub fn probability(&self, node: BddRef, table: &EventTable) -> f64 {
+        let mut cache: HashMap<BddRef, f64> = HashMap::new();
+        self.probability_cached(node, table, &mut cache)
+    }
+
+    /// [`Bdd::probability`] over several roots sharing one per-node cache —
+    /// cheaper than independent calls when the functions share structure
+    /// (e.g. the per-answer disjunctions of one query result).
+    pub fn probabilities(&self, nodes: &[BddRef], table: &EventTable) -> Vec<f64> {
+        let mut cache: HashMap<BddRef, f64> = HashMap::new();
+        nodes
+            .iter()
+            .map(|&node| self.probability_cached(node, table, &mut cache))
+            .collect()
+    }
+
+    fn probability_cached(
+        &self,
+        node: BddRef,
+        table: &EventTable,
+        cache: &mut HashMap<BddRef, f64>,
+    ) -> f64 {
+        if node.is_false() {
+            return 0.0;
+        }
+        if node.is_true() {
+            return 1.0;
+        }
+        if let Some(&hit) = cache.get(&node) {
+            return hit;
+        }
+        let data = self.nodes[node.0 as usize];
+        let p = table.probability(EventId(data.var));
+        let lo = self.probability_cached(data.lo, table, cache);
+        let hi = self.probability_cached(data.hi, table, cache);
+        let result = p * hi + (1.0 - p) * lo;
+        cache.insert(node, result);
+        result
+    }
+
+    /// A pairwise-disjoint conjunctive cover of the function, read off the
+    /// root→⊤ paths: each path fixes the variables it passes through, and any
+    /// two distinct paths disagree on the value of some fixed variable, so
+    /// the terms are disjoint by construction and their union is exactly the
+    /// function.
+    ///
+    /// Returns `None` when more than `max_terms` terms would be needed, or
+    /// when the path walk exceeds an internal step budget proportional to
+    /// `max_terms` (dense functions can have few ⊤-paths but exponentially
+    /// many ⊥-paths; the budget keeps the walk from paying for them). The
+    /// constant-false function yields the empty cover.
+    pub fn disjoint_cover(&self, node: BddRef, max_terms: usize) -> Option<Vec<Condition>> {
+        let mut terms = Vec::new();
+        let mut path: Vec<Literal> = Vec::new();
+        // Every recursion step pushes at most one literal, and a ⊤-path is at
+        // most `nodes` long, so this bounds the walk to roughly the work of
+        // emitting `max_terms + 1` terms over a moderately shared DAG.
+        let mut budget = 64 * (max_terms + 1) * (self.nodes.len().min(4096) + 16);
+        if self.cover_rec(node, &mut path, &mut terms, max_terms, &mut budget) {
+            Some(terms)
+        } else {
+            None
+        }
+    }
+
+    fn cover_rec(
+        &self,
+        node: BddRef,
+        path: &mut Vec<Literal>,
+        terms: &mut Vec<Condition>,
+        max_terms: usize,
+        budget: &mut usize,
+    ) -> bool {
+        if *budget == 0 {
+            return false;
+        }
+        *budget -= 1;
+        if node.is_false() {
+            return true;
+        }
+        if node.is_true() {
+            if terms.len() >= max_terms {
+                return false;
+            }
+            terms.push(Condition::from_literals(path.iter().copied()));
+            return true;
+        }
+        let data = self.nodes[node.0 as usize];
+        let event = EventId(data.var);
+        path.push(Literal::neg(event));
+        let lo_ok = self.cover_rec(data.lo, path, terms, max_terms, budget);
+        path.pop();
+        if !lo_ok {
+            return false;
+        }
+        path.push(Literal::pos(event));
+        let hi_ok = self.cover_rec(data.hi, path, terms, max_terms, budget);
+        path.pop();
+        hi_ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::valuation::enumerate_valuations;
+
+    fn table() -> (EventTable, EventId, EventId, EventId) {
+        let mut t = EventTable::new();
+        let w1 = t.add_event("w1", 0.8).unwrap();
+        let w2 = t.add_event("w2", 0.7).unwrap();
+        let w3 = t.add_event("w3", 0.9).unwrap();
+        (t, w1, w2, w3)
+    }
+
+    #[test]
+    fn terminals_and_literals() {
+        let (t, w1, _, _) = table();
+        let mut bdd = Bdd::new();
+        assert!(BddRef::TRUE.is_true() && BddRef::FALSE.is_false());
+        assert_eq!(bdd.probability(BddRef::TRUE, &t), 1.0);
+        assert_eq!(bdd.probability(BddRef::FALSE, &t), 0.0);
+        let pos = bdd.literal(Literal::pos(w1));
+        let neg = bdd.literal(Literal::neg(w1));
+        assert!((bdd.probability(pos, &t) - 0.8).abs() < 1e-12);
+        assert!((bdd.probability(neg, &t) - 0.2).abs() < 1e-12);
+        assert_eq!(bdd.not(pos), neg);
+        assert_eq!(bdd.not(neg), pos);
+    }
+
+    #[test]
+    fn hash_consing_shares_nodes() {
+        let (_, w1, w2, _) = table();
+        let mut bdd = Bdd::new();
+        let a = bdd.condition(&Condition::from_literals([
+            Literal::pos(w1),
+            Literal::neg(w2),
+        ]));
+        let b = bdd.condition(&Condition::from_literals([
+            Literal::neg(w2),
+            Literal::pos(w1),
+        ]));
+        assert_eq!(a, b);
+        // ¬¬f is f, by the not-cache symmetry and canonicity.
+        let n = bdd.not(a);
+        assert_eq!(bdd.not(n), a);
+    }
+
+    #[test]
+    fn inconsistent_condition_is_false() {
+        let (_, w1, _, _) = table();
+        let mut bdd = Bdd::new();
+        let bad = Condition::from_literals([Literal::pos(w1), Literal::neg(w1)]);
+        assert_eq!(bdd.condition(&bad), BddRef::FALSE);
+        assert_eq!(bdd.condition(&Condition::always()), BddRef::TRUE);
+    }
+
+    #[test]
+    fn and_or_match_probability_laws() {
+        let (t, w1, w2, _) = table();
+        let mut bdd = Bdd::new();
+        let a = bdd.literal(Literal::pos(w1));
+        let b = bdd.literal(Literal::pos(w2));
+        let both = bdd.and(a, b);
+        let either = bdd.or(a, b);
+        assert!((bdd.probability(both, &t) - 0.56).abs() < 1e-12);
+        assert!((bdd.probability(either, &t) - 0.94).abs() < 1e-12);
+        // a ∨ ¬a ≡ ⊤, a ∧ ¬a ≡ ⊥ — canonicity gives the terminals directly.
+        let na = bdd.not(a);
+        assert_eq!(bdd.or(a, na), BddRef::TRUE);
+        assert_eq!(bdd.and(a, na), BddRef::FALSE);
+    }
+
+    #[test]
+    fn restriction_is_the_cofactor() {
+        let (_, w1, w2, _) = table();
+        let mut bdd = Bdd::new();
+        let a = bdd.literal(Literal::pos(w1));
+        let b = bdd.literal(Literal::pos(w2));
+        let either = bdd.or(a, b);
+        assert_eq!(bdd.restrict(either, w1, true), BddRef::TRUE);
+        assert_eq!(bdd.restrict(either, w1, false), b);
+        assert_eq!(bdd.restrict(b, w1, false), b);
+    }
+
+    #[test]
+    fn probability_agrees_with_valuation_enumeration() {
+        let (t, w1, w2, w3) = table();
+        let mut bdd = Bdd::new();
+        // (w1 ∧ ¬w2) ∨ (w2 ∧ w3), the formula.rs cross-check example.
+        let left = bdd.condition(&Condition::from_literals([
+            Literal::pos(w1),
+            Literal::neg(w2),
+        ]));
+        let right = bdd.condition(&Condition::from_literals([
+            Literal::pos(w2),
+            Literal::pos(w3),
+        ]));
+        let f = bdd.or(left, right);
+        let formula = Formula::or(vec![
+            Formula::and(vec![
+                Formula::Lit(Literal::pos(w1)),
+                Formula::Lit(Literal::neg(w2)),
+            ]),
+            Formula::and(vec![
+                Formula::Lit(Literal::pos(w2)),
+                Formula::Lit(Literal::pos(w3)),
+            ]),
+        ]);
+        let by_enumeration: f64 = enumerate_valuations(&t)
+            .unwrap()
+            .into_iter()
+            .filter(|v| formula.eval(v))
+            .map(|v| v.probability(&t))
+            .sum();
+        assert!((bdd.probability(f, &t) - by_enumeration).abs() < 1e-12);
+        let same = bdd.formula(&formula);
+        assert_eq!(same, f);
+    }
+
+    #[test]
+    fn shared_cache_probabilities_match_independent_calls() {
+        let (t, w1, w2, w3) = table();
+        let mut bdd = Bdd::new();
+        let a = bdd.condition(&Condition::from_literals([
+            Literal::pos(w1),
+            Literal::pos(w2),
+        ]));
+        let b = bdd.condition(&Condition::from_literals([
+            Literal::pos(w2),
+            Literal::neg(w3),
+        ]));
+        let c = bdd.or(a, b);
+        let batch = bdd.probabilities(&[a, b, c], &t);
+        for (node, expected) in [a, b, c].into_iter().zip(&batch) {
+            assert!((bdd.probability(node, &t) - expected).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn disjoint_cover_partitions_the_function() {
+        let (t, w1, w2, w3) = table();
+        let mut bdd = Bdd::new();
+        let conditions = [
+            Condition::from_literals([Literal::pos(w1), Literal::neg(w2)]),
+            Condition::from_literals([Literal::pos(w2), Literal::pos(w3)]),
+            Condition::from_literals([Literal::neg(w1), Literal::neg(w2)]),
+        ];
+        let union = bdd.any_of(conditions.iter());
+        let cover = bdd.disjoint_cover(union, 16).unwrap();
+        // Terms are consistent, pairwise disjoint, and their union is the
+        // original function (checked by probability mass: disjoint terms sum).
+        let mass: f64 = cover.iter().map(|term| term.probability(&t)).sum();
+        assert!((mass - bdd.probability(union, &t)).abs() < 1e-12);
+        for (i, a) in cover.iter().enumerate() {
+            assert!(a.is_consistent());
+            for b in cover.iter().skip(i + 1) {
+                assert!(
+                    a.literals().iter().any(|lit| b.contains(lit.negated())),
+                    "cover terms must be pairwise disjoint"
+                );
+            }
+        }
+        // Every term implies the union.
+        let mut check = Bdd::new();
+        let union2 = check.any_of(conditions.iter());
+        for term in &cover {
+            let t_node = check.condition(term);
+            assert_eq!(check.or(union2, t_node), union2);
+        }
+    }
+
+    #[test]
+    fn disjoint_cover_respects_the_term_cap() {
+        let (_, w1, w2, w3) = table();
+        let mut bdd = Bdd::new();
+        // w1 ⊕-ish structure with 2+ paths to ⊤.
+        let conditions = [
+            Condition::from_literals([Literal::pos(w1), Literal::neg(w2)]),
+            Condition::from_literals([Literal::neg(w1), Literal::pos(w3)]),
+        ];
+        let union = bdd.any_of(conditions.iter());
+        assert!(bdd.disjoint_cover(union, 1).is_none());
+        assert_eq!(bdd.disjoint_cover(BddRef::FALSE, 0), Some(Vec::new()));
+        let single = bdd.disjoint_cover(BddRef::TRUE, 1).unwrap();
+        assert_eq!(single, vec![Condition::always()]);
+    }
+
+    #[test]
+    fn custom_order_shrinks_the_ladder_cover() {
+        // Deletion-ladder fragments: first-success pieces of
+        // v ∧ (¬c ∨ ¬w0 ∧ ¬w1 ∧ ¬w2). In id order (w's first) the path
+        // cover reproduces the ladder; with the shared guards v and c on
+        // top it collapses to the 2-term optimum.
+        let mut t = EventTable::new();
+        let w: Vec<EventId> = (0..3)
+            .map(|i| t.add_event(format!("w{i}"), 0.7).unwrap())
+            .collect();
+        let v = t.add_event("v", 0.8).unwrap();
+        let c = t.add_event("c", 0.9).unwrap();
+        let mut fragments = vec![Condition::from_literals([
+            Literal::pos(v),
+            Literal::pos(w[0]),
+            Literal::neg(c),
+        ])];
+        for k in 1..3 {
+            let mut lits = vec![Literal::pos(v), Literal::pos(w[k]), Literal::neg(c)];
+            lits.extend(w[..k].iter().map(|&e| Literal::neg(e)));
+            fragments.push(Condition::from_literals(lits));
+        }
+        fragments.push(Condition::from_literals(
+            [Literal::pos(v)]
+                .into_iter()
+                .chain(w.iter().map(|&e| Literal::neg(e))),
+        ));
+        let mut plain = Bdd::new();
+        let plain_union = plain.any_of(fragments.iter());
+        let mut ordered = Bdd::with_order([v, c]);
+        let ordered_union = ordered.any_of(fragments.iter());
+        let ordered_cover = ordered
+            .disjoint_cover(ordered_union, fragments.len() - 1)
+            .unwrap();
+        assert_eq!(ordered_cover.len(), 2);
+        // Same function, same probability, different diagram shape.
+        assert!(
+            (plain.probability(plain_union, &t) - ordered.probability(ordered_union, &t)).abs()
+                < 1e-12
+        );
+        let mass: f64 = ordered_cover.iter().map(|term| term.probability(&t)).sum();
+        assert!((mass - ordered.probability(ordered_union, &t)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_disjunction_stays_small_and_fast() {
+        // 32 distinct events: Shannon expansion would pay 2^32; the BDD of a
+        // disjunction of single-literal conditions is a chain of 34 nodes.
+        let mut t = EventTable::new();
+        let events: Vec<EventId> = (0..32)
+            .map(|i| t.add_event(format!("w{i}"), 0.5).unwrap())
+            .collect();
+        let conditions: Vec<Condition> = events
+            .iter()
+            .map(|&e| Condition::from_literal(Literal::pos(e)))
+            .collect();
+        let mut bdd = Bdd::new();
+        let union = bdd.any_of(conditions.iter());
+        assert_eq!(bdd.reachable_count(union), 34);
+        let p = bdd.probability(union, &t);
+        assert!((p - (1.0 - 0.5f64.powi(32))).abs() < 1e-12);
+    }
+}

@@ -12,13 +12,15 @@
 //!   context.
 //!
 //! [`Formula`] covers and/or/not over event literals, with exact probability
-//! by Shannon expansion (events are independent). The cost is exponential in
-//! the number of *distinct events occurring in the formula*, which stays
-//! small in practice — and this locality is precisely the advantage of the
-//! fuzzy-tree representation that experiment E3 measures.
+//! computed by compiling the formula into a reduced ordered [`Bdd`] and
+//! running one weighted model-counting walk over the diagram — linear in BDD
+//! size where the original Shannon expansion paid `2^events`. The Shannon
+//! path survives as [`Formula::probability_shannon`], the independent test
+//! oracle the BDD engine is validated against (see `tests/bdd_props.rs`).
 
 use std::collections::BTreeSet;
 
+use crate::bdd::Bdd;
 use crate::condition::{Condition, Literal};
 use crate::table::{EventId, EventTable};
 use crate::valuation::Valuation;
@@ -62,7 +64,18 @@ impl Formula {
     /// The disjunction of a set of conjunctive conditions (a DNF), e.g. the
     /// existence condition of "at least one of these matches".
     pub fn any_of_conditions(conditions: &[Condition]) -> Formula {
-        Formula::or(conditions.iter().map(Formula::from_condition).collect())
+        Formula::any_of(conditions)
+    }
+
+    /// Iterator-based variant of [`Formula::any_of_conditions`]: borrows the
+    /// conditions instead of requiring them collected into a slice.
+    pub fn any_of<'a>(conditions: impl IntoIterator<Item = &'a Condition>) -> Formula {
+        Formula::or(
+            conditions
+                .into_iter()
+                .map(Formula::from_condition)
+                .collect(),
+        )
     }
 
     /// Smart conjunction constructor with constant folding.
@@ -178,9 +191,30 @@ impl Formula {
         }
     }
 
-    /// Exact probability of the formula being true, by Shannon expansion over
-    /// the events it mentions (events are mutually independent).
+    /// Exact probability of the formula being true (events are mutually
+    /// independent): the formula is compiled into a reduced ordered BDD and
+    /// the probability is one weighted model-counting walk over the diagram —
+    /// linear in BDD size instead of exponential in the number of distinct
+    /// events. For richer workflows (incremental disjunctions, shared
+    /// probability caches, disjoint covers) use [`Bdd`] directly.
     pub fn probability(&self, table: &EventTable) -> f64 {
+        match self {
+            Formula::True => return 1.0,
+            Formula::False => return 0.0,
+            Formula::Lit(lit) => return lit.probability(table),
+            _ => {}
+        }
+        let mut bdd = Bdd::new();
+        let node = bdd.formula(self);
+        bdd.probability(node, table)
+    }
+
+    /// The original Shannon-expansion probability computation — exponential
+    /// in the number of distinct events the formula mentions. Kept as the
+    /// independent test oracle for the BDD engine (and as the baseline the
+    /// harness experiment E13 measures against); production callers should
+    /// use [`Formula::probability`].
+    pub fn probability_shannon(&self, table: &EventTable) -> f64 {
         match self {
             Formula::True => return 1.0,
             Formula::False => return 0.0,
@@ -198,49 +232,41 @@ impl Formula {
             };
         };
         let p = table.probability(event);
-        let if_true = self.restrict(event, true).probability(table);
-        let if_false = self.restrict(event, false).probability(table);
+        let if_true = self.restrict(event, true).probability_shannon(table);
+        let if_false = self.restrict(event, false).probability_shannon(table);
         p * if_true + (1.0 - p) * if_false
     }
 
-    /// `true` when the formula is a tautology (decided by Shannon expansion).
+    /// `true` when the formula is a tautology. Decided on the BDD: by
+    /// canonicity a formula is valid iff its diagram is the ⊤ terminal.
     pub fn is_tautology(&self) -> bool {
         match self {
             Formula::True => true,
             Formula::False | Formula::Lit(_) => false,
             _ => {
-                let events = self.events();
-                match events.iter().next() {
-                    None => matches!(self.constant_value(), Some(true)),
-                    Some(&event) => {
-                        self.restrict(event, true).is_tautology()
-                            && self.restrict(event, false).is_tautology()
-                    }
-                }
+                let mut bdd = Bdd::new();
+                bdd.formula(self).is_true()
             }
         }
     }
 
-    /// `true` when the formula is unsatisfiable.
+    /// `true` when the formula is unsatisfiable (its diagram is ⊥).
     pub fn is_contradiction(&self) -> bool {
-        Formula::negate(self.clone()).is_tautology()
-    }
-
-    /// `true` when the two formulas are logically equivalent.
-    pub fn equivalent(&self, other: &Formula) -> bool {
-        let differs = Formula::or(vec![
-            Formula::and(vec![self.clone(), Formula::negate(other.clone())]),
-            Formula::and(vec![Formula::negate(self.clone()), other.clone()]),
-        ]);
-        differs.is_contradiction()
-    }
-
-    fn constant_value(&self) -> Option<bool> {
         match self {
-            Formula::True => Some(true),
-            Formula::False => Some(false),
-            _ => None,
+            Formula::False => true,
+            Formula::True | Formula::Lit(_) => false,
+            _ => {
+                let mut bdd = Bdd::new();
+                bdd.formula(self).is_false()
+            }
         }
+    }
+
+    /// `true` when the two formulas are logically equivalent: compiled in one
+    /// shared manager, equivalent functions hash-cons to the same node.
+    pub fn equivalent(&self, other: &Formula) -> bool {
+        let mut bdd = Bdd::new();
+        bdd.formula(self) == bdd.formula(other)
     }
 }
 
@@ -359,13 +385,15 @@ mod tests {
                 Formula::Lit(Literal::pos(w3)),
             ]),
         ]);
-        let by_shannon = f.probability(&t);
+        let by_bdd = f.probability(&t);
+        let by_shannon = f.probability_shannon(&t);
         let by_enumeration: f64 = crate::valuation::enumerate_valuations(&t)
             .unwrap()
             .into_iter()
             .filter(|v| f.eval(v))
             .map(|v| v.probability(&t))
             .sum();
+        assert!((by_bdd - by_enumeration).abs() < 1e-12);
         assert!((by_shannon - by_enumeration).abs() < 1e-12);
     }
 

@@ -18,9 +18,14 @@
 //! * [`Valuation`] and exhaustive valuation enumeration — used to expand a
 //!   fuzzy tree into its possible worlds;
 //! * [`Formula`] — arbitrary and/or/not combinations of events with exact
-//!   probability computation by Shannon expansion, used when several query
-//!   matches must be combined (probability of a *disjunction* of match
-//!   conditions) and by the simplifier.
+//!   probability computation, used when several query matches must be
+//!   combined (probability of a *disjunction* of match conditions) and by
+//!   the simplifier;
+//! * [`Bdd`], [`BddRef`] — the reduced ordered binary decision diagram
+//!   engine behind exact probability: hash-consed nodes, memoized
+//!   and/or/not/restrict, probability by one weighted model-counting walk
+//!   (linear in BDD size instead of exponential in event count), and
+//!   disjoint conjunctive covers read off the path structure.
 //!
 //! ```
 //! use pxml_event::{Condition, EventTable, Literal};
@@ -34,12 +39,14 @@
 //! assert!((cond.probability(&events) - 0.8 * 0.3).abs() < 1e-12);
 //! ```
 
+pub mod bdd;
 pub mod condition;
 pub mod error;
 pub mod formula;
 pub mod table;
 pub mod valuation;
 
+pub use bdd::{Bdd, BddRef};
 pub use condition::{Condition, Literal};
 pub use error::EventError;
 pub use formula::Formula;

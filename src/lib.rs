@@ -112,7 +112,9 @@ pub mod prelude {
         PossibleWorlds, ProbabilisticMatch, Simplifier, SimplifyPolicy, SimplifyReport, Update,
         UpdateOperation, UpdateStats, UpdateTransaction,
     };
-    pub use pxml_event::{Condition, EventId, EventTable, Formula, Literal, Valuation};
+    pub use pxml_event::{
+        Bdd, BddRef, Condition, EventId, EventTable, Formula, Literal, Valuation,
+    };
     pub use pxml_query::{Axis, MatchStrategy, Pattern, QueryAnswers};
     pub use pxml_store::{DocumentStore, FsBackend, MemBackend, StorageBackend};
     pub use pxml_tree::{parse_data_tree, write_data_tree, Label, NodeId, Tree};
