@@ -1,4 +1,4 @@
-//! The experiment harness: re-runs every experiment E1–E13 (each described
+//! The experiment harness: re-runs every experiment E1–E14 (each described
 //! at its section below) and prints paper-style result tables.
 //!
 //! Usage:
@@ -31,9 +31,9 @@ use pxml_gen::concurrent::{
 use pxml_gen::scenarios::{extraction_update, people_directory, PeopleScenarioConfig};
 use pxml_gen::storage::journal_batches;
 use pxml_query::{MatchStrategy, Pattern};
-use pxml_store::{FsBackend, MemBackend, StorageBackend};
+use pxml_store::{CommitPolicy, FsBackend, FsOptions, MemBackend, StorageBackend};
 use pxml_tree::parse_data_tree;
-use pxml_warehouse::{CompactionPolicy, Session, SessionConfig};
+use pxml_warehouse::{CompactionPolicy, Session, SessionConfig, Warehouse};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -68,7 +68,7 @@ fn main() {
     println!("pxml experiment harness (quick = {quick})");
     println!("=========================================\n");
     type Experiment = fn(bool, &mut Report);
-    let experiments: [(&str, Experiment); 13] = [
+    let experiments: [(&str, Experiment); 14] = [
         ("e1", e1_possible_worlds_example),
         ("e2", e2_expressiveness),
         ("e3", e3_query_models),
@@ -82,6 +82,7 @@ fn main() {
         ("e11", e11_concurrent_engine),
         ("e12", e12_commit_latency_vs_journal),
         ("e13", e13_bdd_vs_shannon),
+        ("e14", e14_group_commit),
     ];
     for (name, body) in experiments {
         if !want(name) {
@@ -646,6 +647,7 @@ fn e7_warehouse(quick: bool, report: &mut Report) {
             SessionConfig {
                 simplify: SimplifyPolicy::Threshold(4096),
                 compaction: CompactionPolicy::EveryNBatches(64),
+                ..SessionConfig::default()
             },
         )
         .unwrap();
@@ -1065,6 +1067,7 @@ fn e11_concurrent_engine(quick: bool, report: &mut Report) {
             SessionConfig {
                 simplify: SimplifyPolicy::Threshold(4096),
                 compaction: CompactionPolicy::EveryNBatches(16),
+                ..SessionConfig::default()
             },
         )
         .unwrap();
@@ -1126,6 +1129,100 @@ fn e11_concurrent_engine(quick: bool, report: &mut Report) {
         drop(session);
         let _ = std::fs::remove_dir_all(&dir);
     }
+
+    // Group-commit variant: the same mixed workload at full thread count,
+    // with the session's fs backend in `Grouped` mode. The think time
+    // between ops means windows are often shallow here (this is a *mixed*
+    // workload, not a commit storm — E14 is the targeted sweep); the point
+    // is that grouped mode is a drop-in for the engine path and the fsync
+    // counter visibly drops below the commit count.
+    let threads = config.documents;
+    println!(
+        "\ngroup-commit variant ({threads} threads, same workload):\n\
+         {:>10} {:>12} {:>12} {:>10} {:>10} {:>12}",
+        "commit", "wall (ms)", "ops/s", "fsyncs", "commits", "occupancy"
+    );
+    for (mode, commit) in [
+        ("sync", CommitPolicy::Sync),
+        (
+            "grouped",
+            CommitPolicy::Grouped {
+                window_max_batches: 8,
+                window_max_wait: Duration::from_millis(3),
+            },
+        ),
+    ] {
+        let dir = std::env::temp_dir().join(format!(
+            "pxml-harness-e11-grp-{}-{mode}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = Session::open(
+            &dir,
+            SessionConfig {
+                simplify: SimplifyPolicy::Threshold(4096),
+                compaction: CompactionPolicy::EveryNBatches(16),
+                commit,
+            },
+        )
+        .unwrap();
+        let workloads = concurrent_workload(BENCH_SEED, &config);
+        let documents: Vec<_> = workloads
+            .iter()
+            .map(|w| {
+                session
+                    .create(&w.document, initial_document(&config))
+                    .unwrap()
+            })
+            .collect();
+        let before = session.stats();
+        let barrier = std::sync::Barrier::new(threads);
+        let start = Instant::now();
+        let executed: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = workloads
+                .iter()
+                .zip(&documents)
+                .map(|(workload, document)| {
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        barrier.wait();
+                        e11_drive(document, workload, think)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        let wall = start.elapsed();
+        assert_eq!(executed, total_ops);
+        let stats = session.stats();
+        let fsyncs = stats.fsyncs - before.fsyncs;
+        let grouped_commits = stats.grouped_commits - before.grouped_commits;
+        let windows = stats.grouped_windows - before.grouped_windows;
+        let occupancy = if windows == 0 {
+            0.0
+        } else {
+            grouped_commits as f64 / windows as f64
+        };
+        println!(
+            "{mode:>10} {:>12.1} {:>12.1} {fsyncs:>10} {grouped_commits:>10} {occupancy:>12.2}",
+            ms(wall),
+            total_ops as f64 / wall.as_secs_f64()
+        );
+        report.row(
+            "group_commit_variant",
+            &[
+                ("commit", mode.into()),
+                ("wall_ms", ms(wall).into()),
+                ("ops_per_s", (total_ops as f64 / wall.as_secs_f64()).into()),
+                ("fsyncs", fsyncs.into()),
+                ("grouped_commits", grouped_commits.into()),
+                ("mean_window_occupancy", occupancy.into()),
+            ],
+        );
+        drop(documents);
+        drop(session);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
     println!();
 }
 
@@ -1135,7 +1232,9 @@ fn e11_concurrent_engine(quick: bool, report: &mut Report) {
 
 /// Seeds a store with `seeded` committed batches and measures the latency of
 /// appending one more: the median over `probes` appends (each a real durable
-/// commit — on `FsBackend` that includes the fsync).
+/// commit — on `FsBackend` that includes the fsync). Probes go through
+/// `append_batch_grouped` so the `fs-grp` backend exercises its group-commit
+/// pipeline; on ungrouped backends that is the identical synchronous call.
 fn e12_probe(
     store: &dyn StorageBackend,
     seeded: usize,
@@ -1153,7 +1252,7 @@ fn e12_probe(
         .iter()
         .map(|batch| {
             let start = Instant::now();
-            store.append_batch("people", batch).unwrap();
+            store.append_batch_grouped("people", batch).unwrap();
             start.elapsed()
         })
         .collect();
@@ -1180,7 +1279,11 @@ fn e12_commit_latency_vs_journal(quick: bool, report: &mut Report) {
         "{:>10} {:>14} {:>16} {:>10} {:>18}",
         "backend", "seeded", "append (µs)", "vs empty", "journal_len (µs)"
     );
-    for backend in ["fs", "mem"] {
+    // `fs-grp` is the fs backend with group commit enabled and a zero
+    // window wait: a lone committer drains its window immediately, so the
+    // row isolates the pipeline's bookkeeping overhead over plain `fs` —
+    // and shows the O(batch) property survives the grouped path.
+    for backend in ["fs", "fs-grp", "mem"] {
         let mut empty_us = None;
         for &seeded in seeds {
             let dir = std::env::temp_dir().join(format!(
@@ -1190,6 +1293,19 @@ fn e12_commit_latency_vs_journal(quick: bool, report: &mut Report) {
             let _ = std::fs::remove_dir_all(&dir);
             let store: Box<dyn StorageBackend> = match backend {
                 "fs" => Box::new(FsBackend::open(&dir).unwrap()),
+                "fs-grp" => Box::new(
+                    FsBackend::with_options(
+                        &dir,
+                        FsOptions {
+                            commit: CommitPolicy::Grouped {
+                                window_max_batches: 8,
+                                window_max_wait: Duration::ZERO,
+                            },
+                            ..FsOptions::default()
+                        },
+                    )
+                    .unwrap(),
+                ),
                 _ => Box::new(MemBackend::new()),
             };
             let append = e12_probe(store.as_ref(), seeded, probes, &scenario);
@@ -1354,6 +1470,320 @@ fn e13_bdd_vs_shannon(quick: bool, report: &mut Report) {
                 ("simplify_ms", ms(simplify_time).into()),
             ],
         );
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------------------
+// E14 — group commit: cross-document fsync coalescing.
+// ---------------------------------------------------------------------------
+
+/// Simulated device-flush latency for E14. A real fsync on the CI
+/// container's storage costs anywhere from microseconds (page-cache
+/// absorbed) to milliseconds, and is far too noisy to sweep; the backend's
+/// `simulated_sync_latency` sleeps this long *inside the device gate* per
+/// fsync round — flush rounds serialize, exactly like a single drive —
+/// making the round *count* the dominant cost, which is the term group
+/// commit exists to shrink.
+const E14_FSYNC_LATENCY: Duration = Duration::from_millis(5);
+
+fn e14_doc(index: usize) -> String {
+    format!("doc-{index}")
+}
+
+/// Opens a warehouse over an explicit `FsBackend` with the given commit
+/// policy and the simulated flush latency, and creates `docs` documents.
+fn e14_open(
+    dir: &std::path::Path,
+    commit: CommitPolicy,
+    docs: usize,
+    scenario: &PeopleScenarioConfig,
+) -> Warehouse {
+    let _ = std::fs::remove_dir_all(dir);
+    let backend = FsBackend::with_options(
+        dir,
+        FsOptions {
+            commit,
+            simulated_sync_latency: E14_FSYNC_LATENCY,
+            ..FsOptions::default()
+        },
+    )
+    .unwrap();
+    let warehouse = Warehouse::with_backend(
+        std::sync::Arc::new(backend),
+        SessionConfig {
+            compaction: CompactionPolicy::Never,
+            ..SessionConfig::default()
+        },
+    )
+    .unwrap();
+    for doc in 0..docs {
+        warehouse
+            .create_document(&e14_doc(doc), people_directory(scenario))
+            .unwrap();
+    }
+    warehouse
+}
+
+/// Barrier-starts one writer thread per document; each commits its
+/// pre-generated batches in order through the engine. Returns the wall time
+/// of the commit phase.
+fn e14_run(warehouse: &Warehouse, batches: &[Vec<Vec<UpdateTransaction>>]) -> Duration {
+    let barrier = std::sync::Barrier::new(batches.len());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for (doc, own) in batches.iter().enumerate() {
+            let barrier = &barrier;
+            let name = e14_doc(doc);
+            scope.spawn(move || {
+                barrier.wait();
+                for batch in own {
+                    warehouse.commit_batch(&name, batch, None).unwrap();
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+/// The claim behind the group-commit layer: when N sessions commit to N
+/// documents concurrently, the durability fsyncs — the serialized,
+/// latency-bound resource — can be shared across documents, so commit
+/// throughput scales with writers instead of being flattened by one flush
+/// per commit. Sweeps writers × {per-batch sync, grouped} on a backend with
+/// a simulated 2 ms flush; then window size at 8 writers; then the async
+/// pipeline depth a single writer gets from `commit_async`.
+fn e14_group_commit(quick: bool, report: &mut Report) {
+    header(
+        "E14",
+        "group commit: cross-document fsync coalescing (grouped vs per-batch sync)",
+    );
+    let scenario = PeopleScenarioConfig {
+        people: 8,
+        ..PeopleScenarioConfig::default()
+    };
+    let commits_per_writer = if quick { 12 } else { 30 };
+    let window_wait = Duration::from_millis(4);
+    println!(
+        "N writers -> N documents, fs backend, simulated {} ms device flush, \
+         {commits_per_writer} x 2-update commits per writer",
+        E14_FSYNC_LATENCY.as_millis()
+    );
+    println!(
+        "\n{:>8} {:>9} {:>11} {:>11} {:>9} {:>8} {:>9} {:>11} {:>10}",
+        "writers",
+        "commit",
+        "wall (ms)",
+        "commits/s",
+        "speedup",
+        "fsyncs",
+        "windows",
+        "occupancy",
+        "journal B"
+    );
+    for &writers in &[1usize, 2, 4, 8] {
+        let batches: Vec<Vec<Vec<UpdateTransaction>>> = (0..writers)
+            .map(|doc| journal_batches(BENCH_SEED + doc as u64, commits_per_writer, 2, &scenario))
+            .collect();
+        let commits = writers * commits_per_writer;
+        let mut sync_secs = None;
+        for (mode, policy) in [
+            ("sync", CommitPolicy::Sync),
+            (
+                "grouped",
+                CommitPolicy::Grouped {
+                    window_max_batches: writers,
+                    window_max_wait: window_wait,
+                },
+            ),
+        ] {
+            let dir = std::env::temp_dir().join(format!(
+                "pxml-harness-e14-{}-{mode}-{writers}",
+                std::process::id()
+            ));
+            let warehouse = e14_open(&dir, policy, writers, &scenario);
+            let before = warehouse.stats();
+            let wall = e14_run(&warehouse, &batches);
+            let stats = warehouse.stats();
+            let fsyncs = stats.fsyncs - before.fsyncs;
+            let grouped_commits = stats.grouped_commits - before.grouped_commits;
+            let windows = stats.grouped_windows - before.grouped_windows;
+            let occupancy = if windows == 0 {
+                0.0
+            } else {
+                grouped_commits as f64 / windows as f64
+            };
+            let journal_bytes: u64 = (0..writers)
+                .map(|doc| warehouse.journal_size_bytes(&e14_doc(doc)).unwrap())
+                .sum();
+            let secs = wall.as_secs_f64();
+            let speedup = match mode {
+                "sync" => {
+                    sync_secs = Some(secs);
+                    1.0
+                }
+                _ => sync_secs.unwrap() / secs,
+            };
+            if mode == "grouped" {
+                assert_eq!(
+                    grouped_commits, commits,
+                    "every commit must go through the grouped pipeline"
+                );
+                if writers >= 2 {
+                    // The satellite assertion: grouped mode must coalesce —
+                    // strictly fewer flush rounds than commits.
+                    assert!(
+                        fsyncs < commits,
+                        "grouped mode issued {fsyncs} fsync rounds for {commits} commits"
+                    );
+                }
+            }
+            println!(
+                "{writers:>8} {mode:>9} {:>11.1} {:>11.1} {speedup:>8.2}x {fsyncs:>8} {windows:>9} {occupancy:>11.2} {journal_bytes:>10}",
+                ms(wall),
+                commits as f64 / secs
+            );
+            report.row(
+                "scaling",
+                &[
+                    ("writers", writers.into()),
+                    ("commit", mode.into()),
+                    ("wall_ms", ms(wall).into()),
+                    ("commits_per_s", (commits as f64 / secs).into()),
+                    ("speedup_vs_sync", speedup.into()),
+                    ("fsyncs", fsyncs.into()),
+                    ("grouped_windows", windows.into()),
+                    ("mean_window_occupancy", occupancy.into()),
+                    ("journal_bytes", journal_bytes.into()),
+                ],
+            );
+            drop(warehouse);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    // Window-size sweep at full writer count: how much coalescing a cap of
+    // `window` batches per flush round buys.
+    let writers = 8usize;
+    let batches: Vec<Vec<Vec<UpdateTransaction>>> = (0..writers)
+        .map(|doc| journal_batches(BENCH_SEED + doc as u64, commits_per_writer, 2, &scenario))
+        .collect();
+    let commits = writers * commits_per_writer;
+    println!(
+        "\nwindow-size sweep ({writers} writers, grouped):\n\
+         {:>8} {:>11} {:>11} {:>8} {:>9} {:>11}",
+        "window", "wall (ms)", "commits/s", "fsyncs", "windows", "occupancy"
+    );
+    for &window in &[2usize, 4, 8] {
+        let dir =
+            std::env::temp_dir().join(format!("pxml-harness-e14-w{window}-{}", std::process::id()));
+        let warehouse = e14_open(
+            &dir,
+            CommitPolicy::Grouped {
+                window_max_batches: window,
+                window_max_wait: window_wait,
+            },
+            writers,
+            &scenario,
+        );
+        let before = warehouse.stats();
+        let wall = e14_run(&warehouse, &batches);
+        let stats = warehouse.stats();
+        let fsyncs = stats.fsyncs - before.fsyncs;
+        let windows = stats.grouped_windows - before.grouped_windows;
+        let occupancy = if windows == 0 {
+            0.0
+        } else {
+            (stats.grouped_commits - before.grouped_commits) as f64 / windows as f64
+        };
+        println!(
+            "{window:>8} {:>11.1} {:>11.1} {fsyncs:>8} {windows:>9} {occupancy:>11.2}",
+            ms(wall),
+            commits as f64 / wall.as_secs_f64()
+        );
+        report.row(
+            "window_sweep",
+            &[
+                ("window_max_batches", window.into()),
+                ("wall_ms", ms(wall).into()),
+                (
+                    "commits_per_s",
+                    (commits as f64 / wall.as_secs_f64()).into(),
+                ),
+                ("fsyncs", fsyncs.into()),
+                ("grouped_windows", windows.into()),
+                ("mean_window_occupancy", occupancy.into()),
+            ],
+        );
+        drop(warehouse);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Async pipeline: a single writer keeps `depth` commits in flight with
+    // `commit_batch_async` and waits for them in batches. Depth 1 is the
+    // synchronous ack-per-commit behavior; deeper pipelines let one
+    // session's own commits share flush rounds with each other.
+    let async_commits = commits_per_writer * 2;
+    let batches = journal_batches(BENCH_SEED, async_commits, 2, &scenario);
+    println!(
+        "\nasync pipeline (1 writer, 1 document, grouped window 8, {async_commits} commits):\n\
+         {:>8} {:>11} {:>11} {:>9} {:>8}",
+        "depth", "wall (ms)", "commits/s", "speedup", "fsyncs"
+    );
+    let mut depth1_secs = None;
+    for &depth in &[1usize, 2, 4, 8] {
+        let dir = std::env::temp_dir().join(format!(
+            "pxml-harness-e14-async{depth}-{}",
+            std::process::id()
+        ));
+        let warehouse = e14_open(
+            &dir,
+            CommitPolicy::Grouped {
+                window_max_batches: 8,
+                window_max_wait: window_wait,
+            },
+            1,
+            &scenario,
+        );
+        let before = warehouse.stats();
+        let start = Instant::now();
+        let mut in_flight = Vec::with_capacity(depth);
+        for batch in &batches {
+            in_flight.push(
+                warehouse
+                    .commit_batch_async(&e14_doc(0), batch, None)
+                    .unwrap(),
+            );
+            if in_flight.len() == depth {
+                for handle in in_flight.drain(..) {
+                    handle.wait().unwrap();
+                }
+            }
+        }
+        for handle in in_flight.drain(..) {
+            handle.wait().unwrap();
+        }
+        let wall = start.elapsed();
+        let fsyncs = warehouse.stats().fsyncs - before.fsyncs;
+        let secs = wall.as_secs_f64();
+        let speedup = *depth1_secs.get_or_insert(secs) / secs;
+        println!(
+            "{depth:>8} {:>11.1} {:>11.1} {speedup:>8.2}x {fsyncs:>8}",
+            ms(wall),
+            async_commits as f64 / secs
+        );
+        report.row(
+            "async_pipeline",
+            &[
+                ("depth", depth.into()),
+                ("wall_ms", ms(wall).into()),
+                ("commits_per_s", (async_commits as f64 / secs).into()),
+                ("speedup_vs_depth1", speedup.into()),
+                ("fsyncs", fsyncs.into()),
+            ],
+        );
+        drop(warehouse);
+        let _ = std::fs::remove_dir_all(&dir);
     }
     println!();
 }

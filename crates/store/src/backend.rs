@@ -12,6 +12,7 @@
 use pxml_core::{FuzzyTree, UpdateTransaction};
 
 use crate::error::StoreError;
+use crate::group::{CommitTicket, DurabilityStats};
 
 /// A store of named probabilistic XML documents, each a **checkpoint** (the
 /// last materialized fuzzy tree) plus a **journal** of committed update
@@ -93,6 +94,50 @@ pub trait StorageBackend: Send + Sync + std::fmt::Debug {
     /// in-memory backends).
     fn root_dir(&self) -> Option<&std::path::Path> {
         None
+    }
+
+    /// [`append_batch`](StorageBackend::append_batch) through the backend's
+    /// group-commit pipeline, when it has one: the batch may share its
+    /// durability fsync with concurrently committed batches of *other*
+    /// documents, and the call blocks until that shared fsync. The
+    /// acknowledgement contract is unchanged — on `Ok` the batch is durable
+    /// and recovery replays it; on a crash before the fsync, recovery never
+    /// surfaces it.
+    ///
+    /// The default implementation **degrades to the synchronous path**: it
+    /// forwards to `append_batch`, so backends without a group committer
+    /// (e.g. [`MemBackend`](crate::MemBackend)) meet the same contract with
+    /// per-append durability and the conformance suite passes untouched.
+    fn append_batch_grouped(
+        &self,
+        name: &str,
+        batch: &[UpdateTransaction],
+    ) -> Result<(), StoreError> {
+        self.append_batch(name, batch)
+    }
+
+    /// The asynchronous half of group commit: hands the batch to the
+    /// backend's commit pipeline and returns a [`CommitTicket`] that
+    /// resolves once the batch's fsync window completes. The batch must not
+    /// be acknowledged to clients until the ticket resolves `Ok`.
+    ///
+    /// The default implementation **degrades to the synchronous path**: the
+    /// append runs to completion inside this call and the returned ticket is
+    /// already resolved with its outcome, so polling or waiting on it never
+    /// blocks.
+    fn append_batch_enqueue(&self, name: &str, batch: &[UpdateTransaction]) -> CommitTicket {
+        CommitTicket::resolved(self.append_batch(name, batch))
+    }
+
+    /// Fsync/window observability counters of the backend's durability
+    /// pipeline.
+    ///
+    /// The default implementation returns all-zero stats — backends without
+    /// a durability pipeline (or without instrumentation) have nothing to
+    /// report, and callers must treat zeros as "not instrumented", not as
+    /// "free durability".
+    fn durability_stats(&self) -> DurabilityStats {
+        DurabilityStats::default()
     }
 
     /// The updates recorded in a document's journal, flattened to

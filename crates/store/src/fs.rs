@@ -63,7 +63,9 @@ use std::collections::HashMap;
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use pxml_core::{FuzzyTree, UpdateTransaction};
@@ -71,6 +73,7 @@ use pxml_core::{FuzzyTree, UpdateTransaction};
 use crate::backend::StorageBackend;
 use crate::error::StoreError;
 use crate::format::{extract_epoch, parse_fuzzy_document, serialize_fuzzy_document_with_epoch};
+use crate::group::{CommitPolicy, CommitTicket, DurabilityStats, GroupCommitter, PendingAppend};
 use crate::journal::{parse_batch, parse_batched_journal, serialize_batch};
 
 /// Bytes of each record header: `payload_len: u32 LE` + `update_count: u32 LE`.
@@ -116,6 +119,51 @@ impl DocMeta {
     }
 }
 
+/// Construction options for [`FsBackend`] ([`FsBackend::with_options`]).
+#[derive(Debug, Clone)]
+pub struct FsOptions {
+    /// Segment roll threshold in bytes; see [`DEFAULT_SEGMENT_ROLL_BYTES`].
+    pub segment_roll_bytes: u64,
+    /// How acknowledged appends become durable: per-append fsync rounds
+    /// ([`CommitPolicy::Sync`], the default) or cross-document group commit
+    /// ([`CommitPolicy::Grouped`]).
+    pub commit: CommitPolicy,
+    /// Artificial latency added to every fsync round, serialized through a
+    /// shared device gate — a benchmark aid modelling storage whose flush
+    /// cost dominates (the regime group commit exists for), so E14 measures
+    /// the protocol rather than the page cache of the build machine.
+    /// `Duration::ZERO` (the default) disables the model entirely.
+    pub simulated_sync_latency: Duration,
+}
+
+impl Default for FsOptions {
+    fn default() -> Self {
+        FsOptions {
+            segment_roll_bytes: DEFAULT_SEGMENT_ROLL_BYTES,
+            commit: CommitPolicy::default(),
+            simulated_sync_latency: Duration::ZERO,
+        }
+    }
+}
+
+/// The (possibly simulated) flush device shared by all clones of one
+/// backend: fsync rounds serialize on the gate for `latency` each when the
+/// model is enabled.
+#[derive(Debug)]
+struct Device {
+    latency: Duration,
+    gate: Mutex<()>,
+}
+
+/// The lock-free durability counters behind [`FsBackend::durability_stats`],
+/// shared by all clones.
+#[derive(Debug, Default)]
+struct SyncCounters {
+    fsyncs: AtomicUsize,
+    grouped_commits: AtomicUsize,
+    grouped_windows: AtomicUsize,
+}
+
 /// The file-system storage backend (see the module docs for the on-disk
 /// format and crash-recovery rules).
 ///
@@ -129,6 +177,20 @@ pub struct FsBackend {
     /// held for two documents at once. A name's entry deliberately survives
     /// document removal (see [`FsBackend::remove_document`]).
     metas: Arc<Mutex<HashMap<String, Arc<Mutex<DocMeta>>>>>,
+    /// The group committer under [`CommitPolicy::Grouped`]; `None` makes
+    /// every grouped entry point degrade to the synchronous path.
+    group: Option<Arc<GroupCommitter>>,
+    device: Arc<Device>,
+    counters: Arc<SyncCounters>,
+}
+
+/// One just-written journal record: the still-open (not yet fsync'd)
+/// segment file, its sequence number, and whether this record created the
+/// file — a directory mutation the covering fsync round must flush too.
+struct AppendedRecord {
+    file: fs::File,
+    seq: u64,
+    fresh: bool,
 }
 
 /// The parsed form of a segment file name `<name>.journal.<epoch>.<seq>.seg`.
@@ -158,7 +220,7 @@ impl FsBackend {
     /// removed documents) and migrates any legacy monolithic `<name>.journal`
     /// files to the segment format.
     pub fn open(root: impl AsRef<Path>) -> Result<Self, StoreError> {
-        Self::with_segment_roll_bytes(root, DEFAULT_SEGMENT_ROLL_BYTES)
+        Self::with_options(root, FsOptions::default())
     }
 
     /// [`FsBackend::open`] with an explicit segment roll threshold (exposed
@@ -167,15 +229,54 @@ impl FsBackend {
         root: impl AsRef<Path>,
         roll_bytes: u64,
     ) -> Result<Self, StoreError> {
+        Self::with_options(
+            root,
+            FsOptions {
+                segment_roll_bytes: roll_bytes,
+                ..FsOptions::default()
+            },
+        )
+    }
+
+    /// [`FsBackend::open`] with full [`FsOptions`] — notably the
+    /// [`CommitPolicy`] selecting per-append fsyncs or group commit.
+    pub fn with_options(root: impl AsRef<Path>, options: FsOptions) -> Result<Self, StoreError> {
         let root = root.as_ref().to_path_buf();
         fs::create_dir_all(&root)?;
+        let group = match options.commit {
+            CommitPolicy::Sync => None,
+            CommitPolicy::Grouped {
+                window_max_batches,
+                window_max_wait,
+            } => Some(Arc::new(GroupCommitter::new(
+                window_max_batches,
+                window_max_wait,
+            ))),
+        };
         let backend = FsBackend {
             root,
-            roll_bytes: roll_bytes.max(1),
+            roll_bytes: options.segment_roll_bytes.max(1),
             metas: Arc::new(Mutex::new(HashMap::new())),
+            group,
+            device: Arc::new(Device {
+                latency: options.simulated_sync_latency,
+                gate: Mutex::new(()),
+            }),
+            counters: Arc::new(SyncCounters::default()),
         };
         backend.sweep_and_migrate()?;
         Ok(backend)
+    }
+
+    /// A clone with the group committer detached: it shares every meter,
+    /// counter and the device gate, but its appends take the synchronous
+    /// path. Window flushes and ticket waits run through such a handle so
+    /// they can never re-enter the committer they serve.
+    fn degrouped(&self) -> FsBackend {
+        FsBackend {
+            group: None,
+            ..self.clone()
+        }
     }
 
     /// The open-time sweep: discard commit debris that never reached a
@@ -457,6 +558,10 @@ impl FsBackend {
     /// mutex, silently corrupting a segment. One retained mutex per name ever
     /// removed is a bounded price for that guarantee.
     pub fn remove_document(&self, name: &str) -> Result<(), StoreError> {
+        // Settle any in-flight group-commit window first (before the meta
+        // lock — the flush needs it): a window flushing after the removal
+        // would resurrect segment files for the deleted document.
+        self.group_barrier();
         let meta = self.meta(name);
         let mut meta = meta.lock();
         let path = self.document_path(name);
@@ -503,9 +608,9 @@ impl FsBackend {
 
     /// Durably appends one committed transaction batch to a document's
     /// journal: one length-prefixed record written to the active segment and
-    /// fsync'd — **O(batch)**, never a rewrite of earlier records. The write
-    /// lands in a new segment file when the active one has grown past the
-    /// roll threshold.
+    /// covered by its own fsync round — **O(batch)**, never a rewrite of
+    /// earlier records. The write lands in a new segment file when the
+    /// active one has grown past the roll threshold.
     pub fn append_batch(&self, name: &str, batch: &[UpdateTransaction]) -> Result<(), StoreError> {
         let meta = self.meta(name);
         let mut meta = meta.lock();
@@ -513,35 +618,221 @@ impl FsBackend {
         if !self.contains(name) {
             return Err(StoreError::MissingDocument(name.to_string()));
         }
+        let appended = self.write_record(name, &mut meta, batch)?;
+        self.fsync_round(std::slice::from_ref(&appended.file), appended.fresh)
+    }
+
+    /// Writes one record into the document's active segment (rolling past
+    /// the threshold) and updates the journal meters, but does **not**
+    /// fsync: the caller completes durability through
+    /// [`FsBackend::fsync_round`], either alone (the synchronous append) or
+    /// shared with other documents (a group-commit window). Both paths
+    /// therefore roll — and flush fresh directory entries — by the exact
+    /// same rules. The caller holds the document's meta lock with the meta
+    /// loaded.
+    ///
+    /// The meters advance before the fsync: the bytes are in the file once
+    /// `write_all` returns, so the meters stay consistent with what
+    /// [`FsBackend::read_batches`] sees even if the later fsync fails (at
+    /// reopen they are rebuilt from disk either way).
+    fn write_record(
+        &self,
+        name: &str,
+        meta: &mut DocMeta,
+        batch: &[UpdateTransaction],
+    ) -> Result<AppendedRecord, StoreError> {
         let record = encode_record(batch);
         let seq = match meta.active_seq {
             Some(seq) if meta.active_len < self.roll_bytes => seq,
             Some(seq) => seq + 1,
             None => 0,
         };
+        let fresh = meta.active_seq != Some(seq);
         let path = self.segment_path(name, meta.epoch, seq);
         let mut file = fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(path)?;
         file.write_all(&record)?;
-        // The fsync is the durability point: after it, recovery must replay
-        // the record; before it, a torn tail is discarded.
-        file.sync_data()?;
-        if meta.active_seq == Some(seq) {
-            meta.active_len += record.len() as u64;
-        } else {
-            // First record of a fresh segment file: the file's existence is a
-            // directory mutation, so flush the directory too — power loss
-            // must not unlink a segment whose batch was already acknowledged.
-            self.sync_dir()?;
+        if fresh {
             meta.active_seq = Some(seq);
             meta.active_len = record.len() as u64;
+        } else {
+            meta.active_len += record.len() as u64;
         }
         meta.batches += 1;
         meta.updates += batch.len();
         meta.bytes += record.len() as u64;
+        Ok(AppendedRecord { file, seq, fresh })
+    }
+
+    /// One fsync round — the durability point of every record written since
+    /// the previous round. Data files are flushed first, then (when any
+    /// record started a fresh segment) the directory entry: a segment file's
+    /// existence is a directory mutation, and power loss right after a roll
+    /// must not unlink a segment whose batches were already acknowledged.
+    /// Every append path funnels through here, so no roll site can skip the
+    /// directory flush.
+    ///
+    /// Counts **one** `fsyncs` round however many files the round covers —
+    /// the round is the unit the device serializes on, and the quantity
+    /// group commit divides.
+    fn fsync_round(&self, files: &[fs::File], fresh_segment: bool) -> Result<(), StoreError> {
+        if self.device.latency > Duration::ZERO {
+            let _gate = self.device.gate.lock();
+            std::thread::sleep(self.device.latency);
+        }
+        for file in files {
+            file.sync_data()?;
+        }
+        if fresh_segment {
+            self.sync_dir()?;
+        }
+        self.counters.fsyncs.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// [`FsBackend::append_batch`] through the group-commit window when the
+    /// backend was opened with [`CommitPolicy::Grouped`]: the batch is
+    /// enqueued and the call blocks until its window's shared fsync round.
+    /// Under [`CommitPolicy::Sync`] it degrades to the synchronous append.
+    /// Either way the batch is durable when the call returns `Ok`.
+    pub fn append_batch_grouped(
+        &self,
+        name: &str,
+        batch: &[UpdateTransaction],
+    ) -> Result<(), StoreError> {
+        self.append_batch_enqueue(name, batch).wait()
+    }
+
+    /// The asynchronous half of group commit: enqueues the batch into the
+    /// open window and returns a [`CommitTicket`] that resolves at the
+    /// window's fsync. Under [`CommitPolicy::Sync`] the append happens
+    /// synchronously and the ticket comes back already resolved.
+    pub fn append_batch_enqueue(&self, name: &str, batch: &[UpdateTransaction]) -> CommitTicket {
+        let Some(group) = &self.group else {
+            return CommitTicket::resolved(self.append_batch(name, batch));
+        };
+        // Fail a missing document eagerly, before it can poison a window.
+        // (A removal racing the window is still caught by the flush itself.)
+        if !self.contains(name) {
+            return CommitTicket::resolved(Err(StoreError::MissingDocument(name.to_string())));
+        }
+        let slot = group.enqueue(name, batch);
+        CommitTicket::window(slot, group.clone(), self.degrouped())
+    }
+
+    /// Flushes one drained group-commit window: writes every member's
+    /// record under its document's meta lock (one document at a time, in
+    /// first-appearance order, so same-document records land in enqueue —
+    /// i.e. commit — order and the one-lock-at-a-time rule holds), then
+    /// issues a **single** shared fsync round and completes every slot.
+    /// Infallible by construction: a per-member failure is carried on that
+    /// member's slot and, for same-document successors (whose bytes would
+    /// land after the torn record), on theirs too.
+    pub(crate) fn flush_window(&self, window: Vec<PendingAppend>) {
+        if window.is_empty() {
+            return;
+        }
+        let mut order: Vec<String> = Vec::new();
+        let mut by_doc: HashMap<String, Vec<PendingAppend>> = HashMap::new();
+        for member in window {
+            if !by_doc.contains_key(&member.name) {
+                order.push(member.name.clone());
+            }
+            by_doc.entry(member.name.clone()).or_default().push(member);
+        }
+        // The written-but-not-yet-durable slots, plus one open handle per
+        // touched segment file (same-document members usually share one).
+        let mut written = Vec::new();
+        let mut files: Vec<fs::File> = Vec::new();
+        let mut open_segments: HashMap<(String, u64), ()> = HashMap::new();
+        let mut fresh_segment = false;
+        for name in order {
+            let members = by_doc.remove(&name).expect("grouped by name");
+            let meta = self.meta(&name);
+            let mut meta = meta.lock();
+            let precheck = self.ensure_loaded(&name, &mut meta).and_then(|()| {
+                if self.contains(&name) {
+                    Ok(())
+                } else {
+                    Err(StoreError::MissingDocument(name.clone()))
+                }
+            });
+            if let Err(error) = precheck {
+                let message = error.to_string();
+                for member in &members {
+                    member.slot.complete_err(message.clone());
+                }
+                continue;
+            }
+            let mut doc_failed: Option<String> = None;
+            for member in members {
+                if let Some(message) = &doc_failed {
+                    member.slot.complete_err(message.clone());
+                    continue;
+                }
+                match self.write_record(&name, &mut meta, &member.batch) {
+                    Ok(appended) => {
+                        fresh_segment |= appended.fresh;
+                        if open_segments
+                            .insert((name.clone(), appended.seq), ())
+                            .is_none()
+                        {
+                            files.push(appended.file);
+                        }
+                        written.push(member.slot);
+                    }
+                    Err(error) => {
+                        let message = error.to_string();
+                        member.slot.complete_err(message.clone());
+                        doc_failed = Some(message);
+                    }
+                }
+            }
+        }
+        if written.is_empty() {
+            return;
+        }
+        match self.fsync_round(&files, fresh_segment) {
+            Ok(()) => {
+                for slot in &written {
+                    slot.complete_ok();
+                }
+                self.counters
+                    .grouped_commits
+                    .fetch_add(written.len(), Ordering::Relaxed);
+                self.counters
+                    .grouped_windows
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Err(error) => {
+                let message = error.to_string();
+                for slot in &written {
+                    slot.complete_err(message.clone());
+                }
+            }
+        }
+    }
+
+    /// Waits out any in-flight group-commit window and flushes everything
+    /// enqueued. Runs **before** this backend takes a document meta lock:
+    /// the flush itself takes those locks, so a barrier under one would
+    /// self-deadlock.
+    fn group_barrier(&self) {
+        if let Some(group) = &self.group {
+            group.barrier(&self.degrouped());
+        }
+    }
+
+    /// Fsync/window counters since this backend (or the clone family it
+    /// belongs to) was opened. Lock-free snapshot.
+    pub fn durability_stats(&self) -> DurabilityStats {
+        DurabilityStats {
+            fsyncs: self.counters.fsyncs.load(Ordering::Relaxed),
+            grouped_commits: self.counters.grouped_commits.load(Ordering::Relaxed),
+            grouped_windows: self.counters.grouped_windows.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of journaled updates awaiting a checkpoint — O(1) from the
@@ -585,6 +876,10 @@ impl FsBackend {
     /// the old checkpoint + journal, a crash after it leaves stale-epoch
     /// segments that recovery ignores and the next open/scan sweeps.
     pub fn checkpoint(&self, name: &str, fuzzy: &FuzzyTree) -> Result<(), StoreError> {
+        // Settle any in-flight group-commit window first (before the meta
+        // lock — the flush needs it): a pre-fold batch flushing *after* the
+        // fold would land in the new epoch and be double-applied by replay.
+        self.group_barrier();
         let meta = self.meta(name);
         let mut meta = meta.lock();
         self.ensure_loaded(name, &mut meta)?;
@@ -623,6 +918,22 @@ impl StorageBackend for FsBackend {
 
     fn append_batch(&self, name: &str, batch: &[UpdateTransaction]) -> Result<(), StoreError> {
         FsBackend::append_batch(self, name, batch)
+    }
+
+    fn append_batch_grouped(
+        &self,
+        name: &str,
+        batch: &[UpdateTransaction],
+    ) -> Result<(), StoreError> {
+        FsBackend::append_batch_grouped(self, name, batch)
+    }
+
+    fn append_batch_enqueue(&self, name: &str, batch: &[UpdateTransaction]) -> CommitTicket {
+        FsBackend::append_batch_enqueue(self, name, batch)
+    }
+
+    fn durability_stats(&self) -> DurabilityStats {
+        FsBackend::durability_stats(self)
     }
 
     fn read_batches(&self, name: &str) -> Result<Vec<Vec<UpdateTransaction>>, StoreError> {
@@ -1068,6 +1379,156 @@ mod tests {
         store.save_document("a", &sample_fuzzy()).unwrap();
         store.save_document("b", &FuzzyTree::new("other")).unwrap();
         assert_eq!(store.list_documents().unwrap(), vec!["a", "b"]);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// A grouped backend opened with the default window: tests construct it
+    /// with a generous fill deadline so coalescing is deterministic-ish but
+    /// a lone committer never stalls noticeably.
+    fn grouped(dir: &Path, window_max_batches: usize) -> FsBackend {
+        FsBackend::with_options(
+            dir,
+            FsOptions {
+                commit: CommitPolicy::Grouped {
+                    window_max_batches,
+                    window_max_wait: Duration::from_millis(5),
+                },
+                ..FsOptions::default()
+            },
+        )
+        .unwrap()
+    }
+
+    /// A lone committer under `Grouped` becomes its own window leader: the
+    /// append lands durably, journal contents match the sync path, and the
+    /// stats record one grouped commit in one window.
+    #[test]
+    fn grouped_single_committer_leads_its_own_window() {
+        let dir = scratch("grouped-single");
+        let store = grouped(&dir, 8);
+        store.save_document("people", &sample_fuzzy()).unwrap();
+        store
+            .append_batch_grouped("people", &[sample_update()])
+            .unwrap();
+        assert_eq!(store.journal_batches("people").unwrap(), 1);
+        assert_eq!(
+            store
+                .recover_document("people")
+                .unwrap()
+                .tree()
+                .find_elements("email")
+                .len(),
+            1
+        );
+        let stats = store.durability_stats();
+        assert_eq!(stats.grouped_commits, 1);
+        assert_eq!(stats.grouped_windows, 1);
+        assert!(stats.fsyncs >= 1);
+        assert!((stats.mean_window_occupancy() - 1.0).abs() < 1e-12);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// Barrier-started grouped appends across two documents: all land, the
+    /// two journals stay separate, and the windows issued strictly fewer
+    /// fsync rounds than there were commits (the coalescing claim).
+    #[test]
+    fn grouped_appends_across_documents_coalesce_fsyncs() {
+        let dir = scratch("grouped-coalesce");
+        let store = grouped(&dir, 4);
+        store.save_document("a", &sample_fuzzy()).unwrap();
+        store.save_document("b", &sample_fuzzy()).unwrap();
+        let baseline = store.durability_stats().fsyncs;
+        let threads = 4;
+        let per_thread = 3;
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(threads));
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let store = store.clone();
+                let barrier = barrier.clone();
+                scope.spawn(move || {
+                    let name = if t % 2 == 0 { "a" } else { "b" };
+                    barrier.wait();
+                    for _ in 0..per_thread {
+                        store
+                            .append_batch_grouped(name, &[sample_update()])
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let commits = threads * per_thread;
+        assert_eq!(store.journal_batches("a").unwrap(), commits / 2);
+        assert_eq!(store.journal_batches("b").unwrap(), commits / 2);
+        let stats = store.durability_stats();
+        assert_eq!(stats.grouped_commits, commits);
+        assert!(
+            stats.fsyncs - baseline < commits,
+            "windows must coalesce: {} fsync rounds for {commits} commits",
+            stats.fsyncs - baseline
+        );
+        assert!(stats.mean_window_occupancy() >= 1.0);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// Dropping an unresolved ticket still flushes the enqueued batch — an
+    /// enqueue is never silently abandoned.
+    #[test]
+    fn dropped_ticket_still_flushes_the_batch() {
+        let dir = scratch("grouped-drop-ticket");
+        let store = grouped(&dir, 8);
+        store.save_document("people", &sample_fuzzy()).unwrap();
+        let ticket = store.append_batch_enqueue("people", &[sample_update()]);
+        drop(ticket);
+        assert_eq!(store.journal_batches("people").unwrap(), 1);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// An enqueue against a missing document fails eagerly with a resolved
+    /// ticket instead of poisoning a window.
+    #[test]
+    fn grouped_enqueue_rejects_missing_documents() {
+        let dir = scratch("grouped-missing");
+        let store = grouped(&dir, 8);
+        let ticket = store.append_batch_enqueue("ghost", &[sample_update()]);
+        assert!(ticket.is_durable());
+        assert!(matches!(ticket.wait(), Err(StoreError::MissingDocument(_))));
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// `remove_document` barriers the window first: a batch enqueued before
+    /// the removal flushes durably (its ticket resolves Ok), and the removal
+    /// then deletes everything — no segment file is resurrected afterwards.
+    #[test]
+    fn removal_barriers_in_flight_grouped_appends() {
+        let dir = scratch("grouped-remove-barrier");
+        let store = grouped(&dir, 8);
+        store.save_document("people", &sample_fuzzy()).unwrap();
+        let ticket = store.append_batch_enqueue("people", &[sample_update()]);
+        store.remove_document("people").unwrap();
+        ticket.wait().unwrap();
+        assert!(!store.contains("people"));
+        assert!(segment_files(&dir).is_empty());
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// `checkpoint` barriers the window first: a batch enqueued before the
+    /// fold is flushed into the pre-fold epoch, so replay sees it exactly
+    /// once (inside the checkpoint, not double-applied on top).
+    #[test]
+    fn checkpoint_barriers_then_folds_enqueued_batches() {
+        let dir = scratch("grouped-checkpoint-barrier");
+        let store = grouped(&dir, 8);
+        store.save_document("people", &sample_fuzzy()).unwrap();
+        let ticket = store.append_batch_enqueue("people", &[sample_update()]);
+        // Fold with a state that already contains the enqueued update, as
+        // the warehouse does (it applies in memory at enqueue time).
+        let mut folded = sample_fuzzy();
+        sample_update().apply_to_fuzzy(&mut folded).unwrap();
+        store.checkpoint("people", &folded).unwrap();
+        ticket.wait().unwrap();
+        assert_eq!(store.journal_batches("people").unwrap(), 0);
+        let recovered = store.recover_document("people").unwrap();
+        assert_eq!(recovered.tree().find_elements("email").len(), 1);
         fs::remove_dir_all(dir).unwrap();
     }
 

@@ -1,0 +1,422 @@
+//! Group commit: cross-document fsync coalescing for the segment journal.
+//!
+//! [`FsBackend::append_batch`](crate::FsBackend::append_batch) pays one fsync
+//! round per batch per document. Under many concurrent writers those fsyncs —
+//! not the CPU work — cap commit throughput: eight writers on eight documents
+//! issue eight device flushes where one would durably cover them all. The
+//! [`GroupCommitter`] closes that gap with the leader/follower protocol real
+//! databases use:
+//!
+//! 1. a committer **enqueues** its batch into the shared window and receives
+//!    a [`CommitTicket`];
+//! 2. the first committer to wait on an open window becomes the **leader**:
+//!    it keeps the window open briefly (until `window_max_batches` batches
+//!    have gathered or `window_max_wait` has elapsed), drains every enqueued
+//!    append — across *all* documents — writes their records, and issues a
+//!    **single fsync round** for the whole window;
+//! 3. every other member is a **follower**: it blocks until the leader
+//!    completes its slot and wakes it.
+//!
+//! # Durability contract
+//!
+//! Identical to the synchronous path: a commit is **acknowledged** (its
+//! ticket resolves `Ok`) only after its window's fsync round, and crash
+//! replay never surfaces an unacknowledged batch — before the round the
+//! records are at most torn tails that recovery truncates away. Grouping
+//! changes *when* the fsync happens and *how many batches it covers*, never
+//! what an acknowledgement means.
+//!
+//! The committer runs without a background thread: leadership is taken at
+//! wait time by whichever committer arrives first, so an idle store costs
+//! nothing and process exit cannot strand a flusher thread.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use pxml_core::UpdateTransaction;
+
+use crate::error::StoreError;
+use crate::fs::FsBackend;
+
+/// How a backend turns an acknowledged append into a durable one.
+///
+/// Selected through `SessionConfig` (or `FsOptions` at the store layer); see
+/// the README's "Commit pipeline" section for a tuning table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CommitPolicy {
+    /// One fsync round per append, issued synchronously before the append
+    /// returns — the historical behaviour and the default. Lowest latency
+    /// for a single writer; under `N` concurrent writers the rounds
+    /// serialize on the device.
+    #[default]
+    Sync,
+    /// Appends gather in a shared cross-document window and one fsync round
+    /// covers the whole window (leader/follower group commit). Adds up to
+    /// `window_max_wait` of latency per commit; divides the number of device
+    /// flush rounds by up to `window_max_batches`.
+    Grouped {
+        /// The window drains as soon as it holds this many batches
+        /// (clamped to at least 1).
+        window_max_batches: usize,
+        /// The window drains no later than this long after it opened, full
+        /// or not — the latency bound a lone committer pays.
+        window_max_wait: Duration,
+    },
+}
+
+impl CommitPolicy {
+    /// A `Grouped` policy with defaults sized for the sharded engine's
+    /// 8-thread sweet spot: windows of up to 8 batches, drained within 2 ms.
+    pub fn grouped() -> Self {
+        CommitPolicy::Grouped {
+            window_max_batches: 8,
+            window_max_wait: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Fsync/window observability counters of a storage backend.
+///
+/// `fsyncs` counts **device flush rounds**, not individual file syncs: a
+/// grouped window touching eight documents syncs eight files behind one
+/// shared round and counts **1** — which is exactly the quantity group
+/// commit divides, and what E14 asserts shrinks below the commit count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// Fsync barrier rounds issued to the backing device (each round may
+    /// sync several files and the directory).
+    pub fsyncs: usize,
+    /// Batches acknowledged through a group-commit window.
+    pub grouped_commits: usize,
+    /// Group-commit windows flushed (only windows that durably landed at
+    /// least one batch are counted).
+    pub grouped_windows: usize,
+}
+
+impl DurabilityStats {
+    /// Mean batches per flushed window — the coalescing factor group commit
+    /// achieved (0.0 before any window has flushed).
+    pub fn mean_window_occupancy(&self) -> f64 {
+        if self.grouped_windows == 0 {
+            0.0
+        } else {
+            self.grouped_commits as f64 / self.grouped_windows as f64
+        }
+    }
+}
+
+const SLOT_PENDING: u8 = 0;
+const SLOT_OK: u8 = 1;
+const SLOT_ERR: u8 = 2;
+
+/// One enqueued batch's completion state, shared between its ticket holder
+/// and the window leader that flushes it.
+pub(crate) struct CommitSlot {
+    state: AtomicU8,
+    error: Mutex<Option<String>>,
+}
+
+impl CommitSlot {
+    fn new() -> Arc<Self> {
+        Arc::new(CommitSlot {
+            state: AtomicU8::new(SLOT_PENDING),
+            error: Mutex::new(None),
+        })
+    }
+
+    /// Marks the slot durable. The `Release` store pairs with the waiter's
+    /// `Acquire` load so the record write happens-before the acknowledgement.
+    pub(crate) fn complete_ok(&self) {
+        self.state.store(SLOT_OK, Ordering::Release);
+    }
+
+    /// Marks the slot failed, carrying the failure message (StoreError is
+    /// not clonable, so per-slot outcomes travel as text).
+    pub(crate) fn complete_err(&self, message: String) {
+        *self.error.lock().unwrap_or_else(|e| e.into_inner()) = Some(message);
+        self.state.store(SLOT_ERR, Ordering::Release);
+    }
+
+    fn status(&self) -> u8 {
+        self.state.load(Ordering::Acquire)
+    }
+
+    fn take_error(&self) -> StoreError {
+        let message = self
+            .error
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .unwrap_or_else(|| "group-commit window failed".to_string());
+        StoreError::Io(std::io::Error::other(message))
+    }
+}
+
+/// One window member: a batch bound for `name`'s journal, plus the slot its
+/// outcome lands on.
+pub(crate) struct PendingAppend {
+    pub(crate) name: String,
+    pub(crate) batch: Vec<UpdateTransaction>,
+    pub(crate) slot: Arc<CommitSlot>,
+}
+
+/// The window state behind the committer's mutex.
+struct Window {
+    /// Appends enqueued into the currently open window.
+    pending: Vec<PendingAppend>,
+    /// Whether a leader currently owns a drained window (windows flush one
+    /// at a time; the next leader is elected only after the previous one
+    /// finishes, which also keeps journal order equal to enqueue order).
+    leader_active: bool,
+    /// When the oldest pending append was enqueued — the clock the leader's
+    /// `window_max_wait` deadline runs against.
+    opened_at: Option<Instant>,
+}
+
+/// The leader/follower group committer of one [`FsBackend`] (see the module
+/// docs for the protocol and durability contract).
+///
+/// The committer holds no reference to its backend — flushes borrow the
+/// backend at wait time — so backend clones and the committer can share
+/// `Arc`s freely without a cycle.
+pub struct GroupCommitter {
+    window_max_batches: usize,
+    window_max_wait: Duration,
+    window: Mutex<Window>,
+    wakeup: Condvar,
+}
+
+impl fmt::Debug for GroupCommitter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GroupCommitter")
+            .field("window_max_batches", &self.window_max_batches)
+            .field("window_max_wait", &self.window_max_wait)
+            .finish_non_exhaustive()
+    }
+}
+
+impl GroupCommitter {
+    pub(crate) fn new(window_max_batches: usize, window_max_wait: Duration) -> Self {
+        GroupCommitter {
+            window_max_batches: window_max_batches.max(1),
+            window_max_wait,
+            window: Mutex::new(Window {
+                pending: Vec::new(),
+                leader_active: false,
+                opened_at: None,
+            }),
+            wakeup: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Window> {
+        self.window.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueues a batch into the open window and returns its slot. The
+    /// append is not durable (and must not be acknowledged) until the slot
+    /// completes — [`GroupCommitter::wait`] does both.
+    pub(crate) fn enqueue(&self, name: &str, batch: &[UpdateTransaction]) -> Arc<CommitSlot> {
+        let slot = CommitSlot::new();
+        let mut window = self.lock();
+        if window.opened_at.is_none() {
+            window.opened_at = Some(Instant::now());
+        }
+        window.pending.push(PendingAppend {
+            name: name.to_string(),
+            batch: batch.to_vec(),
+            slot: slot.clone(),
+        });
+        drop(window);
+        // Wake a leader sitting in its fill-wait: the window may be full now.
+        self.wakeup.notify_all();
+        slot
+    }
+
+    /// Blocks until `slot` is durable (or failed), driving the protocol:
+    /// a waiter that finds no active leader becomes one, fills its window up
+    /// to the policy bounds, drains it and flushes it through `backend`;
+    /// everyone else sleeps until the leader's wake-up.
+    pub(crate) fn wait(&self, slot: &CommitSlot, backend: &FsBackend) -> Result<(), StoreError> {
+        loop {
+            match slot.status() {
+                SLOT_OK => return Ok(()),
+                SLOT_ERR => return Err(slot.take_error()),
+                _ => {}
+            }
+            let mut window = self.lock();
+            // Re-check under the lock: a leader may have completed the slot
+            // between the fast-path check and the lock.
+            if slot.status() != SLOT_PENDING {
+                continue;
+            }
+            if window.leader_active {
+                // Follower: the leader always notifies after it releases
+                // leadership, and every slot it drained is completed by then.
+                drop(self.wakeup.wait(window).unwrap_or_else(|e| e.into_inner()));
+                continue;
+            }
+            // No leader and our slot is still pending, so it is still in the
+            // queue: take leadership and fill the window.
+            window.leader_active = true;
+            let opened = window.opened_at.unwrap_or_else(Instant::now);
+            while window.pending.len() < self.window_max_batches {
+                let elapsed = opened.elapsed();
+                if elapsed >= self.window_max_wait {
+                    break;
+                }
+                let (guard, _) = self
+                    .wakeup
+                    .wait_timeout(window, self.window_max_wait - elapsed)
+                    .unwrap_or_else(|e| e.into_inner());
+                window = guard;
+            }
+            let drained = std::mem::take(&mut window.pending);
+            window.opened_at = None;
+            // Flush outside the lock so new appends can enqueue into the
+            // next window meanwhile; `leader_active` stays set, serializing
+            // windows (and journal order) until this one is fully complete.
+            drop(window);
+            backend.flush_window(drained);
+            let mut window = self.lock();
+            window.leader_active = false;
+            drop(window);
+            self.wakeup.notify_all();
+            // Loop: our own slot was in the drained window, so it is
+            // completed now and the next iteration returns.
+        }
+    }
+
+    /// Quiesces the committer: waits out any in-flight window and flushes
+    /// everything enqueued, leaving no batch buffered. Operations that must
+    /// observe a settled journal (compaction folds, document removal) run
+    /// this first — otherwise a window flushing *after* e.g. a checkpoint
+    /// fold would land pre-fold batches in the post-fold epoch and replay
+    /// would double-apply them.
+    pub(crate) fn barrier(&self, backend: &FsBackend) {
+        loop {
+            let mut window = self.lock();
+            if window.leader_active {
+                drop(self.wakeup.wait(window).unwrap_or_else(|e| e.into_inner()));
+                continue;
+            }
+            if window.pending.is_empty() {
+                return;
+            }
+            // Drain immediately — no fill-wait: the barrier caller must not
+            // stall for the window deadline.
+            window.leader_active = true;
+            let drained = std::mem::take(&mut window.pending);
+            window.opened_at = None;
+            drop(window);
+            backend.flush_window(drained);
+            let mut window = self.lock();
+            window.leader_active = false;
+            drop(window);
+            self.wakeup.notify_all();
+        }
+    }
+}
+
+/// What a [`CommitTicket`] still owes its holder.
+enum TicketInner {
+    /// The append already completed synchronously with this outcome.
+    Resolved(Result<(), StoreError>),
+    /// The append sits in a group-commit window; resolving means driving
+    /// [`GroupCommitter::wait`] through the detached backend handle.
+    Window {
+        slot: Arc<CommitSlot>,
+        committer: Arc<GroupCommitter>,
+        backend: FsBackend,
+    },
+}
+
+/// A pending acknowledgement of an enqueued journal append.
+///
+/// Returned by
+/// [`StorageBackend::append_batch_enqueue`](crate::StorageBackend::append_batch_enqueue):
+/// the batch is in its backend's commit pipeline, and the ticket resolves —
+/// via [`CommitTicket::wait`], or polled through [`CommitTicket::is_durable`]
+/// — once the window fsync makes it durable (or fails). Backends without a
+/// group-commit window return tickets that are already resolved.
+///
+/// Dropping an unresolved ticket **blocks until the append completes**, then
+/// discards the outcome: an enqueued batch is never silently abandoned, and
+/// the durability error, if any, still surfaces at recovery time.
+#[must_use = "an enqueued append is acknowledged only by waiting on its ticket"]
+pub struct CommitTicket {
+    inner: Option<TicketInner>,
+}
+
+impl fmt::Debug for CommitTicket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CommitTicket")
+            .field("durable", &self.is_durable())
+            .finish()
+    }
+}
+
+impl CommitTicket {
+    /// A ticket for an append that already completed synchronously with
+    /// `outcome` — what every backend without a group-commit pipeline
+    /// returns (the default-impl degradation path).
+    pub fn resolved(outcome: Result<(), StoreError>) -> Self {
+        CommitTicket {
+            inner: Some(TicketInner::Resolved(outcome)),
+        }
+    }
+
+    pub(crate) fn window(
+        slot: Arc<CommitSlot>,
+        committer: Arc<GroupCommitter>,
+        backend: FsBackend,
+    ) -> Self {
+        CommitTicket {
+            inner: Some(TicketInner::Window {
+                slot,
+                committer,
+                backend,
+            }),
+        }
+    }
+
+    /// `true` once the append's outcome is known (durably flushed or
+    /// failed) — a non-blocking poll; [`CommitTicket::wait`] returns the
+    /// outcome itself.
+    pub fn is_durable(&self) -> bool {
+        match &self.inner {
+            None | Some(TicketInner::Resolved(_)) => true,
+            Some(TicketInner::Window { slot, .. }) => slot.status() != SLOT_PENDING,
+        }
+    }
+
+    /// Blocks until the append is durable and returns its outcome. A waiter
+    /// that finds no window leader becomes the leader itself and flushes
+    /// the window (see [`GroupCommitter`]).
+    pub fn wait(mut self) -> Result<(), StoreError> {
+        match self.inner.take() {
+            None => Ok(()),
+            Some(TicketInner::Resolved(outcome)) => outcome,
+            Some(TicketInner::Window {
+                slot,
+                committer,
+                backend,
+            }) => committer.wait(&slot, &backend),
+        }
+    }
+}
+
+impl Drop for CommitTicket {
+    fn drop(&mut self) {
+        if let Some(TicketInner::Window {
+            slot,
+            committer,
+            backend,
+        }) = self.inner.take()
+        {
+            let _ = committer.wait(&slot, &backend);
+        }
+    }
+}

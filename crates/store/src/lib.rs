@@ -19,6 +19,10 @@
 //! * [`fs`] — [`FsBackend`]: the durable file-system backend with an
 //!   **append-only segment journal** (O(batch) commits, torn-tail crash
 //!   recovery, auto-migration of legacy monolithic journals);
+//! * [`group`] — the cross-document **group-commit** layer: [`CommitPolicy`],
+//!   the leader/follower [`GroupCommitter`] coalescing many documents'
+//!   appends into one fsync window, and the [`CommitTicket`] handle of an
+//!   enqueued append;
 //! * [`mem`] — [`MemBackend`]: the in-process backend for tests and benches.
 //!
 //! [`DocumentStore`] is the historical name of the file-system store and
@@ -38,13 +42,15 @@ pub mod backend;
 pub mod error;
 pub mod format;
 pub mod fs;
+pub mod group;
 pub mod journal;
 pub mod mem;
 
 pub use backend::StorageBackend;
 pub use error::StoreError;
 pub use format::{parse_fuzzy_document, serialize_fuzzy_document};
-pub use fs::{FsBackend, DEFAULT_SEGMENT_ROLL_BYTES};
+pub use fs::{FsBackend, FsOptions, DEFAULT_SEGMENT_ROLL_BYTES};
+pub use group::{CommitPolicy, CommitTicket, DurabilityStats, GroupCommitter};
 pub use journal::{
     parse_batch, parse_batched_journal, parse_update, serialize_batch, serialize_batched_journal,
     serialize_update,

@@ -317,6 +317,36 @@ fn orphaned_legacy_journal_is_swept_at_open() {
     fs::remove_dir_all(dir).unwrap();
 }
 
+/// The roll kill-point: the process died immediately after an append whose
+/// record opened a *fresh* segment file. The append's fsync round syncs the
+/// store directory whenever the record rolled into a new segment, so the
+/// acknowledged batch cannot be lost to an unflushed directory entry — the
+/// new segment and every earlier one must be found and replayed at reopen.
+#[test]
+fn crash_right_after_a_roll_keeps_the_new_segment() {
+    let dir = scratch("after-roll");
+    {
+        // 1-byte roll threshold: every append ends with a just-rolled
+        // segment, the worst case for directory durability.
+        let store = FsBackend::with_segment_roll_bytes(&dir, 1).unwrap();
+        store.save_document("doc", &sample_fuzzy()).unwrap();
+        for tag in ["r0", "r1", "r2"] {
+            store.append_batch("doc", &[tagged_update(tag)]).unwrap();
+        }
+        // Dropped without checkpoint: the crash right after the last ack.
+    }
+    for seq in 0..3 {
+        assert!(
+            dir.join(format!("doc.journal.0.{seq}.seg")).exists(),
+            "segment {seq} must still have its directory entry"
+        );
+    }
+    let reopened = FsBackend::with_segment_roll_bytes(&dir, 1).unwrap();
+    assert_eq!(recovered_tags(&reopened, "doc"), vec!["r0", "r1", "r2"]);
+    assert_eq!(reopened.journal_batches("doc").unwrap(), 3);
+    fs::remove_dir_all(dir).unwrap();
+}
+
 /// The fully-written-record kill-point: the process died immediately after
 /// `append_batch` returned (fsync done). The batch is durable and must
 /// replay — the counterpart of the torn-tail discard.

@@ -40,5 +40,6 @@ pub mod warehouse;
 pub use modules::{
     run_modules, run_modules_parallel, DataCleaningModule, ExtractionModule, SourceModule,
 };
+pub use pxml_store::CommitPolicy;
 pub use session::{CompactionPolicy, Document, Session, SessionConfig, Txn};
-pub use warehouse::{Warehouse, WarehouseError, WarehouseStats};
+pub use warehouse::{AsyncCommit, Warehouse, WarehouseError, WarehouseStats};

@@ -55,10 +55,10 @@ use pxml_core::{
     UpdateTransaction,
 };
 use pxml_query::Pattern;
-use pxml_store::StorageBackend;
+use pxml_store::{CommitPolicy, StorageBackend};
 use pxml_tree::Tree;
 
-use crate::warehouse::{Warehouse, WarehouseError, WarehouseStats};
+use crate::warehouse::{AsyncCommit, Warehouse, WarehouseError, WarehouseStats};
 
 /// When the commit pipeline folds a document's journal into a fresh
 /// checkpoint (a **compaction**: the checkpoint write and the journal
@@ -100,6 +100,12 @@ pub struct SessionConfig {
     /// When the commit pipeline folds the journal into a fresh checkpoint;
     /// defaults to [`CompactionPolicy::EveryNBatches`]`(64)`.
     pub compaction: CompactionPolicy,
+    /// How the storage backend turns acknowledged commits into durable
+    /// ones: per-commit fsyncs ([`CommitPolicy::Sync`], the default) or
+    /// cross-document group commit ([`CommitPolicy::Grouped`]). Honoured by
+    /// [`Session::open`]'s file-system backend; sessions opened over an
+    /// explicit backend keep that backend's own configuration.
+    pub commit: CommitPolicy,
 }
 
 impl Default for SessionConfig {
@@ -107,6 +113,7 @@ impl Default for SessionConfig {
         SessionConfig {
             simplify: SimplifyPolicy::Inline,
             compaction: CompactionPolicy::EveryNBatches(64),
+            commit: CommitPolicy::Sync,
         }
     }
 }
@@ -249,6 +256,13 @@ impl Document {
     pub fn journal_length(&self) -> Result<usize, WarehouseError> {
         self.engine.journal_length(&self.name)
     }
+
+    /// Serialized size of the journal in bytes, the
+    /// [`CompactionPolicy::SizeThreshold`] meter — O(1) from the backend's
+    /// journal meters, like [`Document::journal_length`].
+    pub fn journal_size_bytes(&self) -> Result<u64, WarehouseError> {
+        self.engine.journal_size_bytes(&self.name)
+    }
 }
 
 /// A staged update batch against one [`Document`].
@@ -310,6 +324,24 @@ impl Txn<'_> {
         self.document
             .engine
             .commit_batch(&self.document.name, &self.staged, self.policy)
+    }
+
+    /// Commits the staged batch through the asynchronous write pipeline:
+    /// the call returns an [`AsyncCommit`] as soon as the batch is applied
+    /// and enqueued into the backend's commit window, and the handle
+    /// resolves ([`AsyncCommit::wait`], or polled via
+    /// [`AsyncCommit::is_durable`]) at the window's fsync. Under a
+    /// [`CommitPolicy::Sync`] backend the handle comes back already
+    /// resolved. See
+    /// [`Warehouse::commit_batch_async`](crate::Warehouse::commit_batch_async)
+    /// for the durability contract.
+    pub fn commit_async(self) -> Result<AsyncCommit, WarehouseError> {
+        if let Some(err) = self.error {
+            return Err(err);
+        }
+        self.document
+            .engine
+            .commit_batch_async(&self.document.name, &self.staged, self.policy)
     }
 }
 
@@ -593,6 +625,7 @@ mod tests {
             SessionConfig {
                 simplify: SimplifyPolicy::Never,
                 compaction: CompactionPolicy::SizeThreshold(1),
+                ..SessionConfig::default()
             },
         )
         .unwrap();

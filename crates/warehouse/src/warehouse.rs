@@ -59,7 +59,7 @@ use pxml_core::{
     UpdateTransaction,
 };
 use pxml_query::Pattern;
-use pxml_store::{FsBackend, StorageBackend, StoreError};
+use pxml_store::{CommitTicket, FsBackend, FsOptions, StorageBackend, StoreError};
 use pxml_tree::Tree;
 
 use crate::session::SessionConfig;
@@ -123,6 +123,13 @@ impl From<CoreError> for WarehouseError {
 }
 
 /// Running counters exposed by [`Warehouse::stats`].
+///
+/// The engine counters (updates, queries, simplifications, checkpoints) are
+/// lock-free atomics; the durability counters (fsyncs, grouped commits and
+/// windows) come from the storage backend's equally lock-free
+/// [`durability_stats`](pxml_store::StorageBackend::durability_stats)
+/// snapshot, and stay zero on backends without instrumentation (e.g.
+/// `MemBackend`).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WarehouseStats {
     /// Update transactions accepted.
@@ -133,6 +140,27 @@ pub struct WarehouseStats {
     pub simplifications: usize,
     /// Checkpoints written.
     pub checkpoints: usize,
+    /// Fsync barrier rounds the storage backend issued to its device. A
+    /// grouped window covering many documents counts **one** round — this is
+    /// the quantity group commit divides (E14 asserts it drops below the
+    /// commit count).
+    pub fsyncs: usize,
+    /// Commits acknowledged through a group-commit window.
+    pub grouped_commits: usize,
+    /// Group-commit windows flushed.
+    pub grouped_windows: usize,
+}
+
+impl WarehouseStats {
+    /// Mean commits per flushed group-commit window — the coalescing factor
+    /// achieved (0.0 before any window has flushed).
+    pub fn mean_window_occupancy(&self) -> f64 {
+        if self.grouped_windows == 0 {
+            0.0
+        } else {
+            self.grouped_commits as f64 / self.grouped_windows as f64
+        }
+    }
 }
 
 /// The engine-internal counters behind [`WarehouseStats`]: plain atomics, so
@@ -153,6 +181,7 @@ impl StatsCounters {
             queries_evaluated: self.queries_evaluated.load(Ordering::Relaxed),
             simplifications: self.simplifications.load(Ordering::Relaxed),
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            ..WarehouseStats::default()
         }
     }
 }
@@ -211,12 +240,21 @@ pub struct Warehouse {
 impl Warehouse {
     /// Opens the engine backed by the given directory through the default
     /// [`FsBackend`], recovering every stored document (checkpoint + journal
-    /// replay).
+    /// replay). The backend inherits the session's
+    /// [`CommitPolicy`](pxml_store::CommitPolicy) (`config.commit`), so
+    /// `Grouped` sessions get cross-document fsync coalescing out of the box.
     pub fn with_config(
         path: impl AsRef<Path>,
         config: SessionConfig,
     ) -> Result<Self, WarehouseError> {
-        Self::with_backend(Arc::new(FsBackend::open(path)?), config)
+        let backend = FsBackend::with_options(
+            path,
+            FsOptions {
+                commit: config.commit,
+                ..FsOptions::default()
+            },
+        )?;
+        Self::with_backend(Arc::new(backend), config)
     }
 
     /// Opens the engine over an explicit storage backend, recovering every
@@ -417,7 +455,9 @@ impl Warehouse {
             return Ok(BatchStats::default());
         }
         // Apply to a working copy first (rollback = dropping the copy), make
-        // the batch durable, then swap the new state in.
+        // the batch durable, then swap the new state in. The grouped append
+        // lets the backend share this batch's fsync with concurrent commits
+        // to other documents; on `Sync` backends it is the plain append.
         let mut working = entry.fuzzy.clone();
         let mut batch_stats = BatchStats::default();
         for update in batch {
@@ -425,7 +465,7 @@ impl Warehouse {
                 .updates
                 .push(update.apply_to_fuzzy_with(&mut working, policy)?);
         }
-        self.store.append_batch(name, batch)?;
+        self.store.append_batch_grouped(name, batch)?;
         entry.fuzzy = working;
 
         // The commit happened: record it before any maintenance can fail.
@@ -448,6 +488,65 @@ impl Warehouse {
         Ok(batch_stats)
     }
 
+    /// Commits a staged batch through the **asynchronous write pipeline**:
+    /// identical to [`Warehouse::commit_batch`] up to the journal hand-off,
+    /// but instead of blocking for the durability fsync it *enqueues* the
+    /// batch into the backend's commit window and returns an [`AsyncCommit`]
+    /// that resolves at the window's fsync. The in-memory document is
+    /// swapped before returning — the enqueue is the logical commit point —
+    /// so later reads in this process see the batch immediately.
+    ///
+    /// The durability contract is deliberately weaker than the blocking
+    /// path's, in exactly one way: a window fsync failure *after* this call
+    /// returns cannot roll the in-memory state back. The error surfaces at
+    /// [`AsyncCommit::wait`], and a restart recovers to the journal without
+    /// the batch — the same outcome as crashing before a synchronous commit
+    /// returned. Callers must not acknowledge the commit to *their* clients
+    /// until `wait` returns `Ok`.
+    ///
+    /// Post-commit maintenance (compaction) is skipped on this path: the
+    /// journal meters only settle at the fsync, and a compaction here would
+    /// force the window to flush early, defeating the coalescing. The next
+    /// blocking commit (or an explicit [`Warehouse::checkpoint`]) picks the
+    /// fold up.
+    pub fn commit_batch_async(
+        &self,
+        name: &str,
+        batch: &[UpdateTransaction],
+        policy: Option<SimplifyPolicy>,
+    ) -> Result<AsyncCommit, WarehouseError> {
+        let policy = policy.unwrap_or(self.config.simplify);
+        let slot = self.slot(name)?;
+        let mut entry = slot.write();
+        Self::check_live(&entry, name)?;
+        if batch.is_empty() {
+            return Ok(AsyncCommit {
+                stats: BatchStats::default(),
+                ticket: CommitTicket::resolved(Ok(())),
+            });
+        }
+        let mut working = entry.fuzzy.clone();
+        let mut batch_stats = BatchStats::default();
+        for update in batch {
+            batch_stats
+                .updates
+                .push(update.apply_to_fuzzy_with(&mut working, policy)?);
+        }
+        let ticket = self.store.append_batch_enqueue(name, batch);
+        entry.fuzzy = working;
+        drop(entry);
+        self.stats
+            .updates_applied
+            .fetch_add(batch.len(), Ordering::Relaxed);
+        self.stats
+            .simplifications
+            .fetch_add(batch_stats.simplify_runs(), Ordering::Relaxed);
+        Ok(AsyncCommit {
+            stats: batch_stats,
+            ticket,
+        })
+    }
+
     /// Number of journaled updates a document has accumulated since its last
     /// compaction — O(1) from the backend's journal meters.
     pub fn journal_length(&self, name: &str) -> Result<usize, WarehouseError> {
@@ -455,6 +554,16 @@ impl Warehouse {
         let entry = slot.read();
         Self::check_live(&entry, name)?;
         Ok(self.store.journal_length(name)?)
+    }
+
+    /// Serialized size of a document's journal in bytes — O(1) from the
+    /// backend's journal meters, the `CompactionPolicy::SizeThreshold`
+    /// meter.
+    pub fn journal_size_bytes(&self, name: &str) -> Result<u64, WarehouseError> {
+        let slot = self.slot(name)?;
+        let entry = slot.read();
+        Self::check_live(&entry, name)?;
+        Ok(self.store.journal_size_bytes(name)?)
     }
 
     /// Runs the simplifier on a document and persists the result as a fresh
@@ -487,9 +596,15 @@ impl Warehouse {
     }
 
     /// Running counters since the warehouse was opened. Reads atomics only —
-    /// never blocks, and never delays a commit.
+    /// never blocks, and never delays a commit. The durability counters are
+    /// folded in from the storage backend's lock-free snapshot.
     pub fn stats(&self) -> WarehouseStats {
-        self.stats.snapshot()
+        let mut stats = self.stats.snapshot();
+        let durability = self.store.durability_stats();
+        stats.fsyncs = durability.fsyncs;
+        stats.grouped_commits = durability.grouped_commits;
+        stats.grouped_windows = durability.grouped_windows;
+        stats
     }
 
     /// Test hook: runs `body` while holding `name`'s document write lock,
@@ -503,6 +618,41 @@ impl Warehouse {
         let slot = self.slot(name)?;
         let _entry = slot.write();
         Ok(body())
+    }
+}
+
+/// The in-flight handle of an asynchronous commit
+/// ([`Warehouse::commit_batch_async`] / [`crate::Txn::commit_async`]): the
+/// batch is applied in memory and enqueued in the backend's commit window;
+/// durability arrives at the window's fsync.
+///
+/// Dropping the handle without waiting still flushes the batch (the
+/// underlying ticket blocks for its window on drop), but discards the
+/// outcome — wait on it before acknowledging the commit to anyone.
+#[derive(Debug)]
+#[must_use = "an async commit is durable only once its handle resolves"]
+pub struct AsyncCommit {
+    stats: BatchStats,
+    ticket: CommitTicket,
+}
+
+impl AsyncCommit {
+    /// The per-update statistics of the (already applied) batch.
+    pub fn stats(&self) -> &BatchStats {
+        &self.stats
+    }
+
+    /// `true` once the batch's durability outcome is known — a non-blocking
+    /// poll; [`AsyncCommit::wait`] returns the outcome itself.
+    pub fn is_durable(&self) -> bool {
+        self.ticket.is_durable()
+    }
+
+    /// Blocks until the batch's window has fsync'd and returns the batch
+    /// statistics — the point at which the commit may be acknowledged.
+    pub fn wait(self) -> Result<BatchStats, WarehouseError> {
+        self.ticket.wait()?;
+        Ok(self.stats)
     }
 }
 
@@ -564,6 +714,7 @@ mod tests {
         SessionConfig {
             simplify: SimplifyPolicy::Never,
             compaction: CompactionPolicy::Never,
+            ..SessionConfig::default()
         }
     }
 
@@ -643,6 +794,7 @@ mod tests {
             SessionConfig {
                 simplify: SimplifyPolicy::Never,
                 compaction: CompactionPolicy::EveryNBatches(2),
+                ..SessionConfig::default()
             },
         )
         .unwrap();
@@ -924,6 +1076,127 @@ mod tests {
             Err(WarehouseError::UnknownDocument(_))
         ));
         assert!(!warehouse.contains("people"));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// A `Grouped` session config reaches the backend: commits land, the
+    /// durability counters flow back through `stats()`, and grouped mode
+    /// issues fewer fsync rounds than there were commits once several
+    /// writers share windows.
+    #[test]
+    fn grouped_commit_policy_threads_through_to_stats() {
+        let dir = scratch("grouped-policy");
+        let config = SessionConfig {
+            commit: pxml_store::CommitPolicy::Grouped {
+                window_max_batches: 4,
+                window_max_wait: Duration::from_millis(5),
+            },
+            ..plain_config()
+        };
+        let warehouse = std::sync::Arc::new(Warehouse::with_config(&dir, config).unwrap());
+        let docs = 4;
+        for i in 0..docs {
+            warehouse
+                .create_document(&format!("doc-{i}"), directory())
+                .unwrap();
+        }
+        let per_doc = 3;
+        let barrier = std::sync::Arc::new(Barrier::new(docs));
+        std::thread::scope(|scope| {
+            for i in 0..docs {
+                let warehouse = warehouse.clone();
+                let barrier = barrier.clone();
+                scope.spawn(move || {
+                    let name = format!("doc-{i}");
+                    barrier.wait();
+                    for _ in 0..per_doc {
+                        commit_one(&warehouse, &name, &add_phone("alice", 0.7)).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = warehouse.stats();
+        let commits = docs * per_doc;
+        assert_eq!(stats.updates_applied, commits);
+        assert_eq!(stats.grouped_commits, commits);
+        assert!(stats.grouped_windows >= 1);
+        assert!(
+            stats.fsyncs < commits + docs, // + docs: one round per initial save
+            "grouped windows must coalesce fsyncs: {} rounds for {commits} commits",
+            stats.fsyncs
+        );
+        assert!(stats.mean_window_occupancy() >= 1.0);
+        // Everything recovers: the journals hold exactly the commits.
+        let reopened = Warehouse::with_config(&dir, plain_config()).unwrap();
+        let phones = Pattern::parse("person { phone }").unwrap();
+        for i in 0..docs {
+            assert_eq!(
+                reopened.query(&format!("doc-{i}"), &phones).unwrap().len(),
+                per_doc
+            );
+        }
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// The async pipeline: `commit_batch_async` returns with the in-memory
+    /// state already swapped, and `wait` resolves at the fsync with the
+    /// batch durable in the journal.
+    #[test]
+    fn async_commit_swaps_immediately_and_resolves_durable() {
+        let dir = scratch("async-commit");
+        let config = SessionConfig {
+            commit: pxml_store::CommitPolicy::Grouped {
+                window_max_batches: 8,
+                window_max_wait: Duration::from_millis(5),
+            },
+            ..plain_config()
+        };
+        let warehouse = Warehouse::with_config(&dir, config).unwrap();
+        warehouse.create_document("people", directory()).unwrap();
+        let phones = Pattern::parse("person { phone }").unwrap();
+        let handle = warehouse
+            .commit_batch_async("people", &[add_phone("alice", 0.8)], None)
+            .unwrap();
+        // The enqueue is the logical commit point: reads see the batch now.
+        assert_eq!(warehouse.query("people", &phones).unwrap().len(), 1);
+        let stats = handle.wait().unwrap();
+        assert_eq!(stats.applied_matches(), 1);
+        assert_eq!(warehouse.stats().updates_applied, 1);
+        // Durable: a reopen replays it.
+        drop(warehouse);
+        let reopened = Warehouse::with_config(&dir, plain_config()).unwrap();
+        assert_eq!(reopened.query("people", &phones).unwrap().len(), 1);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// `commit_batch_async` on a `Sync` backend degrades cleanly: the handle
+    /// comes back already resolved.
+    #[test]
+    fn async_commit_on_sync_backend_is_preresolved() {
+        let dir = scratch("async-sync");
+        let warehouse = Warehouse::with_config(&dir, plain_config()).unwrap();
+        warehouse.create_document("people", directory()).unwrap();
+        let handle = warehouse
+            .commit_batch_async("people", &[add_phone("bob", 0.6)], None)
+            .unwrap();
+        assert!(handle.is_durable());
+        handle.wait().unwrap();
+        assert_eq!(warehouse.journal_length("people").unwrap(), 1);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn journal_size_bytes_tracks_commits() {
+        let dir = scratch("journal-size");
+        let warehouse = Warehouse::with_config(&dir, plain_config()).unwrap();
+        warehouse.create_document("people", directory()).unwrap();
+        assert_eq!(warehouse.journal_size_bytes("people").unwrap(), 0);
+        commit_one(&warehouse, "people", &add_phone("alice", 0.8)).unwrap();
+        assert!(warehouse.journal_size_bytes("people").unwrap() > 0);
+        assert!(matches!(
+            warehouse.journal_size_bytes("ghost"),
+            Err(WarehouseError::UnknownDocument(_))
+        ));
         std::fs::remove_dir_all(dir).unwrap();
     }
 

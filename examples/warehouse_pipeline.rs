@@ -23,6 +23,7 @@ fn main() {
         SessionConfig {
             simplify: SimplifyPolicy::Inline,
             compaction: CompactionPolicy::EveryNBatches(16),
+            ..SessionConfig::default()
         },
     )
     .expect("session opens");

@@ -116,9 +116,13 @@ pub mod prelude {
         Bdd, BddRef, Condition, EventId, EventTable, Formula, Literal, Valuation,
     };
     pub use pxml_query::{Axis, MatchStrategy, Pattern, QueryAnswers};
-    pub use pxml_store::{DocumentStore, FsBackend, MemBackend, StorageBackend};
+    pub use pxml_store::{
+        CommitPolicy, DocumentStore, FsBackend, FsOptions, MemBackend, StorageBackend,
+    };
     pub use pxml_tree::{parse_data_tree, write_data_tree, Label, NodeId, Tree};
-    pub use pxml_warehouse::{CompactionPolicy, Document, Session, SessionConfig, Txn, Warehouse};
+    pub use pxml_warehouse::{
+        AsyncCommit, CompactionPolicy, Document, Session, SessionConfig, Txn, Warehouse,
+    };
 }
 
 #[cfg(test)]

@@ -53,6 +53,7 @@ fn plain_config() -> SessionConfig {
     SessionConfig {
         simplify: SimplifyPolicy::Never,
         compaction: CompactionPolicy::Never,
+        ..SessionConfig::default()
     }
 }
 

@@ -82,6 +82,7 @@ fn warehouse_state_survives_crash_and_restart() {
             SessionConfig {
                 compaction: CompactionPolicy::Never,
                 simplify: SimplifyPolicy::Never,
+                ..SessionConfig::default()
             },
         )
         .unwrap();
@@ -129,6 +130,7 @@ fn recovered_state_is_semantically_identical_to_the_in_memory_one() {
         SessionConfig {
             compaction: CompactionPolicy::Never,
             simplify: SimplifyPolicy::Never,
+            ..SessionConfig::default()
         },
     )
     .unwrap();
@@ -149,6 +151,7 @@ fn recovered_state_is_semantically_identical_to_the_in_memory_one() {
         SessionConfig {
             compaction: CompactionPolicy::Never,
             simplify: SimplifyPolicy::Never,
+            ..SessionConfig::default()
         },
     )
     .unwrap();
@@ -187,6 +190,7 @@ fn simplification_keeps_warehouse_queries_stable() {
         SessionConfig {
             simplify: SimplifyPolicy::Never,
             compaction: CompactionPolicy::Never,
+            ..SessionConfig::default()
         },
     )
     .unwrap();
@@ -241,6 +245,7 @@ fn staged_batches_commit_atomically_and_recover() {
     let config = SessionConfig {
         compaction: CompactionPolicy::Never,
         simplify: SimplifyPolicy::Never,
+        ..SessionConfig::default()
     };
     {
         let session = Session::open(&dir_batched, config).unwrap();
