@@ -1,0 +1,729 @@
+//! The repo invariant linter: lexical/structural enforcement (no `syn`, no
+//! crates.io) of the concurrency rules the engine's safety rests on.
+//!
+//! Rules (all scoped to workspace sources outside `shims/`):
+//!
+//! - **`std-sync-lock`** — no `std::sync::{Mutex, RwLock, Condvar}` (or
+//!   their guard types) anywhere: blocking primitives must come from the
+//!   `parking_lot` shim so the lock-witness instruments them.
+//! - **`guard-unwrap`** — no `.unwrap()` / `.expect(` in non-test code
+//!   while a lock guard is live (either later in the same method chain as a
+//!   `.lock()`/`.read()`/`.write()`, or on a line where a `let`-bound guard
+//!   is still in scope): a panic under a lock poisons whole subsystems at
+//!   once, so lock-adjacent fallible code must surface errors instead.
+//! - **`lock-class`** — every lock construction site in non-test code must
+//!   declare its `LockClass` (`Mutex::with_class` / `RwLock::with_class`,
+//!   never bare `::new` / `::default`), so the witness's order graph stays
+//!   meaningful.
+//! - **`relaxed-protocol-atomic`** — atomics whose declaration carries a
+//!   `// lint: protocol-atomic` marker (the ones acknowledgement/admission
+//!   decisions read, e.g. the commit slot state) must never be used with
+//!   `Ordering::Relaxed` in their file.
+//!
+//! A finding on a deliberate exception is suppressed with
+//! `// lint: allow(<rule>)` on the offending line or the line above.
+//!
+//! The scanner blanks comments and string/char literals (preserving line
+//! structure), tracks brace depth to skip `#[cfg(test)]` / `#[test]`
+//! regions where a rule is test-exempt, and otherwise works line by line —
+//! deliberately simple enough to audit by eye. Known lexical limits: locks
+//! created through `Default` derives or `.or_default()` are invisible (the
+//! engine avoids both), and multi-line `let` statements are only matched on
+//! their final line.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Path relative to the linted root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (e.g. `guard-unwrap`).
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Directory names never descended into.
+const SKIPPED_DIRS: &[&str] = &["target", ".git", ".github", "benchmarks", "related"];
+
+/// Lints every `.rs` file under `root` except the `shims/` subtree (the
+/// shims implement the instrumented primitives the rules funnel everyone
+/// else towards). Files are visited in sorted order, so output is stable.
+pub fn lint_root(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rust_files(root, root, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for file in files {
+        let source = std::fs::read_to_string(root.join(&file))?;
+        let rel = file.to_string_lossy().replace('\\', "/");
+        findings.extend(lint_source(&rel, &source));
+    }
+    Ok(findings)
+}
+
+fn collect_rust_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIPPED_DIRS.contains(&name.as_ref()) || (dir == root && name == "shims") {
+                continue;
+            }
+            collect_rust_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path.strip_prefix(root).unwrap_or(&path).to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+/// Lints one file's source. `rel_path` (forward slashes, relative to the
+/// workspace root) decides the rule scoping: files under a `tests/`
+/// directory are integration tests (test-exempt rules skip them entirely),
+/// and `#[cfg(test)]` / `#[test]` regions inside any file are recognised
+/// structurally.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let is_test_file = rel_path
+        .split('/')
+        .any(|component| component == "tests" || component == "benches");
+    let blanked = blank_noncode(source);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let code_lines: Vec<&str> = blanked.lines().collect();
+    let in_test = test_regions(&code_lines);
+    let allows = allow_markers(&raw_lines);
+    let protected = protocol_atomics(&raw_lines, &code_lines);
+
+    let mut findings = Vec::new();
+    let mut guards: Vec<(String, i32)> = Vec::new();
+    let mut depth: i32 = 0;
+    let mut pending_use: Option<(usize, String)> = None;
+
+    for (index, code) in code_lines.iter().enumerate() {
+        let line = index + 1;
+        let non_test = !is_test_file && !in_test[index];
+        let allowed = |rule: &str| allows[index].iter().any(|a| a == rule);
+
+        // --- std-sync-lock (applies to tests too: nothing may bypass the
+        // instrumented shim) ---------------------------------------------
+        if let Some((start, mut text)) = pending_use.take() {
+            text.push(' ');
+            text.push_str(code);
+            if code.contains(';') {
+                if let Some(word) = banned_sync_word(&text) {
+                    if !allowed("std-sync-lock") {
+                        findings.push(Finding {
+                            file: rel_path.to_string(),
+                            line: start,
+                            rule: "std-sync-lock",
+                            message: format!(
+                                "`std::sync::{word}` is banned outside shims/ — use the \
+                                 `parking_lot` shim so the lock-witness sees it"
+                            ),
+                        });
+                    }
+                }
+            } else {
+                pending_use = Some((start, text));
+            }
+        } else if code.trim_start().starts_with("use std::sync::") && !code.contains(';') {
+            pending_use = Some((line, code.to_string()));
+        } else if let Some(word) = banned_sync_word(code) {
+            if !allowed("std-sync-lock") {
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line,
+                    rule: "std-sync-lock",
+                    message: format!(
+                        "`std::sync::{word}` is banned outside shims/ — use the \
+                         `parking_lot` shim so the lock-witness sees it"
+                    ),
+                });
+            }
+        }
+
+        // --- lock-class --------------------------------------------------
+        // (std::sync constructions are already covered by std-sync-lock.)
+        if non_test && !allowed("lock-class") && !code.contains("std::sync::") {
+            for pattern in [
+                "Mutex::new(",
+                "RwLock::new(",
+                "Mutex::default()",
+                "RwLock::default()",
+            ] {
+                if contains_ident_bounded(code, pattern) {
+                    findings.push(Finding {
+                        file: rel_path.to_string(),
+                        line,
+                        rule: "lock-class",
+                        message: format!(
+                            "unclassified lock construction `{pattern}..` — declare its \
+                             witness class with `with_class(LockClass::…, …)`"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // --- relaxed-protocol-atomic -------------------------------------
+        if code.contains("Ordering::Relaxed") && !allowed("relaxed-protocol-atomic") {
+            for name in &protected {
+                if code.contains(&format!("{name}.")) {
+                    findings.push(Finding {
+                        file: rel_path.to_string(),
+                        line,
+                        rule: "relaxed-protocol-atomic",
+                        message: format!(
+                            "protocol atomic `{name}` used with `Ordering::Relaxed` — \
+                             acknowledgement decisions need acquire/release ordering"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // --- guard-unwrap ------------------------------------------------
+        if non_test && !allowed("guard-unwrap") {
+            if let Some(guard_end) = last_guard_call_end(code) {
+                let after = &code[guard_end..];
+                if after.contains(".unwrap()") || after.contains(".expect(") {
+                    findings.push(Finding {
+                        file: rel_path.to_string(),
+                        line,
+                        rule: "guard-unwrap",
+                        message: "`.unwrap()`/`.expect(` chained behind a lock guard \
+                                  acquisition — a panic here poisons the lock's whole \
+                                  subsystem; surface an error instead"
+                            .to_string(),
+                    });
+                }
+            } else if !guards.is_empty()
+                && (code.contains(".unwrap()") || code.contains(".expect("))
+            {
+                let held: Vec<&str> = guards.iter().map(|(name, _)| name.as_str()).collect();
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line,
+                    rule: "guard-unwrap",
+                    message: format!(
+                        "`.unwrap()`/`.expect(` while lock guard{} `{}` {} live — a \
+                         panic here poisons the lock's whole subsystem; surface an \
+                         error instead",
+                        if held.len() == 1 { "" } else { "s" },
+                        held.join("`, `"),
+                        if held.len() == 1 { "is" } else { "are" },
+                    ),
+                });
+            }
+        }
+
+        // Guard bookkeeping runs for every line (a guard taken in non-test
+        // code can span into regions, and depth must stay consistent).
+        if let Some(name) = guard_binding(code) {
+            guards.push((name, depth));
+        }
+        for (open, close) in [('{', 1i32), ('}', -1i32)] {
+            depth += close * code.chars().filter(|&c| c == open).count() as i32;
+        }
+        guards.retain(|(name, creation_depth)| {
+            depth >= *creation_depth && !code.contains(&format!("drop({name})"))
+        });
+    }
+    findings
+}
+
+/// The banned `std::sync` word a line (or accumulated use statement)
+/// mentions, if any.
+fn banned_sync_word(text: &str) -> Option<&'static str> {
+    const BANNED: &[&str] = &[
+        "Mutex",
+        "MutexGuard",
+        "RwLock",
+        "RwLockReadGuard",
+        "RwLockWriteGuard",
+        "Condvar",
+    ];
+    let direct = text.contains("std::sync::");
+    let in_use_group = text.trim_start().starts_with("use std::sync::");
+    if !direct && !in_use_group {
+        return None;
+    }
+    // For a path mention the word must directly follow `std::sync::`; for a
+    // use group, any bounded occurrence after the prefix counts.
+    for word in BANNED {
+        let qualified = format!("std::sync::{word}");
+        if contains_ident_bounded(text, &qualified) {
+            return Some(word);
+        }
+        if in_use_group && contains_ident_bounded(text, word) {
+            return Some(word);
+        }
+    }
+    None
+}
+
+/// Does `text` contain `pattern` with no identifier character immediately
+/// before it (so `StdMutex::new(` does not match `Mutex::new(`, and `Mutex`
+/// does not match inside `MutexGuard` when the pattern itself ends at an
+/// identifier boundary)?
+fn contains_ident_bounded(text: &str, pattern: &str) -> bool {
+    let mut search_from = 0;
+    while let Some(found) = text[search_from..].find(pattern) {
+        let at = search_from + found;
+        let before_ok = at == 0
+            || !text[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let end = at + pattern.len();
+        let after_ok = !pattern
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            || !text[end..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        search_from = at + 1;
+    }
+    false
+}
+
+/// Byte offset just past the last `.lock()` / `.read()` / `.write()` call
+/// on the line, if any — the point after which a chained unwrap rides on a
+/// live guard.
+fn last_guard_call_end(code: &str) -> Option<usize> {
+    ["(.lock()", ".lock()", ".read()", ".write()"]
+        .iter()
+        .filter_map(|call| code.rfind(call).map(|at| at + call.len()))
+        .max()
+}
+
+/// The name bound by a `let` statement whose initialiser ends in a guard
+/// acquisition, e.g. `let mut slots = self.shard(name).slots.write();`.
+fn guard_binding(code: &str) -> Option<String> {
+    let trimmed = code.trim();
+    let rest = trimmed.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let (name, after) = rest.split_once('=')?;
+    let name = name.trim();
+    if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return None;
+    }
+    let after = after.trim_end();
+    let after = after.strip_suffix(';').unwrap_or(after).trim_end();
+    for call in [".lock()", ".read()", ".write()"] {
+        if after.ends_with(call) {
+            return Some(name.to_string());
+        }
+    }
+    None
+}
+
+/// Rules allowed per line: `// lint: allow(rule)` suppresses on its own
+/// line and the next one.
+fn allow_markers(raw_lines: &[&str]) -> Vec<Vec<String>> {
+    let mut allows: Vec<Vec<String>> = vec![Vec::new(); raw_lines.len()];
+    for (index, raw) in raw_lines.iter().enumerate() {
+        let mut rest = *raw;
+        while let Some(at) = rest.find("// lint: allow(") {
+            let after = &rest[at + "// lint: allow(".len()..];
+            if let Some(end) = after.find(')') {
+                let rule = after[..end].trim().to_string();
+                allows[index].push(rule.clone());
+                if index + 1 < allows.len() {
+                    allows[index + 1].push(rule);
+                }
+                rest = &after[end..];
+            } else {
+                break;
+            }
+        }
+    }
+    allows
+}
+
+/// Field names declared with a `// lint: protocol-atomic` marker.
+fn protocol_atomics(raw_lines: &[&str], code_lines: &[&str]) -> Vec<String> {
+    let mut names = Vec::new();
+    for (index, raw) in raw_lines.iter().enumerate() {
+        if !raw.contains("// lint: protocol-atomic") {
+            continue;
+        }
+        let code = code_lines.get(index).copied().unwrap_or("");
+        let declaration = code.trim().trim_start_matches("pub ").trim_start();
+        if let Some((name, _)) = declaration.split_once(':') {
+            let name = name.trim().trim_start_matches("pub(crate) ").trim();
+            if !name.is_empty() && name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                names.push(name.to_string());
+            }
+        }
+    }
+    names
+}
+
+/// `in_test[i]`: line `i` (0-based) lies inside a `#[cfg(test)]` module or
+/// `#[test]` function, tracked by brace depth from the attribute line.
+fn test_regions(code_lines: &[&str]) -> Vec<bool> {
+    let mut in_test = vec![false; code_lines.len()];
+    let mut depth: i32 = 0;
+    // (depth at the attribute, whether its block has opened yet)
+    let mut region: Option<(i32, bool)> = None;
+    for (index, code) in code_lines.iter().enumerate() {
+        if region.is_some() {
+            in_test[index] = true;
+        } else if code.contains("#[cfg(test)]") || code.contains("#[test]") {
+            region = Some((depth, false));
+            in_test[index] = true;
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if let Some((attr_depth, opened)) = region.as_mut() {
+                        if depth > *attr_depth {
+                            *opened = true;
+                        }
+                    }
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if let Some((attr_depth, opened)) = region {
+            if opened && depth <= attr_depth {
+                region = None;
+            }
+        }
+    }
+    in_test
+}
+
+/// Replaces comments and string/char literal contents with spaces,
+/// preserving newlines (and thus line numbers). Raw strings, escapes and
+/// lifetimes are handled; the goal is that rule patterns never match inside
+/// text.
+fn blank_noncode(source: &str) -> String {
+    #[derive(PartialEq)]
+    enum Mode {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let mut out = String::with_capacity(source.len());
+    let bytes: Vec<char> = source.chars().collect();
+    let mut mode = Mode::Code;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match mode {
+            Mode::Code => match c {
+                '/' if next == Some('/') => {
+                    mode = Mode::LineComment;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    mode = Mode::BlockComment(1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                }
+                '"' => {
+                    mode = Mode::Str;
+                    out.push('"');
+                    i += 1;
+                }
+                'r' | 'b' if is_raw_string_start(&bytes, i) => {
+                    let (hashes, consumed) = raw_string_open(&bytes, i);
+                    mode = Mode::RawStr(hashes);
+                    for _ in 0..consumed {
+                        out.push(' ');
+                    }
+                    i += consumed;
+                }
+                '\'' => {
+                    // Char literal vs lifetime: a literal is 'x' or '\…'.
+                    if next == Some('\\') || matches!(bytes.get(i + 2), Some('\'')) {
+                        mode = Mode::Char;
+                        out.push('\'');
+                        i += 1;
+                    } else {
+                        out.push('\'');
+                        i += 1;
+                    }
+                }
+                _ => {
+                    out.push(c);
+                    i += 1;
+                }
+            },
+            Mode::LineComment => {
+                if c == '\n' {
+                    mode = Mode::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            Mode::Str => match c {
+                '\\' => {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                '"' => {
+                    mode = Mode::Code;
+                    out.push('"');
+                    i += 1;
+                }
+                '\n' => {
+                    out.push('\n');
+                    i += 1;
+                }
+                _ => {
+                    out.push(' ');
+                    i += 1;
+                }
+            },
+            Mode::RawStr(hashes) => {
+                if c == '"' && raw_string_closes(&bytes, i, hashes) {
+                    mode = Mode::Code;
+                    for _ in 0..=hashes {
+                        out.push(' ');
+                    }
+                    i += 1 + hashes;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            Mode::Char => match c {
+                '\\' => {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    mode = Mode::Code;
+                    out.push('\'');
+                    i += 1;
+                }
+                _ => {
+                    out.push(' ');
+                    i += 1;
+                }
+            },
+        }
+    }
+    out
+}
+
+/// Is `r"`, `r#"`, `br"` or `br#"` starting at `i`?
+fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
+    let mut j = i;
+    if bytes.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&'"')
+}
+
+/// Hash count and consumed prefix length of a raw string opener at `i`.
+fn raw_string_open(bytes: &[char], i: usize) -> (usize, usize) {
+    let mut j = i;
+    if bytes.get(j) == Some(&'b') {
+        j += 1;
+    }
+    j += 1; // the `r`
+    let mut hashes = 0;
+    while bytes.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // the opening quote
+    (hashes, j - i)
+}
+
+/// Does the `"` at `i` close a raw string with `hashes` hashes?
+fn raw_string_closes(bytes: &[char], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| bytes.get(i + k) == Some(&'#'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn std_sync_lock_is_flagged() {
+        let source = "use std::sync::Mutex;\nfn f() { let m = std::sync::RwLock::new(0); }\n";
+        let findings = lint_source("crates/x/src/lib.rs", source);
+        assert_eq!(rules(&findings), vec!["std-sync-lock", "std-sync-lock"]);
+        assert_eq!(findings[0].line, 1);
+        assert_eq!(findings[1].line, 2);
+    }
+
+    #[test]
+    fn std_sync_use_group_is_flagged_even_multiline() {
+        let source = "use std::sync::{\n    atomic::AtomicUsize,\n    Mutex,\n};\n";
+        let findings = lint_source("crates/x/src/lib.rs", source);
+        assert_eq!(rules(&findings), vec!["std-sync-lock"]);
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn std_sync_arc_and_atomics_are_fine() {
+        let source =
+            "use std::sync::Arc;\nuse std::sync::atomic::{AtomicUsize, Ordering};\nuse std::sync::mpsc;\n";
+        assert!(lint_source("crates/x/src/lib.rs", source).is_empty());
+    }
+
+    #[test]
+    fn chained_guard_unwrap_is_flagged() {
+        let source =
+            "fn f(m: &parking_lot::Mutex<Option<u32>>) -> u32 {\n    m.lock().unwrap()\n}\n";
+        let findings = lint_source("crates/x/src/lib.rs", source);
+        assert_eq!(rules(&findings), vec!["guard-unwrap"]);
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn unwrap_under_live_let_guard_is_flagged() {
+        let source =
+            "fn f() {\n    let mut meta = self.meta.lock();\n    let v = thing().unwrap();\n}\n";
+        let findings = lint_source("crates/x/src/lib.rs", source);
+        assert_eq!(rules(&findings), vec!["guard-unwrap"]);
+        assert_eq!(findings[0].line, 3);
+    }
+
+    #[test]
+    fn unwrap_after_guard_scope_or_drop_is_fine() {
+        let source = "fn f() {\n    {\n        let g = m.lock();\n        use_it(&g);\n    }\n    thing().unwrap();\n}\nfn g() {\n    let g = m.lock();\n    drop(g);\n    thing().unwrap();\n}\n";
+        assert!(lint_source("crates/x/src/lib.rs", source).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine_under_guards() {
+        let source =
+            "fn f() {\n    let g = m.lock();\n    let v = g.value.unwrap_or_else(|| 3);\n    let w = g.other.unwrap_or(7);\n}\n";
+        assert!(lint_source("crates/x/src/lib.rs", source).is_empty());
+    }
+
+    #[test]
+    fn guard_unwrap_skips_tests_and_test_files() {
+        let in_test_mod =
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let g = m.lock();\n        thing().unwrap();\n    }\n}\n";
+        assert!(lint_source("crates/x/src/lib.rs", in_test_mod).is_empty());
+        let test_file = "fn helper() {\n    let g = m.lock();\n    thing().unwrap();\n}\n";
+        assert!(lint_source("crates/x/tests/it.rs", test_file).is_empty());
+    }
+
+    #[test]
+    fn unclassified_lock_construction_is_flagged() {
+        let source = "fn f() {\n    let m = Mutex::new(0);\n    let l = RwLock::default();\n}\n";
+        let findings = lint_source("crates/x/src/lib.rs", source);
+        assert_eq!(rules(&findings), vec!["lock-class", "lock-class"]);
+    }
+
+    #[test]
+    fn with_class_construction_is_fine() {
+        let source = "fn f() {\n    let m = Mutex::with_class(LockClass::Journal, 0);\n}\n";
+        assert!(lint_source("crates/x/src/lib.rs", source).is_empty());
+    }
+
+    #[test]
+    fn relaxed_protocol_atomic_is_flagged() {
+        let source = "struct S {\n    state: AtomicU8, // lint: protocol-atomic\n}\nfn f(s: &S) {\n    s.state.load(Ordering::Relaxed);\n}\n";
+        let findings = lint_source("crates/x/src/lib.rs", source);
+        assert_eq!(rules(&findings), vec!["relaxed-protocol-atomic"]);
+        assert_eq!(findings[0].line, 5);
+    }
+
+    #[test]
+    fn acquire_release_protocol_atomic_is_fine() {
+        let source = "struct S {\n    state: AtomicU8, // lint: protocol-atomic\n    counter: AtomicUsize,\n}\nfn f(s: &S) {\n    s.state.load(Ordering::Acquire);\n    s.counter.fetch_add(1, Ordering::Relaxed);\n}\n";
+        assert!(lint_source("crates/x/src/lib.rs", source).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_suppresses_on_line_and_next() {
+        let source =
+            "fn f() {\n    // lint: allow(lock-class)\n    let m = Mutex::new(0);\n    let l = Mutex::new(1); // lint: allow(lock-class)\n}\n";
+        assert!(lint_source("crates/x/src/lib.rs", source).is_empty());
+    }
+
+    #[test]
+    fn patterns_inside_strings_and_comments_do_not_match() {
+        let source = "fn f() {\n    let s = \"std::sync::Mutex::new(.lock().unwrap())\";\n    // std::sync::Mutex in prose, Mutex::new( too\n    let r = r#\"RwLock::default() .lock().expect(\"#;\n}\n";
+        assert!(lint_source("crates/x/src/lib.rs", source).is_empty());
+    }
+
+    #[test]
+    fn shadowed_std_mutex_prefix_is_not_a_lock_class_finding() {
+        // `StdMutex::new(` must not match the `Mutex::new(` pattern.
+        let source = "fn f() {\n    let m = StdMutex::new(0);\n}\n";
+        assert!(lint_source("crates/x/src/lib.rs", source).is_empty());
+    }
+}

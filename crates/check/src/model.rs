@@ -1,0 +1,433 @@
+//! A faithful small-state model of the store's `GroupCommitter` protocol
+//! (`crates/store/src/group.rs`) for the mini-loom schedule explorer.
+//!
+//! Each committing thread is a little program counter over the protocol's
+//! observable steps — enqueue, take leadership, fill-wait, drain, write
+//! records, fsync, complete slots, release, observe the ack — and the shared
+//! state mirrors the real `Window`: the pending queue, the single active
+//! leader, the idle-fast-path concurrency hint, plus a per-document journal
+//! split into a durable prefix (fsynced) and a volatile tail (written, not
+//! yet covered by an fsync round).
+//!
+//! # Crash semantics
+//!
+//! Crashes are not explicit transitions: the durability contract — *ack ⇒
+//! the member's window was fsynced*, and *crash before the window fsync ⇒
+//! all its members are discarded by recovery* — is equivalent to the state
+//! invariant "every acknowledged commit lies inside its document's durable
+//! journal prefix", checked at **every** reachable state. Recovery keeps
+//! exactly the durable prefix (torn volatile tails are truncated away), so a
+//! violation at any state is precisely a crash point where a client held an
+//! ack for a batch recovery would drop.
+//!
+//! The `bug_ack_before_fsync` flag models the classic group-commit bug
+//! (acknowledging members when their records are written rather than when
+//! the window is fsynced); the explorer's self-tests assert the invariant
+//! machinery actually catches it.
+
+/// Index of a modeled document.
+pub type DocId = usize;
+
+/// Identity of one commit: `(thread, k-th commit of that thread)`.
+pub type CommitId = (usize, usize);
+
+/// One bounded-interleaving scenario for the explorer.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    pub name: &'static str,
+    /// `threads[t]` = the documents thread `t` commits to, in program order.
+    pub threads: Vec<Vec<DocId>>,
+    /// Number of distinct documents (`DocId`s in `threads` must be < this).
+    pub docs: usize,
+    /// The committer's `window_max_batches`.
+    pub window_max: usize,
+    /// Mirrors `FsOptions::group_fill_idle_windows`: solo leaders fill-wait
+    /// too instead of taking the idle fast-path.
+    pub fill_idle: bool,
+    /// Seeded bug: the leader acknowledges its window without an fsync
+    /// round, breaking "ack ⇒ durable". For explorer self-tests only.
+    pub bug_ack_before_fsync: bool,
+}
+
+impl Scenario {
+    pub fn total_commits(&self) -> usize {
+        self.threads.iter().map(Vec::len).sum()
+    }
+}
+
+/// One thread's position in the protocol.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Pc {
+    /// Between commits; `next` is the next program-order commit to enqueue.
+    Idle { next: usize },
+    /// Enqueued commit `commit`, waiting for an ack or for leadership.
+    Waiting { commit: usize },
+    /// Leader holding the window open for more members (the fill-wait).
+    Filling { commit: usize },
+    /// Leader writing its drained window's records; `write_idx` is the next
+    /// member to write.
+    Writing { commit: usize, write_idx: usize },
+    /// Leader whose window is fully written and (unless the seeded bug is
+    /// armed) fsynced; about to complete the member slots.
+    Synced { commit: usize },
+    /// Leader that completed every slot; about to give up leadership.
+    Releasing { commit: usize },
+    /// All program-order commits acknowledged.
+    Done,
+}
+
+/// One protocol step a thread can take (the explorer's transition alphabet).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Step {
+    /// Push the next commit into the pending queue.
+    Enqueue,
+    /// Take leadership; with the idle fast-path this may drain immediately.
+    Lead,
+    /// The fill-wait ends (deadline, full window, or spurious wake): drain.
+    FillTimeout,
+    /// Write one window member's record (volatile until the fsync round).
+    WriteNext,
+    /// The shared fsync round: every written record becomes durable.
+    FsyncRound,
+    /// Acknowledge every member slot of the flushed window.
+    CompleteSlots,
+    /// Give up leadership and wake the followers.
+    Release,
+    /// A waiter observes its completed slot and moves on.
+    ObserveAck,
+}
+
+/// The full model state: thread program counters plus the shared window and
+/// per-document journals. `Hash`/`Eq` drive the explorer's memoization.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct State {
+    pc: Vec<Pc>,
+    /// The open window's enqueued members, in enqueue order.
+    pending: Vec<(CommitId, DocId)>,
+    /// The drained window the leader is flushing.
+    window: Vec<(CommitId, DocId)>,
+    leader: Option<usize>,
+    /// The committer's concurrency hint gating the idle fast-path.
+    hint: bool,
+    /// Per-document journal: every written record, in write order
+    /// (volatile tail included).
+    journal: Vec<Vec<CommitId>>,
+    /// Per-document length of the durable (fsynced) journal prefix.
+    durable: Vec<usize>,
+    /// `acked[t][k]`: thread `t`'s `k`-th commit has been acknowledged.
+    acked: Vec<Vec<bool>>,
+    /// Ground truth for the order invariant: per-document enqueue order.
+    enqueue_order: Vec<Vec<CommitId>>,
+}
+
+impl State {
+    pub fn initial(scenario: &Scenario) -> State {
+        State {
+            pc: scenario
+                .threads
+                .iter()
+                .map(|commits| {
+                    if commits.is_empty() {
+                        Pc::Done
+                    } else {
+                        Pc::Idle { next: 0 }
+                    }
+                })
+                .collect(),
+            pending: Vec::new(),
+            window: Vec::new(),
+            leader: None,
+            hint: false,
+            journal: vec![Vec::new(); scenario.docs],
+            durable: vec![0; scenario.docs],
+            acked: scenario
+                .threads
+                .iter()
+                .map(|commits| vec![false; commits.len()])
+                .collect(),
+            enqueue_order: vec![Vec::new(); scenario.docs],
+        }
+    }
+
+    pub fn is_terminal(&self) -> bool {
+        self.pc.iter().all(|pc| *pc == Pc::Done)
+    }
+
+    /// Every step every thread could take from this state. Thread order is
+    /// deterministic, so explorer runs are reproducible.
+    pub fn enabled(&self, scenario: &Scenario) -> Vec<(usize, Step)> {
+        let mut moves = Vec::new();
+        for (t, pc) in self.pc.iter().enumerate() {
+            match *pc {
+                Pc::Idle { next } => {
+                    debug_assert!(next < scenario.threads[t].len());
+                    moves.push((t, Step::Enqueue));
+                }
+                Pc::Waiting { commit } => {
+                    if self.acked[t][commit] {
+                        moves.push((t, Step::ObserveAck));
+                    } else if self.leader.is_none() {
+                        // A follower with an active leader is blocked: it
+                        // sleeps until the leader's release notification.
+                        moves.push((t, Step::Lead));
+                    }
+                }
+                Pc::Filling { .. } => moves.push((t, Step::FillTimeout)),
+                Pc::Writing { write_idx, .. } => {
+                    if write_idx < self.window.len() {
+                        moves.push((t, Step::WriteNext));
+                    } else {
+                        moves.push((t, Step::FsyncRound));
+                    }
+                }
+                Pc::Synced { .. } => moves.push((t, Step::CompleteSlots)),
+                Pc::Releasing { .. } => moves.push((t, Step::Release)),
+                Pc::Done => {}
+            }
+        }
+        moves
+    }
+
+    /// Drains the pending queue into the leader's window, maintaining the
+    /// concurrency hint exactly like `GroupCommitter::wait` does.
+    fn drain(&mut self, scenario: &Scenario, after_fill: bool) {
+        if after_fill && self.pending.len() == 1 && !scenario.fill_idle {
+            self.hint = false;
+        }
+        self.window = std::mem::take(&mut self.pending);
+    }
+
+    /// The successor state after thread `t` takes `step`. Steps mirror the
+    /// real protocol's critical sections: everything inside one step happens
+    /// under the window mutex (or is thread-local), everything across steps
+    /// can interleave.
+    pub fn apply(&self, scenario: &Scenario, t: usize, step: Step) -> State {
+        let mut next = self.clone();
+        match (step, self.pc[t].clone()) {
+            (Step::Enqueue, Pc::Idle { next: k }) => {
+                let doc = scenario.threads[t][k];
+                if next.leader.is_some() || !next.pending.is_empty() {
+                    next.hint = true;
+                }
+                next.pending.push(((t, k), doc));
+                next.enqueue_order[doc].push((t, k));
+                next.pc[t] = Pc::Waiting { commit: k };
+            }
+            (Step::Lead, Pc::Waiting { commit }) => {
+                next.leader = Some(t);
+                let fill = scenario.fill_idle || next.hint || next.pending.len() > 1;
+                if fill {
+                    next.pc[t] = Pc::Filling { commit };
+                } else {
+                    // Idle fast-path: leadership take and drain are one
+                    // critical section, like the real committer.
+                    next.drain(scenario, false);
+                    next.pc[t] = Pc::Writing {
+                        commit,
+                        write_idx: 0,
+                    };
+                }
+            }
+            (Step::FillTimeout, Pc::Filling { commit }) => {
+                next.drain(scenario, true);
+                next.pc[t] = Pc::Writing {
+                    commit,
+                    write_idx: 0,
+                };
+            }
+            (Step::WriteNext, Pc::Writing { commit, write_idx }) => {
+                let (id, doc) = self.window[write_idx];
+                next.journal[doc].push(id);
+                next.pc[t] = Pc::Writing {
+                    commit,
+                    write_idx: write_idx + 1,
+                };
+            }
+            (Step::FsyncRound, Pc::Writing { commit, .. }) => {
+                if !scenario.bug_ack_before_fsync {
+                    // One shared round covers every file the window touched.
+                    for &(_, doc) in &self.window {
+                        next.durable[doc] = next.journal[doc].len();
+                    }
+                }
+                next.pc[t] = Pc::Synced { commit };
+            }
+            (Step::CompleteSlots, Pc::Synced { commit }) => {
+                for &((thread, k), _) in &self.window {
+                    next.acked[thread][k] = true;
+                }
+                next.window.clear();
+                next.pc[t] = Pc::Releasing { commit };
+            }
+            (Step::Release, Pc::Releasing { commit }) => {
+                next.leader = None;
+                next.pc[t] = Pc::Waiting { commit };
+            }
+            (Step::ObserveAck, Pc::Waiting { commit }) => {
+                let following = commit + 1;
+                next.pc[t] = if following < scenario.threads[t].len() {
+                    Pc::Idle { next: following }
+                } else {
+                    Pc::Done
+                };
+            }
+            (step, pc) => unreachable!("step {step:?} not enabled at pc {pc:?}"),
+        }
+        next
+    }
+
+    /// Checks the safety invariants; `Some(description)` on the first
+    /// violation. Called at every reachable state (see the module docs for
+    /// why that subsumes crash-point enumeration).
+    pub fn check(&self, scenario: &Scenario) -> Option<String> {
+        // I1 — durability: ack ⇒ the commit's record lies in its document's
+        // durable (fsynced) journal prefix.
+        for (t, acks) in self.acked.iter().enumerate() {
+            for (k, &acked) in acks.iter().enumerate() {
+                if !acked {
+                    continue;
+                }
+                let doc = scenario.threads[t][k];
+                let position = self.journal[doc].iter().position(|&id| id == (t, k));
+                match position {
+                    Some(index) if index < self.durable[doc] => {}
+                    Some(_) => {
+                        return Some(format!(
+                            "commit {t}:{k} acknowledged but its record in doc {doc} \
+                             is not durable (crash here loses an acked commit)"
+                        ));
+                    }
+                    None => {
+                        return Some(format!(
+                            "commit {t}:{k} acknowledged but never written to doc {doc}"
+                        ));
+                    }
+                }
+            }
+        }
+        // I2 — per-document order: the journal (volatile tail included) is
+        // exactly a prefix of the document's enqueue order.
+        for doc in 0..scenario.docs {
+            let written = &self.journal[doc];
+            if written.as_slice() != &self.enqueue_order[doc][..written.len()] {
+                return Some(format!(
+                    "doc {doc} journal order {written:?} diverges from enqueue order \
+                     {:?}",
+                    self.enqueue_order[doc]
+                ));
+            }
+            if self.durable[doc] > written.len() {
+                return Some(format!(
+                    "doc {doc} durable prefix {} exceeds journal length {}",
+                    self.durable[doc],
+                    written.len()
+                ));
+            }
+        }
+        // I3 — leadership: a drained-but-unflushed window implies an active
+        // leader, and the leader's pc is a leader phase.
+        if !self.window.is_empty() && self.leader.is_none() {
+            return Some("drained window with no active leader".to_string());
+        }
+        if let Some(leader) = self.leader {
+            if !matches!(
+                self.pc[leader],
+                Pc::Filling { .. } | Pc::Writing { .. } | Pc::Synced { .. } | Pc::Releasing { .. }
+            ) {
+                return Some(format!(
+                    "leader thread {leader} is not in a leader phase ({:?})",
+                    self.pc[leader]
+                ));
+            }
+        }
+        // I4 — terminal completeness: everyone done ⇒ everything acked,
+        // durable, and journals complete.
+        if self.is_terminal() {
+            if !self.acked.iter().flatten().all(|&a| a) {
+                return Some("terminal state with an unacknowledged commit".to_string());
+            }
+            for doc in 0..scenario.docs {
+                if self.journal[doc] != self.enqueue_order[doc]
+                    || self.durable[doc] != self.journal[doc].len()
+                {
+                    return Some(format!(
+                        "terminal state but doc {doc} journal is incomplete or not \
+                         fully durable"
+                    ));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario() -> Scenario {
+        Scenario {
+            name: "unit",
+            threads: vec![vec![0], vec![0]],
+            docs: 1,
+            window_max: 2,
+            fill_idle: false,
+            bug_ack_before_fsync: false,
+        }
+    }
+
+    #[test]
+    fn lone_commit_fast_paths_to_done() {
+        let sc = Scenario {
+            threads: vec![vec![0]],
+            ..scenario()
+        };
+        let mut state = State::initial(&sc);
+        for step in [
+            Step::Enqueue,
+            Step::Lead,
+            Step::WriteNext,
+            Step::FsyncRound,
+            Step::CompleteSlots,
+            Step::Release,
+            Step::ObserveAck,
+        ] {
+            assert!(state.enabled(&sc).contains(&(0, step)), "expected {step:?}");
+            state = state.apply(&sc, 0, step);
+            assert_eq!(state.check(&sc), None);
+        }
+        assert!(state.is_terminal());
+    }
+
+    #[test]
+    fn second_enqueue_sets_the_concurrency_hint() {
+        let sc = scenario();
+        let state = State::initial(&sc);
+        let state = state.apply(&sc, 0, Step::Enqueue);
+        assert!(!state.hint);
+        let state = state.apply(&sc, 1, Step::Enqueue);
+        assert!(
+            state.hint,
+            "enqueue into an occupied window must set the hint"
+        );
+        // With two pending members the leader fill-waits instead of
+        // fast-pathing.
+        let state = state.apply(&sc, 0, Step::Lead);
+        assert!(matches!(state.pc[0], Pc::Filling { .. }));
+    }
+
+    #[test]
+    fn followers_are_blocked_while_a_leader_is_active() {
+        let sc = scenario();
+        let state = State::initial(&sc)
+            .apply(&sc, 0, Step::Enqueue)
+            .apply(&sc, 0, Step::Lead)
+            .apply(&sc, 1, Step::Enqueue);
+        // Thread 1 enqueued while thread 0 leads: it has no enabled step.
+        assert_eq!(
+            state.enabled(&sc),
+            vec![(0, Step::WriteNext)],
+            "only the leader may move"
+        );
+    }
+}

@@ -67,7 +67,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use parking_lot::{LockClass, Mutex};
 use pxml_core::{FuzzyTree, UpdateTransaction};
 
 use crate::backend::StorageBackend;
@@ -134,6 +134,13 @@ pub struct FsOptions {
     /// the protocol rather than the page cache of the build machine.
     /// `Duration::ZERO` (the default) disables the model entirely.
     pub simulated_sync_latency: Duration,
+    /// Deliberate-window mode for tests and benchmarks of the grouped
+    /// policy: when `true`, a solo window leader waits out the fill window
+    /// (`window_max_wait`) even with no sign of concurrent committers,
+    /// instead of taking the idle fast-path that fsyncs a lone append
+    /// immediately (see [`GroupCommitter`]'s module docs). `false` (the
+    /// default) is what production sessions want.
+    pub group_fill_idle_windows: bool,
 }
 
 impl Default for FsOptions {
@@ -142,6 +149,7 @@ impl Default for FsOptions {
             segment_roll_bytes: DEFAULT_SEGMENT_ROLL_BYTES,
             commit: CommitPolicy::default(),
             simulated_sync_latency: Duration::ZERO,
+            group_fill_idle_windows: false,
         }
     }
 }
@@ -251,16 +259,20 @@ impl FsBackend {
             } => Some(Arc::new(GroupCommitter::new(
                 window_max_batches,
                 window_max_wait,
+                options.group_fill_idle_windows,
             ))),
         };
         let backend = FsBackend {
             root,
             roll_bytes: options.segment_roll_bytes.max(1),
-            metas: Arc::new(Mutex::new(HashMap::new())),
+            metas: Arc::new(Mutex::with_class(
+                LockClass::JournalRegistry,
+                HashMap::new(),
+            )),
             group,
             device: Arc::new(Device {
                 latency: options.simulated_sync_latency,
-                gate: Mutex::new(()),
+                gate: Mutex::with_class(LockClass::Device, ()),
             }),
             counters: Arc::new(SyncCounters::default()),
         };
@@ -390,7 +402,7 @@ impl FsBackend {
         self.metas
             .lock()
             .entry(name.to_string())
-            .or_default()
+            .or_insert_with(|| Arc::new(Mutex::with_class(LockClass::Journal, DocMeta::default())))
             .clone()
     }
 
@@ -598,9 +610,9 @@ impl FsBackend {
         for path in self.current_segment_paths(name, &meta) {
             let bytes = fs::read(&path)?;
             let mut offset = 0usize;
-            while let Some((payload, next)) = sound_record(&bytes, offset) {
-                batches.push(parse_batch(payload)?);
-                offset = next;
+            while let Some(record) = sound_record(&bytes, offset) {
+                batches.push(parse_batch(record.payload)?);
+                offset = record.next;
             }
         }
         Ok(batches)
@@ -749,7 +761,13 @@ impl FsBackend {
         let mut open_segments: HashMap<(String, u64), ()> = HashMap::new();
         let mut fresh_segment = false;
         for name in order {
-            let members = by_doc.remove(&name).expect("grouped by name");
+            // `order` holds each name once and `by_doc` was keyed from the
+            // same members, so a miss can only mean the grouping above went
+            // wrong — skip the name rather than panic with slots unresolved
+            // (their tickets would surface the stall as a hang otherwise).
+            let Some(members) = by_doc.remove(&name) else {
+                continue;
+            };
             let meta = self.meta(&name);
             let mut meta = meta.lock();
             let precheck = self.ensure_loaded(&name, &mut meta).and_then(|()| {
@@ -975,20 +993,35 @@ fn encode_record(batch: &[UpdateTransaction]) -> Vec<u8> {
     record
 }
 
+/// One whole record decoded from a segment.
+struct SoundRecord<'a> {
+    payload: &'a str,
+    /// The header's update count — how many journaled updates the batch
+    /// carries.
+    updates: u32,
+    /// Offset just past the record, where the next one starts.
+    next: usize,
+}
+
 /// The sound record starting at `offset`, or `None` when the remaining bytes
 /// are empty or torn (short header / short payload).
-fn sound_record(bytes: &[u8], offset: usize) -> Option<(&str, usize)> {
+fn sound_record(bytes: &[u8], offset: usize) -> Option<SoundRecord<'_>> {
     let header_end = offset.checked_add(RECORD_HEADER_BYTES as usize)?;
     if header_end > bytes.len() {
         return None;
     }
-    let payload_len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().ok()?) as usize;
+    let payload_len = u32::from_le_bytes(bytes.get(offset..offset + 4)?.try_into().ok()?) as usize;
+    let updates = u32::from_le_bytes(bytes.get(offset + 4..offset + 8)?.try_into().ok()?);
     let payload_end = header_end.checked_add(payload_len)?;
     if payload_end > bytes.len() {
         return None;
     }
     let payload = std::str::from_utf8(&bytes[header_end..payload_end]).ok()?;
-    Some((payload, payload_end))
+    Some(SoundRecord {
+        payload,
+        updates,
+        next: payload_end,
+    })
 }
 
 /// One segment's header walk: record/update counts and the byte length of
@@ -1016,12 +1049,13 @@ fn scan_segment(path: &Path, tail: bool) -> Result<SegmentScan, StoreError> {
     let mut offset = 0usize;
     while offset < bytes.len() {
         match sound_record(&bytes, offset) {
-            Some((_, next)) => {
-                let updates =
-                    u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
+            // The record decodes its own update count, so the header is
+            // never re-sliced here (the old re-slice panicked on a torn
+            // header instead of reporting corruption through `StoreError`).
+            Some(record) => {
                 scan.batches += 1;
-                scan.updates += updates as usize;
-                offset = next;
+                scan.updates += record.updates as usize;
+                offset = record.next;
                 scan.sound_bytes = offset as u64;
             }
             None if tail => {

@@ -29,11 +29,25 @@
 //! The committer runs without a background thread: leadership is taken at
 //! wait time by whichever committer arrives first, so an idle store costs
 //! nothing and process exit cannot strand a flusher thread.
+//!
+//! # Idle fast-path
+//!
+//! A leader whose window holds a single batch and has seen no evidence of
+//! concurrent committers — no second pending append, no enqueue racing a
+//! previous window — drains immediately instead of waiting out
+//! `window_max_wait`: a sequential writer pays sync-path latency, not one
+//! fill timeout per commit. The first sign of concurrency (an enqueue that
+//! finds the window occupied or a leader mid-flush) re-arms the fill-wait so
+//! racing committers coalesce again; a fill-wait that still drains solo
+//! disarms it. Tests that need a deliberately held-open window opt out via
+//! [`FsOptions::group_fill_idle_windows`](crate::FsOptions).
 
 use std::fmt;
 use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, LockClass, Mutex, MutexGuard};
 
 use pxml_core::UpdateTransaction;
 
@@ -114,7 +128,9 @@ const SLOT_ERR: u8 = 2;
 /// One enqueued batch's completion state, shared between its ticket holder
 /// and the window leader that flushes it.
 pub(crate) struct CommitSlot {
-    state: AtomicU8,
+    /// The atomic the acknowledgement decision reads: acquire/release only,
+    /// so the record write happens-before the ack.
+    state: AtomicU8, // lint: protocol-atomic
     error: Mutex<Option<String>>,
 }
 
@@ -122,7 +138,7 @@ impl CommitSlot {
     fn new() -> Arc<Self> {
         Arc::new(CommitSlot {
             state: AtomicU8::new(SLOT_PENDING),
-            error: Mutex::new(None),
+            error: Mutex::with_class(LockClass::CommitSlot, None),
         })
     }
 
@@ -135,7 +151,7 @@ impl CommitSlot {
     /// Marks the slot failed, carrying the failure message (StoreError is
     /// not clonable, so per-slot outcomes travel as text).
     pub(crate) fn complete_err(&self, message: String) {
-        *self.error.lock().unwrap_or_else(|e| e.into_inner()) = Some(message);
+        *self.error.lock() = Some(message);
         self.state.store(SLOT_ERR, Ordering::Release);
     }
 
@@ -147,7 +163,6 @@ impl CommitSlot {
         let message = self
             .error
             .lock()
-            .unwrap_or_else(|e| e.into_inner())
             .take()
             .unwrap_or_else(|| "group-commit window failed".to_string());
         StoreError::Io(std::io::Error::other(message))
@@ -173,6 +188,11 @@ struct Window {
     /// When the oldest pending append was enqueued — the clock the leader's
     /// `window_max_wait` deadline runs against.
     opened_at: Option<Instant>,
+    /// Evidence of concurrent committers: set when an enqueue finds the
+    /// window already occupied or a leader mid-flush, cleared when a full
+    /// fill-wait still drains a solo window. Gates the idle fast-path (see
+    /// the module docs).
+    concurrency_hint: bool,
 }
 
 /// The leader/follower group committer of one [`FsBackend`] (see the module
@@ -184,6 +204,9 @@ struct Window {
 pub struct GroupCommitter {
     window_max_batches: usize,
     window_max_wait: Duration,
+    /// Deliberate-window mode: solo leaders fill-wait too, instead of taking
+    /// the idle fast-path (see [`crate::FsOptions::group_fill_idle_windows`]).
+    fill_idle_windows: bool,
     window: Mutex<Window>,
     wakeup: Condvar,
 }
@@ -198,21 +221,30 @@ impl fmt::Debug for GroupCommitter {
 }
 
 impl GroupCommitter {
-    pub(crate) fn new(window_max_batches: usize, window_max_wait: Duration) -> Self {
+    pub(crate) fn new(
+        window_max_batches: usize,
+        window_max_wait: Duration,
+        fill_idle_windows: bool,
+    ) -> Self {
         GroupCommitter {
             window_max_batches: window_max_batches.max(1),
             window_max_wait,
-            window: Mutex::new(Window {
-                pending: Vec::new(),
-                leader_active: false,
-                opened_at: None,
-            }),
+            fill_idle_windows,
+            window: Mutex::with_class(
+                LockClass::GroupCommitter,
+                Window {
+                    pending: Vec::new(),
+                    leader_active: false,
+                    opened_at: None,
+                    concurrency_hint: false,
+                },
+            ),
             wakeup: Condvar::new(),
         }
     }
 
     fn lock(&self) -> MutexGuard<'_, Window> {
-        self.window.lock().unwrap_or_else(|e| e.into_inner())
+        self.window.lock()
     }
 
     /// Enqueues a batch into the open window and returns its slot. The
@@ -221,6 +253,11 @@ impl GroupCommitter {
     pub(crate) fn enqueue(&self, name: &str, batch: &[UpdateTransaction]) -> Arc<CommitSlot> {
         let slot = CommitSlot::new();
         let mut window = self.lock();
+        if window.leader_active || !window.pending.is_empty() {
+            // Someone else is committing right now: re-arm the fill-wait so
+            // the racing appends coalesce into shared windows.
+            window.concurrency_hint = true;
+        }
         if window.opened_at.is_none() {
             window.opened_at = Some(Instant::now());
         }
@@ -255,23 +292,32 @@ impl GroupCommitter {
             if window.leader_active {
                 // Follower: the leader always notifies after it releases
                 // leadership, and every slot it drained is completed by then.
-                drop(self.wakeup.wait(window).unwrap_or_else(|e| e.into_inner()));
+                self.wakeup.wait(&mut window);
+                drop(window);
                 continue;
             }
             // No leader and our slot is still pending, so it is still in the
-            // queue: take leadership and fill the window.
+            // queue: take leadership and fill the window. Idle fast-path: a
+            // lone append with no evidence of concurrency skips the fill-wait
+            // entirely (see the module docs).
             window.leader_active = true;
-            let opened = window.opened_at.unwrap_or_else(Instant::now);
-            while window.pending.len() < self.window_max_batches {
-                let elapsed = opened.elapsed();
-                if elapsed >= self.window_max_wait {
-                    break;
+            let fill =
+                self.fill_idle_windows || window.concurrency_hint || window.pending.len() > 1;
+            if fill {
+                let opened = window.opened_at.unwrap_or_else(Instant::now);
+                while window.pending.len() < self.window_max_batches {
+                    let elapsed = opened.elapsed();
+                    if elapsed >= self.window_max_wait {
+                        break;
+                    }
+                    self.wakeup
+                        .wait_for(&mut window, self.window_max_wait - elapsed);
                 }
-                let (guard, _) = self
-                    .wakeup
-                    .wait_timeout(window, self.window_max_wait - elapsed)
-                    .unwrap_or_else(|e| e.into_inner());
-                window = guard;
+                if window.pending.len() == 1 && !self.fill_idle_windows {
+                    // A full fill-wait still drained solo: the concurrency is
+                    // over, let the next lone committer fast-path again.
+                    window.concurrency_hint = false;
+                }
             }
             let drained = std::mem::take(&mut window.pending);
             window.opened_at = None;
@@ -299,7 +345,8 @@ impl GroupCommitter {
         loop {
             let mut window = self.lock();
             if window.leader_active {
-                drop(self.wakeup.wait(window).unwrap_or_else(|e| e.into_inner()));
+                self.wakeup.wait(&mut window);
+                drop(window);
                 continue;
             }
             if window.pending.is_empty() {

@@ -14,7 +14,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{LockClass, Mutex};
 use pxml_core::{FuzzyTree, UpdateTransaction};
 
 use crate::backend::StorageBackend;
@@ -37,9 +37,17 @@ struct MemDoc {
 /// stronger than the per-document serialization the
 /// [`StorageBackend`] contract requires, and never held across I/O (there is
 /// none).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct MemBackend {
     docs: Arc<Mutex<HashMap<String, MemDoc>>>,
+}
+
+impl Default for MemBackend {
+    fn default() -> Self {
+        MemBackend {
+            docs: Arc::new(Mutex::with_class(LockClass::Journal, HashMap::new())),
+        }
+    }
 }
 
 impl MemBackend {

@@ -76,8 +76,22 @@ fn encode_record(batch: &[UpdateTransaction]) -> Vec<u8> {
 }
 
 /// A grouped backend with a window of `window_max_batches` and a wait long
-/// enough that barrier-started committers always share a window.
+/// enough that barrier-started committers always share a window. Sequential
+/// lone appends still return immediately thanks to the committer's idle
+/// fast-path.
 fn grouped(dir: &Path, window_max_batches: usize) -> FsBackend {
+    grouped_with(dir, window_max_batches, false)
+}
+
+/// Like [`grouped`], but in deliberate-window mode
+/// (`group_fill_idle_windows`): every leader waits out the fill window, so
+/// barrier-started committers share one fsync round *deterministically* —
+/// for tests that assert on the exact round count.
+fn grouped_deliberate(dir: &Path, window_max_batches: usize) -> FsBackend {
+    grouped_with(dir, window_max_batches, true)
+}
+
+fn grouped_with(dir: &Path, window_max_batches: usize, fill_idle: bool) -> FsBackend {
     FsBackend::with_options(
         dir,
         FsOptions {
@@ -85,6 +99,7 @@ fn grouped(dir: &Path, window_max_batches: usize) -> FsBackend {
                 window_max_batches,
                 window_max_wait: Duration::from_secs(5),
             },
+            group_fill_idle_windows: fill_idle,
             ..FsOptions::default()
         },
     )
@@ -112,9 +127,9 @@ fn tear_into_segment(dir: &Path, doc: &str, torn: &[u8]) {
 fn kill_before_window_fsync_discards_all_members() {
     let dir = scratch("before-fsync");
     {
-        // Window of 1: the seeding appends here are sequential, so a wider
-        // window would only wait out its fill timeout.
-        let store = grouped(&dir, 1);
+        // The seeding appends are sequential: the idle fast-path fsyncs
+        // each immediately instead of waiting out the fill timeout.
+        let store = grouped(&dir, 2);
         for doc in ["doc-a", "doc-b"] {
             store.save_document(doc, &sample_fuzzy()).unwrap();
             store
@@ -147,7 +162,9 @@ fn kill_before_window_fsync_discards_all_members() {
 fn kill_after_window_fsync_replays_all_members() {
     let dir = scratch("after-fsync");
     {
-        let store = Arc::new(grouped(&dir, 2));
+        // Deliberate windows: the test asserts exactly one shared round, so
+        // the leader must not fast-path ahead of the second committer.
+        let store = Arc::new(grouped_deliberate(&dir, 2));
         store.save_document("doc-a", &sample_fuzzy()).unwrap();
         store.save_document("doc-b", &sample_fuzzy()).unwrap();
         let before = store.durability_stats();
@@ -190,8 +207,9 @@ fn kill_after_window_fsync_replays_all_members() {
 fn mixed_window_replays_sound_member_and_discards_torn_member() {
     let dir = scratch("mixed-window");
     {
-        // Window of 1 — see `kill_before_window_fsync_discards_all_members`.
-        let store = grouped(&dir, 1);
+        // Sequential seeding rides the idle fast-path — see
+        // `kill_before_window_fsync_discards_all_members`.
+        let store = grouped(&dir, 2);
         for doc in ["doc-a", "doc-b"] {
             store.save_document(doc, &sample_fuzzy()).unwrap();
             store
@@ -239,6 +257,9 @@ fn window_with_segment_roll_survives_crash_after_fsync() {
                     window_max_batches: 2,
                     window_max_wait: Duration::from_secs(5),
                 },
+                // Both documents must land in one *shared* window per round
+                // (the scenario under test), so disable the idle fast-path.
+                group_fill_idle_windows: true,
                 ..FsOptions::default()
             },
         )

@@ -44,6 +44,16 @@
 //! slot lock, so a caller that resolved the slot before the drop — or that
 //! races a same-name re-create — reports `UnknownDocument` instead of
 //! leaking work into the wrong document.
+//!
+//! These rules are not just prose: every lock here carries a
+//! `parking_lot::LockClass` (`Shard`, `DocEntry`, …) and the whole test
+//! battery can run under a lockdep-style order witness with
+//! `cargo test --features lock-witness`, which panics on the first
+//! acquisition that violates the declared class order or closes a cycle in
+//! the global acquisition-order graph. `cargo run -p pxml-check --bin lint`
+//! additionally enforces the construction-site rules (no `std::sync` locks
+//! outside the shims, a class annotation at every lock construction). See
+//! README § "Concurrency correctness".
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -53,7 +63,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{LockClass, RwLock};
 use pxml_core::{
     BatchStats, CoreError, FuzzyQueryResult, FuzzyTree, Simplifier, SimplifyPolicy, SimplifyReport,
     UpdateTransaction,
@@ -199,10 +209,13 @@ struct DocEntry {
 
 impl DocEntry {
     fn live(fuzzy: FuzzyTree) -> Slot {
-        Arc::new(RwLock::new(DocEntry {
-            fuzzy,
-            dropped: false,
-        }))
+        Arc::new(RwLock::with_class(
+            LockClass::DocEntry,
+            DocEntry {
+                fuzzy,
+                dropped: false,
+            },
+        ))
     }
 }
 
@@ -210,9 +223,16 @@ impl DocEntry {
 type Slot = Arc<RwLock<DocEntry>>;
 
 /// One shard of the document registry.
-#[derive(Default)]
 struct Shard {
     slots: RwLock<HashMap<String, Slot>>,
+}
+
+impl Default for Shard {
+    fn default() -> Self {
+        Shard {
+            slots: RwLock::with_class(LockClass::Shard, HashMap::new()),
+        }
+    }
 }
 
 /// Number of registry shards. Sixteen keeps the birthday-collision rate of

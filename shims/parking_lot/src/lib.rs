@@ -1,42 +1,319 @@
 //! Offline stand-in for the [`parking_lot`](https://crates.io/crates/parking_lot)
-//! crate: `Mutex` and `RwLock` with the non-poisoning `parking_lot` API,
-//! implemented over `std::sync`. A poisoned std lock (a panic while holding
-//! the guard) is recovered by taking the inner value, matching
-//! `parking_lot`'s behaviour of simply not having poisoning.
+//! crate: `Mutex`, `RwLock` and `Condvar` with the non-poisoning
+//! `parking_lot` API, implemented over `std::sync`. A poisoned std lock (a
+//! panic while holding the guard) is recovered by taking the inner value,
+//! matching `parking_lot`'s behaviour of simply not having poisoning.
+//!
+//! # Lock-order witness
+//!
+//! Beyond the stock API, every lock carries a static [`LockClass`] label
+//! (assigned at construction with [`Mutex::with_class`] /
+//! [`RwLock::with_class`]) and, under the `lock-witness` feature, every
+//! acquisition is checked by a lockdep-style witness:
+//!
+//! - a **declared order** over the engine's ranked classes
+//!   (shard → doc-entry → group-committer → journal-registry → journal →
+//!   device → commit-slot): acquiring a class at or below the highest rank
+//!   already held by the current thread panics immediately, even if the
+//!   schedule happened not to deadlock this time;
+//! - a **global acquisition-order graph** over *all* classes: each
+//!   "`A` held while acquiring `B`" observation adds an `A → B` edge, and an
+//!   acquisition that would close a cycle (`B → … → A` already witnessed,
+//!   possibly on another thread, in another test, at another time) panics
+//!   with both class labels.
+//!
+//! The witness is panic-based rather than log-based so the existing test
+//! battery doubles as a lockdep sweep: `cargo test --features lock-witness`
+//! fails on the first ordering violation any test provokes. With the feature
+//! disabled the instrumentation compiles away and the types behave exactly
+//! like the plain shim. [`witness::enabled`] reports at runtime whether the
+//! build is instrumented, so witness self-tests can skip themselves in
+//! uninstrumented runs instead of failing.
 
 use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::time::Duration;
 
-pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
-pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
-pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+/// Static identity of a lock for the lock-order witness.
+///
+/// The ranked classes mirror the engine's declared acquisition order (see
+/// README "Concurrency correctness"); a thread must only ever acquire them
+/// in strictly increasing rank. The `Test*` classes are unranked — they
+/// participate only in the acquisition-order graph's cycle detection — and
+/// exist for the witness's own self-tests. `Unclassified` is what
+/// [`Mutex::new`] assigns; the repo linter (`pxml-check`) keeps engine
+/// crates from constructing unclassified locks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LockClass {
+    /// A warehouse shard's slot map (rank 0).
+    Shard,
+    /// One document's entry behind its shard slot (rank 1).
+    DocEntry,
+    /// The group committer's shared window (rank 2).
+    GroupCommitter,
+    /// The store's name → journal-handle registry (rank 3).
+    JournalRegistry,
+    /// One document's journal write handle (rank 4).
+    Journal,
+    /// The simulated storage device gate (rank 5).
+    Device,
+    /// A group-commit slot's error cell (rank 6).
+    CommitSlot,
+    /// Unranked class for witness self-tests.
+    TestA,
+    /// Unranked class for witness self-tests.
+    TestB,
+    /// Unranked class for witness self-tests.
+    TestC,
+    /// No class declared; cycle-checked but unranked.
+    Unclassified,
+}
 
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+impl LockClass {
+    /// The label used in witness panic messages and docs.
+    pub const fn label(self) -> &'static str {
+        match self {
+            LockClass::Shard => "shard",
+            LockClass::DocEntry => "doc-entry",
+            LockClass::GroupCommitter => "group-committer",
+            LockClass::JournalRegistry => "journal-registry",
+            LockClass::Journal => "journal",
+            LockClass::Device => "device",
+            LockClass::CommitSlot => "commit-slot",
+            LockClass::TestA => "test-a",
+            LockClass::TestB => "test-b",
+            LockClass::TestC => "test-c",
+            LockClass::Unclassified => "unclassified",
+        }
+    }
+
+    /// Position in the declared acquisition order; `None` for classes that
+    /// are only cycle-checked.
+    pub const fn rank(self) -> Option<u8> {
+        match self {
+            LockClass::Shard => Some(0),
+            LockClass::DocEntry => Some(1),
+            LockClass::GroupCommitter => Some(2),
+            LockClass::JournalRegistry => Some(3),
+            LockClass::Journal => Some(4),
+            LockClass::Device => Some(5),
+            LockClass::CommitSlot => Some(6),
+            LockClass::TestA | LockClass::TestB | LockClass::TestC | LockClass::Unclassified => {
+                None
+            }
+        }
+    }
+
+    #[cfg_attr(not(feature = "lock-witness"), allow(dead_code))]
+    const fn index(self) -> usize {
+        match self {
+            LockClass::Shard => 0,
+            LockClass::DocEntry => 1,
+            LockClass::GroupCommitter => 2,
+            LockClass::JournalRegistry => 3,
+            LockClass::Journal => 4,
+            LockClass::Device => 5,
+            LockClass::CommitSlot => 6,
+            LockClass::TestA => 7,
+            LockClass::TestB => 8,
+            LockClass::TestC => 9,
+            LockClass::Unclassified => 10,
+        }
+    }
+}
+
+impl fmt::Display for LockClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The lockdep-style witness behind the `lock-witness` feature (see the
+/// crate docs). Uninstrumented builds keep the module with no-op hooks so
+/// callers can probe [`witness::enabled`] unconditionally.
+#[cfg(feature = "lock-witness")]
+pub mod witness {
+    use super::LockClass;
+    use std::cell::RefCell;
+    use std::sync::{Mutex as StdMutex, OnceLock};
+
+    const CLASSES: usize = 11;
+
+    thread_local! {
+        /// Classes of the locks the current thread holds, in acquisition
+        /// order (a stack, except guards may be released out of order).
+        static HELD: RefCell<Vec<LockClass>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Process-global acquisition-order graph: `edge[a][b]` records that
+    /// some thread acquired class `b` while holding class `a`.
+    struct Graph {
+        edge: [[bool; CLASSES]; CLASSES],
+    }
+
+    fn graph() -> &'static StdMutex<Graph> {
+        static GRAPH: OnceLock<StdMutex<Graph>> = OnceLock::new();
+        GRAPH.get_or_init(|| {
+            StdMutex::new(Graph {
+                edge: [[false; CLASSES]; CLASSES],
+            })
+        })
+    }
+
+    /// Is `to` reachable from `from` over recorded edges (`from == to`
+    /// counts as reachable, so same-class nesting closes a cycle)?
+    fn reaches(g: &Graph, from: usize, to: usize) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut visited = [false; CLASSES];
+        let mut stack = vec![from];
+        while let Some(node) = stack.pop() {
+            for (next, &has_edge) in g.edge[node].iter().enumerate() {
+                if !has_edge || visited[next] {
+                    continue;
+                }
+                if next == to {
+                    return true;
+                }
+                visited[next] = true;
+                stack.push(next);
+            }
+        }
+        false
+    }
+
+    /// `true`: this build carries the witness.
+    pub fn enabled() -> bool {
+        true
+    }
+
+    pub(crate) fn on_acquire(class: LockClass) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if !held.is_empty() {
+                check(&held, class);
+            }
+            held.push(class);
+        });
+    }
+
+    pub(crate) fn on_release(class: LockClass) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&h| h == class) {
+                held.remove(pos);
+            }
+        });
+    }
+
+    /// Panics if acquiring `class` while `held` would violate the declared
+    /// rank order or close a cycle in the global graph. Violating edges are
+    /// *not* recorded, so one caught inversion does not poison the graph
+    /// for the rest of the process.
+    fn check(held: &[LockClass], class: LockClass) {
+        for &h in held {
+            if let (Some(held_rank), Some(new_rank)) = (h.rank(), class.rank()) {
+                if new_rank <= held_rank {
+                    panic!(
+                        "lock-order witness: acquiring `{class}` while holding `{h}` \
+                         violates the declared order shard -> doc-entry -> \
+                         group-committer -> journal-registry -> journal -> device -> \
+                         commit-slot"
+                    );
+                }
+            }
+        }
+        let mut g = graph().lock().unwrap_or_else(|e| e.into_inner());
+        for &h in held {
+            let (from, to) = (h.index(), class.index());
+            if g.edge[from][to] {
+                continue;
+            }
+            if reaches(&g, to, from) {
+                panic!(
+                    "lock-order witness: acquiring `{class}` while holding `{h}` \
+                     closes a cycle in the acquisition-order graph (a `{class}` was \
+                     already held, directly or transitively, while acquiring `{h}`)"
+                );
+            }
+            g.edge[from][to] = true;
+        }
+    }
+}
+
+/// No-op witness hooks for uninstrumented builds.
+#[cfg(not(feature = "lock-witness"))]
+pub mod witness {
+    use super::LockClass;
+
+    /// `false`: this build is not instrumented.
+    pub fn enabled() -> bool {
+        false
+    }
+
+    #[inline(always)]
+    pub(crate) fn on_acquire(_class: LockClass) {}
+
+    #[inline(always)]
+    pub(crate) fn on_release(_class: LockClass) {}
+}
+
+pub struct Mutex<T: ?Sized> {
+    class: LockClass,
+    inner: std::sync::Mutex<T>,
+}
 
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Self {
-        Mutex(std::sync::Mutex::new(value))
+        Mutex::with_class(LockClass::Unclassified, value)
+    }
+
+    /// A mutex labelled with its [`LockClass`] for the lock-order witness.
+    pub const fn with_class(class: LockClass, value: T) -> Self {
+        Mutex {
+            class,
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
-    pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    /// The class declared at construction.
+    pub fn class(&self) -> LockClass {
+        self.class
     }
 
-    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(guard) => Some(guard),
-            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
-            Err(std::sync::TryLockError::WouldBlock) => None,
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        // Check before blocking: a would-be deadlock should panic with the
+        // class pair, not hang.
+        witness::on_acquire(self.class);
+        MutexGuard {
+            class: self.class,
+            inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
         }
     }
 
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let inner = match self.inner.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        witness::on_acquire(self.class);
+        Some(MutexGuard {
+            class: self.class,
+            inner: Some(inner),
+        })
+    }
+
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -48,33 +325,93 @@ impl<T: Default> Default for Mutex<T> {
 
 impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.0.fmt(f)
+        self.inner.fmt(f)
     }
 }
 
-pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+/// RAII guard of a [`Mutex`]. The inner std guard sits behind an `Option`
+/// only so [`Condvar::wait`] can atomically give the lock up and take it
+/// back; user code always observes it present.
+pub struct MutexGuard<'a, T: ?Sized> {
+    class: LockClass,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("mutex guard present")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("mutex guard present")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.is_some() {
+            witness::on_release(self.class);
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+pub struct RwLock<T: ?Sized> {
+    class: LockClass,
+    inner: std::sync::RwLock<T>,
+}
 
 impl<T> RwLock<T> {
     pub const fn new(value: T) -> Self {
-        RwLock(std::sync::RwLock::new(value))
+        RwLock::with_class(LockClass::Unclassified, value)
+    }
+
+    /// An rwlock labelled with its [`LockClass`] for the lock-order witness.
+    pub const fn with_class(class: LockClass, value: T) -> Self {
+        RwLock {
+            class,
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
+    /// The class declared at construction.
+    pub fn class(&self) -> LockClass {
+        self.class
+    }
+
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(|e| e.into_inner())
+        witness::on_acquire(self.class);
+        RwLockReadGuard {
+            class: self.class,
+            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+        }
     }
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(|e| e.into_inner())
+        witness::on_acquire(self.class);
+        RwLockWriteGuard {
+            class: self.class,
+            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+        }
     }
 
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -86,13 +423,143 @@ impl<T: Default> Default for RwLock<T> {
 
 impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.0.fmt(f)
+        self.inner.fmt(f)
+    }
+}
+
+/// Shared-read RAII guard of an [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    class: LockClass,
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        witness::on_release(self.class);
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+/// Exclusive-write RAII guard of an [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    class: LockClass,
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        witness::on_release(self.class);
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+/// `parking_lot`-style condition variable: waits take `&mut MutexGuard`
+/// instead of consuming and returning the guard.
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Atomically releases the guard's lock and blocks until notified; the
+    /// lock is reacquired (re-checked by the witness) before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("mutex guard present");
+        witness::on_release(guard.class);
+        let inner = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
+        witness::on_acquire(guard.class);
+        guard.inner = Some(inner);
+    }
+
+    /// Like [`Condvar::wait`], but gives up after `timeout`.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("mutex guard present");
+        witness::on_release(guard.class);
+        let (inner, timed_out) = match self.0.wait_timeout(inner, timeout) {
+            Ok((guard, result)) => (guard, result.timed_out()),
+            Err(poisoned) => {
+                let (guard, result) = poisoned.into_inner();
+                (guard, result.timed_out())
+            }
+        };
+        witness::on_acquire(guard.class);
+        guard.inner = Some(inner);
+        WaitTimeoutResult(timed_out)
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+/// Whether a [`Condvar::wait_for`] returned because its timeout elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(self) -> bool {
+        self.0
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::{Mutex, RwLock};
+    use super::{Condvar, LockClass, Mutex, RwLock};
+    use std::sync::Arc;
+    use std::time::Duration;
 
     #[test]
     fn mutex_basics() {
@@ -111,8 +578,17 @@ mod tests {
     }
 
     #[test]
+    fn classes_are_recorded() {
+        let m = Mutex::with_class(LockClass::Journal, 0);
+        assert_eq!(m.class(), LockClass::Journal);
+        assert_eq!(Mutex::new(0).class(), LockClass::Unclassified);
+        let l = RwLock::with_class(LockClass::Shard, 0);
+        assert_eq!(l.class(), LockClass::Shard);
+    }
+
+    #[test]
     fn poisoned_lock_recovers() {
-        let m = std::sync::Arc::new(Mutex::new(0));
+        let m = Arc::new(Mutex::new(0));
         let m2 = m.clone();
         let _ = std::thread::spawn(move || {
             let _guard = m2.lock();
@@ -121,5 +597,38 @@ mod tests {
         .join();
         // parking_lot semantics: no poisoning, the lock stays usable.
         assert_eq!(*m.lock(), 0);
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        let mut guard = m.lock();
+        let result = cv.wait_for(&mut guard, Duration::from_millis(5));
+        assert!(result.timed_out());
+        // The guard survives the wait and still protects the value.
+        *guard = true;
+        drop(guard);
+        assert!(*m.lock());
+    }
+
+    #[test]
+    fn condvar_handoff() {
+        let shared = Arc::new((Mutex::new(0), Condvar::new()));
+        let clone = shared.clone();
+        let worker = std::thread::spawn(move || {
+            let (lock, cv) = &*clone;
+            let mut value = lock.lock();
+            *value = 7;
+            drop(value);
+            cv.notify_all();
+        });
+        let (lock, cv) = &*shared;
+        let mut value = lock.lock();
+        while *value == 0 {
+            cv.wait(&mut value);
+        }
+        assert_eq!(*value, 7);
+        worker.join().expect("worker");
     }
 }
