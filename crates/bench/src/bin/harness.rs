@@ -1,4 +1,4 @@
-//! The experiment harness: re-runs every experiment E1–E14 (each described
+//! The experiment harness: re-runs every experiment E1–E15 (each described
 //! at its section below) and prints paper-style result tables.
 //!
 //! Usage:
@@ -68,7 +68,7 @@ fn main() {
     println!("pxml experiment harness (quick = {quick})");
     println!("=========================================\n");
     type Experiment = fn(bool, &mut Report);
-    let experiments: [(&str, Experiment); 14] = [
+    let experiments: [(&str, Experiment); 15] = [
         ("e1", e1_possible_worlds_example),
         ("e2", e2_expressiveness),
         ("e3", e3_query_models),
@@ -83,6 +83,7 @@ fn main() {
         ("e12", e12_commit_latency_vs_journal),
         ("e13", e13_bdd_vs_shannon),
         ("e14", e14_group_commit),
+        ("e15", e15_snapshot_reads),
     ];
     for (name, body) in experiments {
         if !want(name) {
@@ -1785,5 +1786,237 @@ fn e14_group_commit(quick: bool, report: &mut Report) {
         drop(warehouse);
         let _ = std::fs::remove_dir_all(&dir);
     }
+    println!();
+}
+
+// ---------------------------------------------------------------------------
+// E15 — MVCC snapshot reads: reader latency under a streaming writer.
+// ---------------------------------------------------------------------------
+
+/// Simulated device-flush latency for E15 — same rationale as
+/// [`E14_FSYNC_LATENCY`]. Every commit pays this inside the device gate, so
+/// a reader that had to wait for a writer mid-commit (the pre-MVCC engine's
+/// writer-priority lock) would see its tail latency jump to this scale.
+const E15_FSYNC_LATENCY: Duration = Duration::from_millis(5);
+
+/// Nearest-rank percentile over an already-sorted latency sample.
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[rank]
+}
+
+fn micros(duration: Duration) -> f64 {
+    duration.as_secs_f64() * 1e6
+}
+
+/// The claim behind the copy-on-write snapshot engine: readers pin the
+/// published snapshot in O(1) and run lock-free, so their latency
+/// distribution is flat whether or not a writer is streaming commits —
+/// commits whose durability fsync costs 5 ms each and would stall every
+/// query behind the old writer-priority document lock. Measures reader
+/// p50/p99 on an idle document, then with one writer streaming, and records
+/// the chunk-copy rate of the stream (commits path-copy only the chunks
+/// their batch touches).
+fn e15_snapshot_reads(quick: bool, report: &mut Report) {
+    header(
+        "E15",
+        "snapshot reads: reader p50/p99 while a writer streams commits",
+    );
+    let scenario = PeopleScenarioConfig {
+        people: 32,
+        ..PeopleScenarioConfig::default()
+    };
+    let readers = if quick { 2 } else { 4 };
+    let idle_queries = if quick { 300 } else { 2000 };
+    let commits = if quick { 24 } else { 80 };
+    let dir = std::env::temp_dir().join(format!("pxml-harness-e15-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let backend = FsBackend::with_options(
+        &dir,
+        FsOptions {
+            commit: CommitPolicy::Sync,
+            simulated_sync_latency: E15_FSYNC_LATENCY,
+            ..FsOptions::default()
+        },
+    )
+    .unwrap();
+    let warehouse = Warehouse::with_backend(
+        std::sync::Arc::new(backend),
+        SessionConfig {
+            compaction: CompactionPolicy::Never,
+            ..SessionConfig::default()
+        },
+    )
+    .unwrap();
+    warehouse
+        .create_document("doc", people_directory(&scenario))
+        .unwrap();
+    let phones = Pattern::parse("person { phone }").unwrap();
+    println!(
+        "{readers} readers vs 1 writer on one document, fs backend, simulated {} ms \
+         device flush per commit",
+        E15_FSYNC_LATENCY.as_millis()
+    );
+
+    // Idle baseline: readers query an untouched document.
+    let mut idle: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..readers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut samples = Vec::with_capacity(idle_queries);
+                    for _ in 0..idle_queries {
+                        let start = Instant::now();
+                        let _ = warehouse.query("doc", &phones).unwrap();
+                        samples.push(start.elapsed());
+                    }
+                    samples
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().unwrap())
+            .collect()
+    });
+    idle.sort_unstable();
+
+    // Contended phase: the same readers spin while one writer streams
+    // `commits` two-update batches, each paying the 5 ms flush.
+    let batches = journal_batches(BENCH_SEED, commits, 2, &scenario);
+    let copies_before = warehouse
+        .snapshot("doc")
+        .unwrap()
+        .fuzzy()
+        .tree()
+        .chunk_copies();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let (mut contended, writer_wall) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..readers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut samples = Vec::new();
+                    while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                        let start = Instant::now();
+                        let _ = warehouse.query("doc", &phones).unwrap();
+                        samples.push(start.elapsed());
+                    }
+                    samples
+                })
+            })
+            .collect();
+        let writer = scope.spawn(|| {
+            let start = Instant::now();
+            for batch in &batches {
+                warehouse.commit_batch("doc", batch, None).unwrap();
+            }
+            let wall = start.elapsed();
+            stop.store(true, std::sync::atomic::Ordering::Release);
+            wall
+        });
+        let wall = writer.join().unwrap();
+        let samples = handles
+            .into_iter()
+            .flat_map(|handle| handle.join().unwrap())
+            .collect::<Vec<Duration>>();
+        (samples, wall)
+    });
+    contended.sort_unstable();
+    let copied = warehouse
+        .snapshot("doc")
+        .unwrap()
+        .fuzzy()
+        .tree()
+        .chunk_copies()
+        - copies_before;
+
+    // Post-stream baseline on the grown document: the fair reference for
+    // "contended p99 is flat" — the stream made the document bigger, so
+    // queries are intrinsically slower than against the initial state.
+    let mut idle_after: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..readers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut samples = Vec::with_capacity(idle_queries);
+                    for _ in 0..idle_queries {
+                        let start = Instant::now();
+                        let _ = warehouse.query("doc", &phones).unwrap();
+                        samples.push(start.elapsed());
+                    }
+                    samples
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().unwrap())
+            .collect()
+    });
+    idle_after.sort_unstable();
+
+    println!(
+        "\n{:>11} {:>9} {:>10} {:>10} {:>10}",
+        "phase", "samples", "p50 (us)", "p99 (us)", "max (us)"
+    );
+    for (phase, samples) in [
+        ("idle", &idle),
+        ("contended", &contended),
+        ("idle-after", &idle_after),
+    ] {
+        println!(
+            "{phase:>11} {:>9} {:>10.1} {:>10.1} {:>10.1}",
+            samples.len(),
+            micros(percentile(samples, 0.50)),
+            micros(percentile(samples, 0.99)),
+            micros(*samples.last().unwrap()),
+        );
+        report.row(
+            "reader_latency",
+            &[
+                ("phase", phase.into()),
+                ("readers", readers.into()),
+                ("samples", samples.len().into()),
+                ("p50_us", micros(percentile(samples, 0.50)).into()),
+                ("p99_us", micros(percentile(samples, 0.99)).into()),
+                ("max_us", micros(*samples.last().unwrap()).into()),
+            ],
+        );
+    }
+    let writer_secs = writer_wall.as_secs_f64();
+    println!(
+        "\nwriter: {commits} commits in {:.1} ms ({:.1} commits/s), \
+         {:.1} chunk copies per commit",
+        ms(writer_wall),
+        commits as f64 / writer_secs,
+        copied as f64 / commits as f64
+    );
+    report.row(
+        "writer",
+        &[
+            ("commits", commits.into()),
+            ("wall_ms", ms(writer_wall).into()),
+            ("commits_per_s", (commits as f64 / writer_secs).into()),
+            (
+                "copied_chunks_per_commit",
+                (copied as f64 / commits as f64).into(),
+            ),
+        ],
+    );
+
+    // The acceptance gate: reader tail latency must not inherit the
+    // writer's 5 ms flush stalls. (Queries themselves run tens of
+    // microseconds, so this bound has orders-of-magnitude headroom while
+    // still catching any reader-blocks-on-writer regression.)
+    let contended_p99 = percentile(&contended, 0.99);
+    assert!(
+        contended_p99 < E15_FSYNC_LATENCY,
+        "reader p99 {:.1} us reached the writer's flush latency — readers are \
+         blocking on commits",
+        micros(contended_p99)
+    );
+    drop(warehouse);
+    let _ = std::fs::remove_dir_all(&dir);
     println!();
 }

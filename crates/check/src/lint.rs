@@ -19,6 +19,11 @@
 //!   `// lint: protocol-atomic` marker (the ones acknowledgement/admission
 //!   decisions read, e.g. the commit slot state) must never be used with
 //!   `Ordering::Relaxed` in their file.
+//! - **`doc-clone-under-guard`** — no full-document clone (`fuzzy.clone()`
+//!   / `.fuzzy().clone()`) in non-test code while a `.read()`/`.write()`
+//!   guard is live: the doc-entry lock is meant to be held for the O(1)
+//!   snapshot pin or pointer swap only, so pin the `Arc` snapshot and clone
+//!   outside the lock.
 //!
 //! A finding on a deliberate exception is suppressed with
 //! `// lint: allow(<rule>)` on the offending line or the line above.
@@ -111,6 +116,7 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
 
     let mut findings = Vec::new();
     let mut guards: Vec<(String, i32)> = Vec::new();
+    let mut rw_guards: Vec<(String, i32)> = Vec::new();
     let mut depth: i32 = 0;
     let mut pending_use: Option<(usize, String)> = None;
 
@@ -232,15 +238,42 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
             }
         }
 
+        // --- doc-clone-under-guard ---------------------------------------
+        if non_test && !allowed("doc-clone-under-guard") {
+            if let Some(at) = doc_clone_position(code) {
+                let chained = last_rw_guard_call_end(code).is_some_and(|end| at >= end);
+                if chained || !rw_guards.is_empty() {
+                    findings.push(Finding {
+                        file: rel_path.to_string(),
+                        line,
+                        rule: "doc-clone-under-guard",
+                        message: "full-document clone while a doc-entry read/write guard \
+                                  is live — the entry lock is for the O(1) snapshot pin or \
+                                  swap only; pin the `Arc` snapshot and clone outside the \
+                                  lock"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+
         // Guard bookkeeping runs for every line (a guard taken in non-test
         // code can span into regions, and depth must stay consistent).
         if let Some(name) = guard_binding(code) {
+            let initialiser = code.trim_end();
+            let initialiser = initialiser.strip_suffix(';').unwrap_or(initialiser);
+            if initialiser.ends_with(".read()") || initialiser.ends_with(".write()") {
+                rw_guards.push((name.clone(), depth));
+            }
             guards.push((name, depth));
         }
         for (open, close) in [('{', 1i32), ('}', -1i32)] {
             depth += close * code.chars().filter(|&c| c == open).count() as i32;
         }
         guards.retain(|(name, creation_depth)| {
+            depth >= *creation_depth && !code.contains(&format!("drop({name})"))
+        });
+        rw_guards.retain(|(name, creation_depth)| {
             depth >= *creation_depth && !code.contains(&format!("drop({name})"))
         });
     }
@@ -282,6 +315,11 @@ fn banned_sync_word(text: &str) -> Option<&'static str> {
 /// does not match inside `MutexGuard` when the pattern itself ends at an
 /// identifier boundary)?
 fn contains_ident_bounded(text: &str, pattern: &str) -> bool {
+    find_ident_bounded(text, pattern).is_some()
+}
+
+/// Byte offset of the first identifier-bounded occurrence of `pattern`.
+fn find_ident_bounded(text: &str, pattern: &str) -> Option<usize> {
     let mut search_from = 0;
     while let Some(found) = text[search_from..].find(pattern) {
         let at = search_from + found;
@@ -300,11 +338,32 @@ fn contains_ident_bounded(text: &str, pattern: &str) -> bool {
                 .next()
                 .is_some_and(|c| c.is_alphanumeric() || c == '_');
         if before_ok && after_ok {
-            return true;
+            return Some(at);
         }
         search_from = at + 1;
     }
-    false
+    None
+}
+
+/// Byte offset of the first full-document clone on the line, if any — the
+/// expressions that deep-copy a fuzzy tree rather than bumping a snapshot
+/// `Arc`.
+fn doc_clone_position(code: &str) -> Option<usize> {
+    ["fuzzy.clone()", "fuzzy().clone()"]
+        .iter()
+        .filter_map(|pattern| find_ident_bounded(code, pattern))
+        .min()
+}
+
+/// Byte offset just past the last `.read()` / `.write()` call on the line —
+/// the doc-entry guard acquisitions `doc-clone-under-guard` cares about
+/// (`.lock()` is excluded: the commit mutex is *meant* to be held while the
+/// writer takes its working copy).
+fn last_rw_guard_call_end(code: &str) -> Option<usize> {
+    [".read()", ".write()"]
+        .iter()
+        .filter_map(|call| code.rfind(call).map(|at| at + call.len()))
+        .max()
 }
 
 /// Byte offset just past the last `.lock()` / `.read()` / `.write()` call
@@ -718,6 +777,44 @@ mod tests {
     fn patterns_inside_strings_and_comments_do_not_match() {
         let source = "fn f() {\n    let s = \"std::sync::Mutex::new(.lock().unwrap())\";\n    // std::sync::Mutex in prose, Mutex::new( too\n    let r = r#\"RwLock::default() .lock().expect(\"#;\n}\n";
         assert!(lint_source("crates/x/src/lib.rs", source).is_empty());
+    }
+
+    #[test]
+    fn doc_clone_under_live_rw_guard_is_flagged() {
+        let source = "fn f() {\n    let state = slot.state.read();\n    let copy = state.snapshot.fuzzy().clone();\n}\n";
+        let findings = lint_source("crates/x/src/lib.rs", source);
+        assert_eq!(rules(&findings), vec!["doc-clone-under-guard"]);
+        assert_eq!(findings[0].line, 3);
+    }
+
+    #[test]
+    fn doc_clone_chained_behind_guard_acquisition_is_flagged() {
+        let source = "fn f() {\n    let copy = slot.state.read().snapshot.fuzzy().clone();\n}\n";
+        let findings = lint_source("crates/x/src/lib.rs", source);
+        assert_eq!(rules(&findings), vec!["doc-clone-under-guard"]);
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn doc_clone_outside_guard_or_under_commit_mutex_is_fine() {
+        // Clone from a pinned snapshot: no lock is held.
+        let pinned = "fn f() {\n    let snapshot = self.snapshot(name)?;\n    let copy = snapshot.fuzzy().clone();\n}\n";
+        assert!(lint_source("crates/x/src/lib.rs", pinned).is_empty());
+        // The writer's working copy under the commit *mutex* is the intended
+        // pipeline; only read/write entry guards are restricted.
+        let commit = "fn f() {\n    let _commit = slot.commit.lock();\n    let working = base.fuzzy().clone();\n}\n";
+        assert!(lint_source("crates/x/src/lib.rs", commit).is_empty());
+        // And other `.clone()`s under a guard stay legal.
+        let other = "fn f() {\n    let state = slot.state.read();\n    let snapshot = state.snapshot.clone();\n}\n";
+        assert!(lint_source("crates/x/src/lib.rs", other).is_empty());
+    }
+
+    #[test]
+    fn doc_clone_allow_marker_and_tests_are_exempt() {
+        let allowed = "fn f() {\n    let state = slot.state.read();\n    // lint: allow(doc-clone-under-guard)\n    let copy = state.snapshot.fuzzy().clone();\n}\n";
+        assert!(lint_source("crates/x/src/lib.rs", allowed).is_empty());
+        let test_file = "fn helper() {\n    let state = slot.state.read();\n    let copy = state.snapshot.fuzzy().clone();\n}\n";
+        assert!(lint_source("crates/x/tests/it.rs", test_file).is_empty());
     }
 
     #[test]

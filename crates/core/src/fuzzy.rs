@@ -18,16 +18,63 @@ use std::collections::HashMap;
 use pxml_event::{
     enumerate_valuations_over, Condition, EventError, EventId, EventTable, Literal, Valuation,
 };
-use pxml_tree::{Label, NodeId, Tree};
+use pxml_tree::{ChunkedVec, Label, NodeId, Tree};
 
 use crate::error::CoreError;
 use crate::worlds::PossibleWorlds;
+
+/// Per-node conditions, stored positionally (indexed by `NodeId::index`) in a
+/// copy-on-write chunked vector so that cloning a [`FuzzyTree`] shares the
+/// condition storage with the original and a mutation batch copies only the
+/// chunks holding the touched nodes — the same structural sharing as the
+/// arena of [`Tree`] itself.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ConditionMap {
+    slots: ChunkedVec<Option<Condition>>,
+}
+
+impl ConditionMap {
+    pub(crate) fn new() -> Self {
+        ConditionMap::default()
+    }
+
+    pub(crate) fn get(&self, node: NodeId) -> Option<&Condition> {
+        self.slots.get(node.index()).and_then(|slot| slot.as_ref())
+    }
+
+    pub(crate) fn insert(&mut self, node: NodeId, condition: Condition) {
+        let index = node.index();
+        while self.slots.len() <= index {
+            self.slots.push(None);
+        }
+        *self.slots.get_mut(index).expect("slot just grown") = Some(condition);
+    }
+
+    pub(crate) fn remove(&mut self, node: NodeId) {
+        // Skip the write (and the chunk un-sharing it would force) when the
+        // slot is already empty or out of range.
+        if self.get(node).is_some() {
+            *self.slots.get_mut(node.index()).expect("slot in range") = None;
+        }
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (NodeId, &Condition)> {
+        self.slots.iter().enumerate().filter_map(|(index, slot)| {
+            slot.as_ref()
+                .map(|condition| (NodeId::from_index(index), condition))
+        })
+    }
+
+    pub(crate) fn values(&self) -> impl Iterator<Item = &Condition> {
+        self.slots.iter().filter_map(|slot| slot.as_ref())
+    }
+}
 
 /// A data tree with per-node event conditions and an event table.
 #[derive(Debug, Clone)]
 pub struct FuzzyTree {
     pub(crate) tree: Tree,
-    pub(crate) conditions: HashMap<NodeId, Condition>,
+    pub(crate) conditions: ConditionMap,
     pub(crate) events: EventTable,
 }
 
@@ -36,7 +83,7 @@ impl FuzzyTree {
     pub fn new(root_label: impl Into<Label>) -> Self {
         FuzzyTree {
             tree: Tree::new(root_label),
-            conditions: HashMap::new(),
+            conditions: ConditionMap::new(),
             events: EventTable::new(),
         }
     }
@@ -45,7 +92,7 @@ impl FuzzyTree {
     pub fn from_tree(tree: Tree) -> Self {
         FuzzyTree {
             tree,
-            conditions: HashMap::new(),
+            conditions: ConditionMap::new(),
             events: EventTable::new(),
         }
     }
@@ -168,7 +215,7 @@ impl FuzzyTree {
             } else {
                 let source_parent = self.tree.parent(node).expect("descendant has a parent");
                 let copy = self.tree.add_child(mapping[&source_parent], label);
-                if let Some(condition) = self.conditions.get(&node).cloned() {
+                if let Some(condition) = self.conditions.get(node).cloned() {
                     self.conditions.insert(copy, condition);
                 }
                 copy
@@ -183,14 +230,39 @@ impl FuzzyTree {
         let removed: Vec<NodeId> = self.tree.descendants_or_self(node);
         self.tree.remove_subtree(node)?;
         for n in removed {
-            self.conditions.remove(&n);
+            self.conditions.remove(n);
         }
         Ok(())
     }
 
+    /// Rebuilds the arena with only live nodes, reclaiming slots left behind
+    /// by [`FuzzyTree::remove_subtree`], and remaps the node conditions onto
+    /// the new ids. Returns the number of dead slots reclaimed.
+    ///
+    /// Node ids from before the compaction are invalidated. The warehouse
+    /// folds this into the commit pipeline (each commit publishes a fresh
+    /// snapshot anyway), so churn-heavy documents stay within a constant
+    /// factor of their live size.
+    pub fn compact_slots(&mut self) -> usize {
+        let reclaimed = self.tree.slot_count() - self.tree.node_count();
+        if reclaimed == 0 {
+            return 0;
+        }
+        let (tree, mapping) = self.tree.compact();
+        let mut conditions = ConditionMap::new();
+        for (node, condition) in self.conditions.iter() {
+            if let Some(&renamed) = mapping.get(&node) {
+                conditions.insert(renamed, condition.clone());
+            }
+        }
+        self.tree = tree;
+        self.conditions = conditions;
+        reclaimed
+    }
+
     /// The condition attached to a node (the empty condition when none).
     pub fn condition(&self, node: NodeId) -> Condition {
-        self.conditions.get(&node).cloned().unwrap_or_default()
+        self.conditions.get(node).cloned().unwrap_or_default()
     }
 
     /// Attaches a condition to a node. The root must stay certain.
@@ -202,7 +274,7 @@ impl FuzzyTree {
             return Err(CoreError::RootConditionNotAllowed);
         }
         if condition.is_empty() {
-            self.conditions.remove(&node);
+            self.conditions.remove(node);
         } else {
             self.conditions.insert(node, condition);
         }
@@ -224,7 +296,7 @@ impl FuzzyTree {
     /// (each [`Condition::and`] re-sorts and re-allocates).
     pub fn condition_literals(&self, node: NodeId) -> &[Literal] {
         self.conditions
-            .get(&node)
+            .get(node)
             .map(|condition| condition.literals())
             .unwrap_or(&[])
     }
@@ -365,7 +437,7 @@ impl FuzzyTree {
         if !self.condition(self.tree.root()).is_empty() {
             return Err(CoreError::RootConditionNotAllowed);
         }
-        for (&node, condition) in &self.conditions {
+        for (node, condition) in self.conditions.iter() {
             if !self.tree.contains(node) {
                 return Err(CoreError::InvalidNode(node.index() as u32));
             }

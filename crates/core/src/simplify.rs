@@ -624,17 +624,14 @@ pub fn garbage_collect_events(fuzzy: &mut FuzzyTree) -> usize {
             .expect("names and probabilities come from a valid table");
         remap.insert(old, new);
     }
-    let remapped: HashMap<NodeId, Condition> = fuzzy
-        .conditions
-        .iter()
-        .map(|(&node, condition)| {
-            let literals = condition.literals().iter().map(|lit| Literal {
-                event: remap[&lit.event],
-                positive: lit.positive,
-            });
-            (node, Condition::from_literals(literals))
-        })
-        .collect();
+    let mut remapped = crate::fuzzy::ConditionMap::new();
+    for (node, condition) in fuzzy.conditions.iter() {
+        let literals = condition.literals().iter().map(|lit| Literal {
+            event: remap[&lit.event],
+            positive: lit.positive,
+        });
+        remapped.insert(node, Condition::from_literals(literals));
+    }
     fuzzy.conditions = remapped;
     fuzzy.events = new_table;
     dropped

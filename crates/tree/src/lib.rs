@@ -36,6 +36,7 @@
 //! assert_eq!(t.node_count(), 4);
 //! ```
 
+pub mod chunk;
 pub mod convert;
 pub mod error;
 pub mod iso;
@@ -44,6 +45,7 @@ pub mod path;
 pub mod tree;
 pub mod xml;
 
+pub use chunk::ChunkedVec;
 pub use convert::{data_tree_to_xml, parse_data_tree, write_data_tree, xml_to_data_tree};
 pub use error::{TreeError, XmlError};
 pub use iso::{canonical_string, subtree_canonical_string, CanonicalForm};

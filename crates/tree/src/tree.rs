@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use crate::chunk::ChunkedVec;
 use crate::error::TreeError;
 use crate::label::Label;
 
@@ -23,6 +24,13 @@ impl NodeId {
     /// The raw index of this node inside its tree's arena.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Reconstructs a node id from a raw arena index, the inverse of
+    /// [`NodeId::index`]. Meant for positional side tables (storage keyed by
+    /// `index()`); the id is only meaningful for the tree the index came from.
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(index as u32)
     }
 }
 
@@ -45,9 +53,15 @@ struct Slot {
 /// This is the data model of the paper: element and text nodes, no attribute
 /// nodes, no mixed content (the latter is not enforced on every mutation but
 /// can be checked with [`Tree::check_data_model`]).
+///
+/// The arena is stored in [`ChunkedVec`] chunks behind `Arc`s, so cloning a
+/// tree is O(slots / chunk-size) pointer bumps and the clone shares every
+/// chunk with the original. Mutations copy only the chunks they touch
+/// (copy-on-write); [`Tree::chunk_copies`] exposes how many chunk copies a
+/// sequence of mutations actually paid for.
 #[derive(Debug, Clone)]
 pub struct Tree {
-    nodes: Vec<Slot>,
+    nodes: ChunkedVec<Slot>,
     root: NodeId,
     alive: usize,
 }
@@ -57,14 +71,15 @@ impl Tree {
     ///
     /// A bare `&str` is interpreted as an element name.
     pub fn new(root_label: impl Into<Label>) -> Self {
-        let label = root_label.into();
+        let mut nodes = ChunkedVec::new();
+        nodes.push(Slot {
+            label: root_label.into(),
+            parent: None,
+            children: Vec::new(),
+            alive: true,
+        });
         Tree {
-            nodes: vec![Slot {
-                label,
-                parent: None,
-                children: Vec::new(),
-                alive: true,
-            }],
+            nodes,
             root: NodeId(0),
             alive: 1,
         }
@@ -83,6 +98,14 @@ impl Tree {
     /// The number of arena slots, including deleted ones.
     pub fn slot_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Cumulative count of arena chunks copied to un-share them before a
+    /// write (see [`ChunkedVec::chunk_copies`]). The counter is carried
+    /// across clones, so the delta between a snapshot clone and the mutated
+    /// copy bounds the copy work of the mutation batch.
+    pub fn chunk_copies(&self) -> u64 {
+        self.nodes.chunk_copies()
     }
 
     /// Returns `true` if `id` refers to a live node of this tree.
@@ -209,7 +232,10 @@ impl Tree {
         // Mark the whole subtree dead.
         let mut stack = vec![id];
         while let Some(node) = stack.pop() {
-            let slot = &mut self.nodes[node.index()];
+            let slot = self
+                .nodes
+                .get_mut(node.index())
+                .expect("subtree child id in bounds");
             if !slot.alive {
                 continue;
             }
@@ -722,6 +748,54 @@ mod tests {
         assert_eq!(sub.node_count(), 3);
         assert_eq!(sub.label(sub.root()).element_name(), Some("D"));
         assert!(sub.validate().is_ok());
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        // Build a tree spanning several chunks, clone it, mutate the clone.
+        let mut t = Tree::new("root");
+        let mut leaves = Vec::new();
+        for i in 0..10 {
+            let branch = t.add_element(t.root(), format!("branch{i}"));
+            for j in 0..30 {
+                leaves.push(t.add_element(branch, format!("leaf{j}")));
+            }
+        }
+        let chunks = t.slot_count().div_ceil(64) as u64;
+        let snapshot = t.clone();
+        let before = t.chunk_copies();
+        // A single-label edit touches exactly one chunk.
+        t.set_label(leaves[7], "renamed");
+        let copied = t.chunk_copies() - before;
+        assert_eq!(copied, 1, "one chunk copy for one touched node");
+        assert!(copied < chunks, "far fewer copies than total chunks");
+        // The snapshot still sees the old label, untouched.
+        assert_eq!(snapshot.label(leaves[7]).element_name(), Some("leaf7"));
+        assert_eq!(t.label(leaves[7]).element_name(), Some("renamed"));
+        assert_eq!(snapshot.node_count(), t.node_count());
+        assert!(snapshot.validate().is_ok());
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn small_mutation_batch_copies_few_chunks() {
+        let mut t = Tree::new("root");
+        for i in 0..8 {
+            let branch = t.add_element(t.root(), format!("branch{i}"));
+            for j in 0..40 {
+                t.add_element(branch, format!("leaf{j}"));
+            }
+        }
+        let _pin = t.clone();
+        let before = t.chunk_copies();
+        // One insert: copies the tail chunk plus the parent's chunk at most.
+        let parent = t.find_elements("branch3")[0];
+        t.add_element(parent, "new-leaf");
+        let copied = t.chunk_copies() - before;
+        assert!(
+            copied <= 2,
+            "insert after a snapshot copied {copied} chunks, expected <= 2"
+        );
     }
 
     #[test]

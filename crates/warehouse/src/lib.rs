@@ -42,4 +42,4 @@ pub use modules::{
 };
 pub use pxml_store::CommitPolicy;
 pub use session::{CompactionPolicy, Document, Session, SessionConfig, Txn};
-pub use warehouse::{AsyncCommit, Warehouse, WarehouseError, WarehouseStats};
+pub use warehouse::{AsyncCommit, DocSnapshot, Warehouse, WarehouseError, WarehouseStats};

@@ -58,7 +58,7 @@ use pxml_query::Pattern;
 use pxml_store::{CommitPolicy, StorageBackend};
 use pxml_tree::Tree;
 
-use crate::warehouse::{AsyncCommit, Warehouse, WarehouseError, WarehouseStats};
+use crate::warehouse::{AsyncCommit, DocSnapshot, Warehouse, WarehouseError, WarehouseStats};
 
 /// When the commit pipeline folds a document's journal into a fresh
 /// checkpoint (a **compaction**: the checkpoint write and the journal
@@ -234,8 +234,20 @@ impl Document {
     }
 
     /// A snapshot of the document's current fuzzy tree.
+    ///
+    /// This clones the tree out of the published snapshot; prefer
+    /// [`Document::pin`] when a shared, immutable view is enough.
     pub fn snapshot(&self) -> Result<FuzzyTree, WarehouseError> {
         self.engine.document(&self.name)
+    }
+
+    /// Pins the document's current published snapshot in O(1).
+    ///
+    /// The returned [`DocSnapshot`] is an `Arc` over immutable state: it
+    /// never blocks writers, never changes under the caller, and stays
+    /// readable even after the document is dropped from the warehouse.
+    pub fn pin(&self) -> Result<DocSnapshot, WarehouseError> {
+        self.engine.snapshot(&self.name)
     }
 
     /// Runs the simplifier on the document and persists the result as a
@@ -403,6 +415,28 @@ mod tests {
         let result = people.query(&phones).unwrap();
         assert_eq!(result.len(), 2);
         assert_eq!(session.stats().updates_applied, 2);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// `Document::pin` hands out the published snapshot without copying it,
+    /// and the pin stays frozen while later commits publish successors.
+    #[test]
+    fn pinned_snapshot_survives_later_commits() {
+        let dir = scratch("pin");
+        let session = Session::open(&dir, SessionConfig::default()).unwrap();
+        let people = session.create("people", directory()).unwrap();
+        let pinned = people.pin().unwrap();
+
+        people
+            .begin()
+            .stage(add_fact("alice", "phone", "+33-1", 0.8))
+            .commit()
+            .unwrap();
+
+        assert!(pinned.fuzzy().tree().find_elements("phone").is_empty());
+        let current = people.pin().unwrap();
+        assert!(current.seq() > pinned.seq());
+        assert_eq!(current.fuzzy().tree().find_elements("phone").len(), 1);
         std::fs::remove_dir_all(dir).unwrap();
     }
 

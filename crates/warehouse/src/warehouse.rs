@@ -6,44 +6,64 @@
 //! an atomic batch-commit pipeline and durable storage. User code should
 //! reach it through a [`crate::session::Session`].
 //!
-//! # Concurrency model
+//! # Concurrency model: MVCC snapshots
 //!
 //! The document registry is split into a fixed number of shards, each an
-//! independently locked map from document name to an `Arc`-shared,
-//! individually locked document slot:
+//! independently locked map from document name to an `Arc`-shared document
+//! slot. A slot holds the document's state as an **immutable, `Arc`-shared
+//! snapshot** plus a commit mutex that serializes writers:
 //!
 //! ```text
 //! Warehouse
-//! ├── shards[hash(name) % N]: RwLock<HashMap<String, Arc<RwLock<DocEntry>>>>
+//! ├── shards[hash(name) % N]: RwLock<HashMap<String, Arc<DocSlot>>>
 //! │        │  (held only to look up / insert / remove a slot)
-//! │        └── slot: Arc<RwLock<DocEntry>>   (one lock per document)
+//! │        └── slot: Arc<DocSlot>
+//! │             ├── commit: Mutex<()>        (one writer pipeline at a time)
+//! │             └── state: RwLock<DocState>  (published Arc<snapshot> +
+//! │                                           tombstone; held O(1) only)
 //! ├── stats: atomic counters (never block anything)
 //! └── store: Arc<dyn StorageBackend> (per-document serialization per the
 //!            trait contract; FsBackend by default)
 //! ```
 //!
+//! **Readers never block writers and writers never block readers.** A query
+//! pins the current snapshot — an `Arc` clone under the state lock, O(1) —
+//! and then runs entirely lock-free against immutable data. A commit takes
+//! the commit mutex (serializing only against other writers of the *same*
+//! document), clones the pinned snapshot's fuzzy tree — a copy-on-write
+//! clone that shares every arena chunk with the snapshot — applies the
+//! batch (path-copying only the chunks it touches), journals it (the
+//! durable commit point), and publishes the result by swapping the `Arc`
+//! under a briefly-held state write lock. The state lock is therefore only
+//! ever held for pointer reads and swaps; a slow query can no longer stall
+//! a commit, and a streaming writer cannot stall readers (experiment E15
+//! measures exactly this).
+//!
 //! Lock ordering rules (every method obeys them, so the engine cannot
 //! deadlock):
 //!
-//! 1. a shard lock is never held while acquiring a document lock — resolving
-//!    a name clones the slot's `Arc` under the shard lock and drops the
-//!    shard lock before locking the document;
-//! 2. a document lock is never held while acquiring a shard lock;
-//! 3. no method ever holds two document locks at once.
+//! 1. a shard lock is never held while acquiring any document lock —
+//!    resolving a name clones the slot's `Arc` under the shard lock and
+//!    drops the shard lock first;
+//! 2. within one document, the commit mutex is acquired before the state
+//!    lock, never the reverse;
+//! 3. no document lock is ever held while acquiring a shard lock, and no
+//!    method ever holds two documents' locks at once.
 //!
-//! Consequences: [`Warehouse::commit_batch`] takes exactly one document's
-//! write lock, so commits to distinct documents run in parallel; queries
-//! take one document's read lock, so readers of document *A* are never
-//! blocked by a writer of document *B*; [`Warehouse::stats`] reads atomics
-//! and never blocks a commit.
+//! Memory reclamation is reference-counted: a published snapshot stays
+//! alive exactly as long as some reader still pins it (or it is current);
+//! when the last `Arc` drops, the chunks that were *not* shared with newer
+//! snapshots are freed with it. Dead arena slots left behind by deletions
+//! are reclaimed by folding a compaction into the commit pipeline once the
+//! slot count outgrows the live count (see [`Warehouse::commit_batch`]).
 //!
 //! Removal is tombstone-based: [`Warehouse::drop_document`] waits out
-//! in-flight work on the document (its write lock), marks the entry dropped
-//! and deletes the files under that lock, and only then unlinks the name
-//! from its shard. Every path re-checks the tombstone after acquiring a
-//! slot lock, so a caller that resolved the slot before the drop — or that
-//! races a same-name re-create — reports `UnknownDocument` instead of
-//! leaking work into the wrong document.
+//! in-flight work on the document (its commit mutex), marks the entry
+//! dropped under the state lock and deletes the files, and only then
+//! unlinks the name from its shard. Every path re-checks the tombstone when
+//! pinning a snapshot, so a caller that resolved the slot before the drop —
+//! or that races a same-name re-create — reports `UnknownDocument` instead
+//! of leaking work into the wrong document.
 //!
 //! These rules are not just prose: every lock here carries a
 //! `parking_lot::LockClass` (`Shard`, `DocEntry`, …) and the whole test
@@ -63,7 +83,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{LockClass, RwLock};
+use parking_lot::{LockClass, Mutex, RwLock};
 use pxml_core::{
     BatchStats, CoreError, FuzzyQueryResult, FuzzyTree, Simplifier, SimplifyPolicy, SimplifyReport,
     UpdateTransaction,
@@ -196,31 +216,104 @@ impl StatsCounters {
     }
 }
 
-/// One document's engine-resident state, behind its own lock.
-struct DocEntry {
+/// An immutable, `Arc`-shared snapshot of one document's state, pinned in
+/// O(1) by [`Warehouse::snapshot`]. Everything behind the handle — tree,
+/// conditions, event table — is frozen: queries against it run lock-free,
+/// and commits that land after the pin publish *new* snapshots without
+/// touching this one. Cloning the handle is a reference-count bump.
+///
+/// The snapshot's memory is reclaimed when the last handle drops; arena
+/// chunks shared with newer snapshots survive with them (structural
+/// sharing), so holding an old snapshot costs only the chunks that have
+/// since been rewritten.
+#[derive(Debug, Clone)]
+pub struct DocSnapshot {
+    inner: Arc<SnapshotInner>,
+}
+
+#[derive(Debug)]
+struct SnapshotInner {
     fuzzy: FuzzyTree,
-    /// Tombstone set by [`Warehouse::drop_document`] under the write lock.
-    /// A caller that resolved this slot *before* the drop re-checks it after
-    /// acquiring the lock: without the check, a commit racing a drop + a
-    /// same-name re-create would apply its batch to this orphaned entry while
+    seq: u64,
+}
+
+impl DocSnapshot {
+    fn first(fuzzy: FuzzyTree) -> Self {
+        DocSnapshot {
+            inner: Arc::new(SnapshotInner { fuzzy, seq: 0 }),
+        }
+    }
+
+    /// The snapshot `fuzzy` as the successor of `self`.
+    fn successor(&self, fuzzy: FuzzyTree) -> Self {
+        DocSnapshot {
+            inner: Arc::new(SnapshotInner {
+                fuzzy,
+                seq: self.inner.seq + 1,
+            }),
+        }
+    }
+
+    /// The frozen fuzzy tree.
+    pub fn fuzzy(&self) -> &FuzzyTree {
+        &self.inner.fuzzy
+    }
+
+    /// The document's commit sequence number at the time of the pin: 0 at
+    /// creation/recovery, +1 per published commit (or simplify). Strictly
+    /// monotonic per document, so two pins can be ordered.
+    pub fn seq(&self) -> u64 {
+        self.inner.seq
+    }
+}
+
+/// The published, swappable part of a document slot.
+struct DocState {
+    snapshot: DocSnapshot,
+    /// Tombstone set by [`Warehouse::drop_document`] under the state lock.
+    /// A caller that resolved this slot *before* the drop re-checks it when
+    /// pinning: without the check, a commit racing a drop + a same-name
+    /// re-create would apply its batch to this orphaned entry while
     /// journaling it against the unrelated new document.
     dropped: bool,
 }
 
-impl DocEntry {
+/// One document's engine-resident state.
+struct DocSlot {
+    /// Serializes writers: held across the whole apply → journal → swap →
+    /// maintenance pipeline of [`Warehouse::commit_batch`] (and by
+    /// `simplify`/`checkpoint`/`drop_document`, which must not interleave
+    /// with a commit). Readers never touch it.
+    commit: Mutex<()>,
+    /// The published snapshot + tombstone. Only ever held long enough to
+    /// clone or swap the snapshot `Arc` — O(1), never across an apply,
+    /// a query, or storage I/O.
+    state: RwLock<DocState>,
+}
+
+impl DocSlot {
     fn live(fuzzy: FuzzyTree) -> Slot {
-        Arc::new(RwLock::with_class(
-            LockClass::DocEntry,
-            DocEntry {
-                fuzzy,
-                dropped: false,
-            },
-        ))
+        Arc::new(DocSlot {
+            commit: Mutex::with_class(LockClass::DocCommit, ()),
+            state: RwLock::with_class(
+                LockClass::DocEntry,
+                DocState {
+                    snapshot: DocSnapshot::first(fuzzy),
+                    dropped: false,
+                },
+            ),
+        })
     }
 }
 
-/// A shared handle to one document's lock + state.
-type Slot = Arc<RwLock<DocEntry>>;
+/// A shared handle to one document's locks + published state.
+type Slot = Arc<DocSlot>;
+
+/// Dead-slot slack tolerated before a commit folds an arena compaction into
+/// its pipeline: compaction runs once `slot_count > 2 × node_count + SLACK`,
+/// so churn-heavy documents stay within a constant factor of their live
+/// size while small documents never pay for rebuilds.
+const SLOT_SLACK: usize = 64;
 
 /// One shard of the document registry.
 struct Shard {
@@ -303,7 +396,7 @@ impl Warehouse {
                 .shard(&name)
                 .slots
                 .write()
-                .insert(name, DocEntry::live(fuzzy));
+                .insert(name, DocSlot::live(fuzzy));
         }
         Ok(warehouse)
     }
@@ -382,30 +475,34 @@ impl Warehouse {
             return Err(WarehouseError::DuplicateDocument(name.to_string()));
         }
         self.store.save_document(name, &fuzzy)?;
-        slots.insert(name.to_string(), DocEntry::live(fuzzy));
+        slots.insert(name.to_string(), DocSlot::live(fuzzy));
         Ok(())
     }
 
     /// Removes a document from the warehouse and from storage.
     ///
-    /// Ordering matters: the document's write lock is taken *first* (waiting
-    /// out in-flight work on this document), the entry is tombstoned and its
-    /// files deleted under that lock, and only then — after the lock is
-    /// released — is the name unlinked from its shard. Until the unlink, a
-    /// concurrent `create` of the same name reports `DuplicateDocument`, so
-    /// no new document can interleave with the deletion; afterwards, any
-    /// caller still holding the old slot sees the tombstone and reports
-    /// `UnknownDocument` instead of touching the store.
+    /// Ordering matters: the document's commit mutex is taken *first*
+    /// (waiting out any in-flight commit pipeline), the entry is tombstoned
+    /// under the state lock and its files deleted, and only then — after the
+    /// locks are released — is the name unlinked from its shard. Until the
+    /// unlink, a concurrent `create` of the same name reports
+    /// `DuplicateDocument`, so no new document can interleave with the
+    /// deletion; afterwards, any caller still holding the old slot sees the
+    /// tombstone and reports `UnknownDocument` instead of touching the
+    /// store. Readers that pinned a snapshot before the drop keep their
+    /// (now-orphaned) snapshot — dropping a document never tears state out
+    /// from under a running query.
     pub fn drop_document(&self, name: &str) -> Result<(), WarehouseError> {
         let slot = self.slot(name)?;
         {
-            let mut entry = slot.write();
-            if entry.dropped {
+            let _commit = slot.commit.lock();
+            let mut state = slot.state.write();
+            if state.dropped {
                 // A concurrent drop won the race for the same slot.
                 return Err(WarehouseError::UnknownDocument(name.to_string()));
             }
             self.store.remove_document(name)?;
-            entry.dropped = true;
+            state.dropped = true;
         }
         // The tombstone guarantees this mapping still points at `slot`: a
         // same-name create cannot have replaced it while the name was mapped.
@@ -413,52 +510,70 @@ impl Warehouse {
         Ok(())
     }
 
-    /// Returns `UnknownDocument` if the entry was tombstoned by a concurrent
-    /// [`Warehouse::drop_document`] after this caller resolved the slot.
-    fn check_live(entry: &DocEntry, name: &str) -> Result<(), WarehouseError> {
-        if entry.dropped {
+    /// Pins the slot's current snapshot — an `Arc` bump under the briefly
+    /// held state read lock. Returns `UnknownDocument` if the entry was
+    /// tombstoned by a concurrent [`Warehouse::drop_document`] after this
+    /// caller resolved the slot.
+    fn pin(slot: &DocSlot, name: &str) -> Result<DocSnapshot, WarehouseError> {
+        let state = slot.state.read();
+        if state.dropped {
             return Err(WarehouseError::UnknownDocument(name.to_string()));
         }
-        Ok(())
+        Ok(state.snapshot.clone())
     }
 
-    /// A snapshot of a document's current fuzzy tree.
-    pub fn document(&self, name: &str) -> Result<FuzzyTree, WarehouseError> {
+    /// Pins the current snapshot of a document: O(1), and the returned
+    /// handle stays valid (and immutable) no matter what commits, drops or
+    /// re-creates happen afterwards.
+    pub fn snapshot(&self, name: &str) -> Result<DocSnapshot, WarehouseError> {
         let slot = self.slot(name)?;
-        let entry = slot.read();
-        Self::check_live(&entry, name)?;
-        Ok(entry.fuzzy.clone())
+        Self::pin(&slot, name)
+    }
+
+    /// A copy of a document's current fuzzy tree. This pins the current
+    /// snapshot and clones it *outside* any lock — the clone is
+    /// copy-on-write (shared arena chunks), so the cost is O(chunks)
+    /// pointer bumps, not a deep copy. Prefer [`Warehouse::snapshot`] when
+    /// read-only access is enough.
+    pub fn document(&self, name: &str) -> Result<FuzzyTree, WarehouseError> {
+        let snapshot = self.snapshot(name)?;
+        Ok(snapshot.fuzzy().clone())
     }
 
     /// Evaluates a TPWJ query against a document (slide 3's query interface:
-    /// "query → results + confidence"). Holds only this document's read
-    /// lock: queries are never blocked by writers of other documents, and
-    /// concurrent readers of the same document share the lock.
+    /// "query → results + confidence"). Pins the current snapshot in O(1)
+    /// and evaluates **lock-free** against it: queries never block — and are
+    /// never blocked by — commits, not even commits to the same document.
     pub fn query(&self, name: &str, pattern: &Pattern) -> Result<FuzzyQueryResult, WarehouseError> {
-        let slot = self.slot(name)?;
-        let result = {
-            let entry = slot.read();
-            Self::check_live(&entry, name)?;
-            entry.fuzzy.query(pattern)
-        };
+        let snapshot = self.snapshot(name)?;
+        let result = snapshot.fuzzy().query(pattern);
         self.stats.queries_evaluated.fetch_add(1, Ordering::Relaxed);
         Ok(result)
     }
 
     /// Commits a staged transaction batch to a document atomically: the
-    /// batch is applied to a working copy through the policy-aware pipeline
-    /// (`policy` overrides the session policy when given), journaled as one
-    /// durable entry (the fsync'd journal-record append is the commit
-    /// point), and only then
-    /// swapped in — an error *before* the commit point leaves the in-memory
-    /// document and the journal exactly as they were. Configured maintenance
-    /// (checkpoint folding) runs after the commit; a maintenance error is
-    /// reported, but the commit itself is already durable and recoverable at
-    /// that point.
+    /// batch is applied to a copy-on-write clone of the current snapshot
+    /// through the policy-aware pipeline (`policy` overrides the session
+    /// policy when given), journaled as one durable entry (the fsync'd
+    /// journal-record append is the commit point), and only then published
+    /// as the document's new snapshot by an O(1) pointer swap — an error
+    /// *before* the commit point leaves the published snapshot and the
+    /// journal exactly as they were. Configured maintenance (checkpoint
+    /// folding) runs after the commit; a maintenance error is reported, but
+    /// the commit itself is already durable and recoverable at that point.
     ///
-    /// Locking: exactly one document's write lock is held, start to finish.
-    /// Commits to other documents, and queries against them, proceed in
-    /// parallel; only traffic on *this* document waits.
+    /// Locking: the document's commit mutex is held start to finish, so
+    /// writers to the same document serialize (no lost updates); the state
+    /// lock is held only for the O(1) base pin and the final swap. Commits
+    /// to other documents run in parallel, and queries — even against *this*
+    /// document — are never blocked: they keep reading the pre-commit
+    /// snapshot until the swap publishes the new one.
+    ///
+    /// The apply path-copies only the arena chunks the batch touches
+    /// (structural sharing with the base snapshot), so the copy work is
+    /// O(changed path), not O(document). When deletions have left the arena
+    /// with more than `2 × live + SLOT_SLACK` slots, a compaction is folded
+    /// in before the swap, reclaiming the dead slots.
     ///
     /// This is the engine path behind [`crate::session::Txn::commit`].
     pub fn commit_batch(
@@ -469,16 +584,17 @@ impl Warehouse {
     ) -> Result<BatchStats, WarehouseError> {
         let policy = policy.unwrap_or(self.config.simplify);
         let slot = self.slot(name)?;
-        let mut entry = slot.write();
-        Self::check_live(&entry, name)?;
+        let _commit = slot.commit.lock();
+        let base = Self::pin(&slot, name)?;
         if batch.is_empty() {
             return Ok(BatchStats::default());
         }
         // Apply to a working copy first (rollback = dropping the copy), make
-        // the batch durable, then swap the new state in. The grouped append
-        // lets the backend share this batch's fsync with concurrent commits
-        // to other documents; on `Sync` backends it is the plain append.
-        let mut working = entry.fuzzy.clone();
+        // the batch durable, then publish the new snapshot. The grouped
+        // append lets the backend share this batch's fsync with concurrent
+        // commits to other documents; on `Sync` backends it is the plain
+        // append.
+        let mut working = base.fuzzy().clone();
         let mut batch_stats = BatchStats::default();
         for update in batch {
             batch_stats
@@ -486,7 +602,7 @@ impl Warehouse {
                 .push(update.apply_to_fuzzy_with(&mut working, policy)?);
         }
         self.store.append_batch_grouped(name, batch)?;
-        entry.fuzzy = working;
+        let published = Self::publish(&slot, &base, working);
 
         // The commit happened: record it before any maintenance can fail.
         self.stats
@@ -496,16 +612,30 @@ impl Warehouse {
             .simplifications
             .fetch_add(batch_stats.simplify_runs(), Ordering::Relaxed);
         // Compaction rides the commit pipeline: the journal meters are O(1)
-        // backend metadata, so an undue policy costs two counter reads.
+        // backend metadata, so an undue policy costs two counter reads. The
+        // commit mutex is still held, so the save + truncate cannot
+        // interleave with another commit's journal append.
         let due = self.config.compaction.is_due(
             self.store.journal_batches(name)?,
             self.store.journal_size_bytes(name)?,
         );
         if due {
-            self.store.checkpoint(name, &entry.fuzzy)?;
+            self.store.checkpoint(name, published.fuzzy())?;
             self.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
         }
         Ok(batch_stats)
+    }
+
+    /// Publishes `working` as the document's next snapshot (reclaiming dead
+    /// arena slots first when they outnumber the live ones) and returns the
+    /// published handle. Caller must hold the slot's commit mutex.
+    fn publish(slot: &DocSlot, base: &DocSnapshot, mut working: FuzzyTree) -> DocSnapshot {
+        if working.tree().slot_count() > 2 * working.tree().node_count() + SLOT_SLACK {
+            working.compact_slots();
+        }
+        let next = base.successor(working);
+        slot.state.write().snapshot = next.clone();
+        next
     }
 
     /// Commits a staged batch through the **asynchronous write pipeline**:
@@ -537,15 +667,15 @@ impl Warehouse {
     ) -> Result<AsyncCommit, WarehouseError> {
         let policy = policy.unwrap_or(self.config.simplify);
         let slot = self.slot(name)?;
-        let mut entry = slot.write();
-        Self::check_live(&entry, name)?;
+        let commit = slot.commit.lock();
+        let base = Self::pin(&slot, name)?;
         if batch.is_empty() {
             return Ok(AsyncCommit {
                 stats: BatchStats::default(),
                 ticket: CommitTicket::resolved(Ok(())),
             });
         }
-        let mut working = entry.fuzzy.clone();
+        let mut working = base.fuzzy().clone();
         let mut batch_stats = BatchStats::default();
         for update in batch {
             batch_stats
@@ -553,8 +683,8 @@ impl Warehouse {
                 .push(update.apply_to_fuzzy_with(&mut working, policy)?);
         }
         let ticket = self.store.append_batch_enqueue(name, batch);
-        entry.fuzzy = working;
-        drop(entry);
+        Self::publish(&slot, &base, working);
+        drop(commit);
         self.stats
             .updates_applied
             .fetch_add(batch.len(), Ordering::Relaxed);
@@ -571,8 +701,7 @@ impl Warehouse {
     /// compaction — O(1) from the backend's journal meters.
     pub fn journal_length(&self, name: &str) -> Result<usize, WarehouseError> {
         let slot = self.slot(name)?;
-        let entry = slot.read();
-        Self::check_live(&entry, name)?;
+        Self::pin(&slot, name)?;
         Ok(self.store.journal_length(name)?)
     }
 
@@ -581,20 +710,23 @@ impl Warehouse {
     /// meter.
     pub fn journal_size_bytes(&self, name: &str) -> Result<u64, WarehouseError> {
         let slot = self.slot(name)?;
-        let entry = slot.read();
-        Self::check_live(&entry, name)?;
+        Self::pin(&slot, name)?;
         Ok(self.store.journal_size_bytes(name)?)
     }
 
     /// Runs the simplifier on a document and persists the result as a fresh
-    /// checkpoint.
+    /// checkpoint. The simplifier works on a copy-on-write clone under the
+    /// commit mutex (it is a writer); readers keep querying the
+    /// pre-simplification snapshot until the result is published.
     pub fn simplify(&self, name: &str) -> Result<SimplifyReport, WarehouseError> {
         let slot = self.slot(name)?;
-        let mut entry = slot.write();
-        Self::check_live(&entry, name)?;
-        let report = Simplifier::new().run(&mut entry.fuzzy)?;
-        self.store.checkpoint(name, &entry.fuzzy)?;
-        drop(entry);
+        let commit = slot.commit.lock();
+        let base = Self::pin(&slot, name)?;
+        let mut working = base.fuzzy().clone();
+        let report = Simplifier::new().run(&mut working)?;
+        self.store.checkpoint(name, &working)?;
+        Self::publish(&slot, &base, working);
+        drop(commit);
         self.stats.simplifications.fetch_add(1, Ordering::Relaxed);
         self.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
         Ok(report)
@@ -605,11 +737,12 @@ impl Warehouse {
     pub fn checkpoint(&self, name: &str) -> Result<(), WarehouseError> {
         let slot = self.slot(name)?;
         {
-            // Read lock: the state is not mutated, but concurrent commits to
-            // this document must not interleave with the save + truncate.
-            let entry = slot.read();
-            Self::check_live(&entry, name)?;
-            self.store.checkpoint(name, &entry.fuzzy)?;
+            // The commit mutex — not the state lock — excludes concurrent
+            // commits, whose journal appends must not interleave with the
+            // save + truncate. Readers are unaffected.
+            let _commit = slot.commit.lock();
+            let snapshot = Self::pin(&slot, name)?;
+            self.store.checkpoint(name, snapshot.fuzzy())?;
         }
         self.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -627,16 +760,17 @@ impl Warehouse {
         stats
     }
 
-    /// Test hook: runs `body` while holding `name`'s document write lock,
-    /// proving what the lock does and does not cover.
+    /// Test hook: runs `body` while holding `name`'s commit mutex — a writer
+    /// frozen mid-pipeline — proving what the mutex does (serialize writers,
+    /// gate drops) and does not (block readers) cover.
     #[cfg(test)]
-    pub(crate) fn with_document_write_locked<R>(
+    pub(crate) fn with_document_commit_locked<R>(
         &self,
         name: &str,
         body: impl FnOnce() -> R,
     ) -> Result<R, WarehouseError> {
         let slot = self.slot(name)?;
-        let _entry = slot.write();
+        let _commit = slot.commit.lock();
         Ok(body())
     }
 }
@@ -897,13 +1031,14 @@ mod tests {
         std::fs::remove_dir_all(dir).unwrap();
     }
 
-    /// The core claim of the sharded engine, tested deterministically: while
-    /// one document's write lock is held (a writer mid-commit), queries and
-    /// commits against *another* document complete. With the old global
-    /// document-map lock this test deadlocks (the query blocks until the
-    /// "commit" finishes, which waits for the query).
+    /// The core claims of the MVCC engine, tested deterministically: while
+    /// one document's commit mutex is held (a writer frozen mid-pipeline),
+    /// (1) queries and commits against *another* document complete, (2)
+    /// queries against the busy document itself complete too — readers pin
+    /// the published snapshot and never touch the commit mutex — and (3) a
+    /// second *writer* of the busy document does wait.
     #[test]
-    fn other_documents_stay_available_while_one_is_write_locked() {
+    fn readers_and_other_documents_stay_available_while_one_commits() {
         let dir = scratch("independent-locks");
         let warehouse = std::sync::Arc::new(Warehouse::with_config(&dir, plain_config()).unwrap());
         warehouse.create_document("busy", directory()).unwrap();
@@ -912,8 +1047,8 @@ mod tests {
         let (done_tx, done_rx) = mpsc::channel();
         let (blocked_tx, blocked_rx) = mpsc::channel();
         warehouse
-            .with_document_write_locked("busy", || {
-                // A thread works the *other* document while `busy` is locked.
+            .with_document_commit_locked("busy", || {
+                // A thread works the *other* document while `busy` commits.
                 let shared = warehouse.clone();
                 let worker = std::thread::spawn(move || {
                     let phones = Pattern::parse("person { phone }").unwrap();
@@ -924,27 +1059,37 @@ mod tests {
                 });
                 done_rx
                     .recv_timeout(Duration::from_secs(30))
-                    .expect("work on `idle` must not wait for `busy`'s write lock");
+                    .expect("work on `idle` must not wait for `busy`'s commit");
                 worker.join().unwrap();
 
-                // A reader of `busy` itself *does* wait for the writer.
+                // A reader of `busy` itself completes immediately: it reads
+                // the published snapshot, not the writer's working copy.
+                let phones = Pattern::parse("person { phone }").unwrap();
+                assert!(
+                    warehouse.query("busy", &phones).unwrap().is_empty(),
+                    "a query against the committing document must not block"
+                );
+
+                // A second writer of `busy` does wait for the pipeline.
                 let shared = warehouse.clone();
-                let reader = std::thread::spawn(move || {
-                    let phones = Pattern::parse("person { phone }").unwrap();
-                    let _ = shared.query("busy", &phones).unwrap();
+                let writer = std::thread::spawn(move || {
+                    commit_one(&shared, "busy", &add_phone("bob", 0.7)).unwrap();
                     blocked_tx.send(()).unwrap();
                 });
                 assert!(
                     blocked_rx.recv_timeout(Duration::from_millis(100)).is_err(),
-                    "a query against the locked document must block"
+                    "a second commit to the same document must serialize"
                 );
-                reader
+                writer
             })
             .unwrap()
             .join()
             .unwrap();
-        // Once the lock is released the blocked reader completes.
+        // Once the pipeline finishes the blocked writer completes and its
+        // commit is visible.
         blocked_rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        let phones = Pattern::parse("person { phone }").unwrap();
+        assert_eq!(warehouse.query("busy", &phones).unwrap().len(), 1);
         std::fs::remove_dir_all(dir).unwrap();
     }
 
@@ -1051,7 +1196,10 @@ mod tests {
         // The race window: a slot resolved before the drop.
         let stale = warehouse.slot("people").unwrap();
         warehouse.drop_document("people").unwrap();
-        assert!(stale.read().dropped, "drop must tombstone the old entry");
+        assert!(
+            stale.state.read().dropped,
+            "drop must tombstone the old entry"
+        );
         warehouse.create_document("people", directory()).unwrap();
 
         // Fresh-name traffic works and starts from the clean re-created state.
@@ -1065,7 +1213,7 @@ mod tests {
         std::fs::remove_dir_all(dir).unwrap();
     }
 
-    /// A drop issued while another thread holds the document's write lock
+    /// A drop issued while another thread holds the document's commit mutex
     /// (a commit in flight) waits for that work; once it completes, every
     /// path — including callers still holding the old slot — reports
     /// `UnknownDocument`.
@@ -1076,7 +1224,7 @@ mod tests {
         warehouse.create_document("people", directory()).unwrap();
         let (dropped_tx, dropped_rx) = mpsc::channel();
         let dropper = warehouse
-            .with_document_write_locked("people", || {
+            .with_document_commit_locked("people", || {
                 let shared = warehouse.clone();
                 let dropper = std::thread::spawn(move || {
                     shared.drop_document("people").unwrap();
@@ -1217,6 +1365,136 @@ mod tests {
             warehouse.journal_size_bytes("ghost"),
             Err(WarehouseError::UnknownDocument(_))
         ));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// A snapshot taken while a commit is in flight reflects exactly the
+    /// pre-commit state, and a snapshot pinned before the commit keeps that
+    /// state forever — publishing swaps a pointer, it never mutates what
+    /// readers already hold.
+    #[test]
+    fn snapshot_mid_commit_reflects_pre_commit_state() {
+        let dir = scratch("mid-commit-snapshot");
+        let warehouse = std::sync::Arc::new(Warehouse::with_config(&dir, plain_config()).unwrap());
+        warehouse.create_document("people", directory()).unwrap();
+        commit_one(&warehouse, "people", &add_phone("alice", 0.8)).unwrap();
+        let phones = Pattern::parse("person { phone }").unwrap();
+        let pinned = warehouse.snapshot("people").unwrap();
+
+        let (committed_tx, committed_rx) = mpsc::channel();
+        warehouse
+            .with_document_commit_locked("people", || {
+                let shared = warehouse.clone();
+                let writer = std::thread::spawn(move || {
+                    commit_one(&shared, "people", &add_phone("bob", 0.6)).unwrap();
+                    committed_tx.send(()).unwrap();
+                });
+                assert!(
+                    committed_rx
+                        .recv_timeout(Duration::from_millis(100))
+                        .is_err(),
+                    "the spawned commit must be parked on the commit mutex"
+                );
+                // Snapshots taken *now* — mid-commit — see the pre-commit
+                // state, without blocking.
+                let mid = warehouse.snapshot("people").unwrap();
+                assert_eq!(mid.seq(), pinned.seq());
+                assert_eq!(warehouse.query("people", &phones).unwrap().len(), 1);
+                let observed = warehouse.document("people").unwrap();
+                assert_eq!(
+                    observed.fuzzy_canonical_string(observed.root()),
+                    pinned.fuzzy().fuzzy_canonical_string(pinned.fuzzy().root())
+                );
+                writer
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+        committed_rx.recv_timeout(Duration::from_secs(30)).unwrap();
+
+        // The commit landed, but the pinned snapshot is frozen in time.
+        let current = warehouse.snapshot("people").unwrap();
+        assert!(current.seq() > pinned.seq());
+        assert_eq!(warehouse.query("people", &phones).unwrap().len(), 2);
+        assert_eq!(pinned.fuzzy().tree().find_elements("phone").len(), 1);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// The whole point of the chunked arena: a commit path-copies only the
+    /// chunks its batch touches. Ten single-insert commits against a large
+    /// document must copy a handful of chunks each, nowhere near the full
+    /// chunk count a clone-the-world pipeline would pay per commit.
+    #[test]
+    fn commits_copy_only_the_touched_chunks() {
+        let dir = scratch("cow-chunks");
+        let warehouse = Warehouse::with_config(&dir, plain_config()).unwrap();
+        let mut xml = String::from("<directory>");
+        for i in 0..300 {
+            xml.push_str(&format!("<person><name>p{i:03}</name></person>"));
+        }
+        xml.push_str("</directory>");
+        warehouse
+            .create_document("people", parse_data_tree(&xml).unwrap())
+            .unwrap();
+
+        let before = warehouse.snapshot("people").unwrap();
+        let chunks = before.fuzzy().tree().slot_count().div_ceil(64);
+        assert!(chunks >= 10, "document must span many chunks");
+        let copies_before = before.fuzzy().tree().chunk_copies();
+
+        let commits = 10;
+        for i in 0..commits {
+            let update = add_phone(&format!("p{i:03}"), 0.9);
+            commit_one(&warehouse, "people", &update).unwrap();
+        }
+
+        let after = warehouse.snapshot("people").unwrap();
+        let copied = after.fuzzy().tree().chunk_copies() - copies_before;
+        // Each commit touches the tail chunk (append) and the chunk holding
+        // the matched person; leave slack for condition bookkeeping.
+        assert!(
+            copied <= commits * 4,
+            "expected O(touched chunks) copies, got {copied} across {commits} commits \
+             of a {chunks}-chunk document"
+        );
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// Regression for the arena slot leak: `remove_subtree` only marks slots
+    /// dead and insertion always appends, so a long insert/delete churn used
+    /// to grow the arena without bound. The commit pipeline now compacts the
+    /// arena when dead slots dominate, keeping the slot count within a
+    /// constant factor of the live node count.
+    #[test]
+    fn arena_slots_reclaimed_after_churn() {
+        let dir = scratch("slot-churn");
+        let warehouse = Warehouse::with_config(&dir, plain_config()).unwrap();
+        warehouse.create_document("people", directory()).unwrap();
+
+        let delete_phone = {
+            let pattern = Pattern::parse("person { name[=\"alice\"], phone }").unwrap();
+            let phone = pattern.node_ids().nth(2).unwrap();
+            Update::matching(pattern).delete_at(phone).build().unwrap()
+        };
+        for _ in 0..200 {
+            commit_one(&warehouse, "people", &add_phone("alice", 1.0)).unwrap();
+            // Certain deletion: the subtree is removed outright, leaving a
+            // dead slot behind.
+            commit_one(&warehouse, "people", &delete_phone).unwrap();
+        }
+        commit_one(&warehouse, "people", &add_phone("alice", 1.0)).unwrap();
+
+        let snapshot = warehouse.snapshot("people").unwrap();
+        let tree = snapshot.fuzzy().tree();
+        assert!(
+            tree.slot_count() <= 2 * tree.node_count() + SLOT_SLACK,
+            "arena leaked: {} slots for {} live nodes",
+            tree.slot_count(),
+            tree.node_count()
+        );
+        // The churn didn't corrupt anything: exactly the final phone is live.
+        let phones = Pattern::parse("person { phone }").unwrap();
+        assert_eq!(warehouse.query("people", &phones).unwrap().len(), 1);
         std::fs::remove_dir_all(dir).unwrap();
     }
 

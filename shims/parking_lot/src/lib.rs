@@ -12,8 +12,8 @@
 //! acquisition is checked by a lockdep-style witness:
 //!
 //! - a **declared order** over the engine's ranked classes
-//!   (shard → doc-entry → group-committer → journal-registry → journal →
-//!   device → commit-slot): acquiring a class at or below the highest rank
+//!   (shard → doc-commit → doc-entry → group-committer → journal-registry →
+//!   journal → device → commit-slot): acquiring a class at or below the highest rank
 //!   already held by the current thread panics immediately, even if the
 //!   schedule happened not to deadlock this time;
 //! - a **global acquisition-order graph** over *all* classes: each
@@ -48,17 +48,21 @@ use std::time::Duration;
 pub enum LockClass {
     /// A warehouse shard's slot map (rank 0).
     Shard,
-    /// One document's entry behind its shard slot (rank 1).
+    /// One document's commit pipeline — the writer-serialization mutex held
+    /// across apply → journal → snapshot swap (rank 1).
+    DocCommit,
+    /// One document's published-state cell behind its shard slot; only ever
+    /// held for the O(1) snapshot read or pointer swap (rank 2).
     DocEntry,
-    /// The group committer's shared window (rank 2).
+    /// The group committer's shared window (rank 3).
     GroupCommitter,
-    /// The store's name → journal-handle registry (rank 3).
+    /// The store's name → journal-handle registry (rank 4).
     JournalRegistry,
-    /// One document's journal write handle (rank 4).
+    /// One document's journal write handle (rank 5).
     Journal,
-    /// The simulated storage device gate (rank 5).
+    /// The simulated storage device gate (rank 6).
     Device,
-    /// A group-commit slot's error cell (rank 6).
+    /// A group-commit slot's error cell (rank 7).
     CommitSlot,
     /// Unranked class for witness self-tests.
     TestA,
@@ -75,6 +79,7 @@ impl LockClass {
     pub const fn label(self) -> &'static str {
         match self {
             LockClass::Shard => "shard",
+            LockClass::DocCommit => "doc-commit",
             LockClass::DocEntry => "doc-entry",
             LockClass::GroupCommitter => "group-committer",
             LockClass::JournalRegistry => "journal-registry",
@@ -93,12 +98,13 @@ impl LockClass {
     pub const fn rank(self) -> Option<u8> {
         match self {
             LockClass::Shard => Some(0),
-            LockClass::DocEntry => Some(1),
-            LockClass::GroupCommitter => Some(2),
-            LockClass::JournalRegistry => Some(3),
-            LockClass::Journal => Some(4),
-            LockClass::Device => Some(5),
-            LockClass::CommitSlot => Some(6),
+            LockClass::DocCommit => Some(1),
+            LockClass::DocEntry => Some(2),
+            LockClass::GroupCommitter => Some(3),
+            LockClass::JournalRegistry => Some(4),
+            LockClass::Journal => Some(5),
+            LockClass::Device => Some(6),
+            LockClass::CommitSlot => Some(7),
             LockClass::TestA | LockClass::TestB | LockClass::TestC | LockClass::Unclassified => {
                 None
             }
@@ -109,16 +115,17 @@ impl LockClass {
     const fn index(self) -> usize {
         match self {
             LockClass::Shard => 0,
-            LockClass::DocEntry => 1,
-            LockClass::GroupCommitter => 2,
-            LockClass::JournalRegistry => 3,
-            LockClass::Journal => 4,
-            LockClass::Device => 5,
-            LockClass::CommitSlot => 6,
-            LockClass::TestA => 7,
-            LockClass::TestB => 8,
-            LockClass::TestC => 9,
-            LockClass::Unclassified => 10,
+            LockClass::DocCommit => 1,
+            LockClass::DocEntry => 2,
+            LockClass::GroupCommitter => 3,
+            LockClass::JournalRegistry => 4,
+            LockClass::Journal => 5,
+            LockClass::Device => 6,
+            LockClass::CommitSlot => 7,
+            LockClass::TestA => 8,
+            LockClass::TestB => 9,
+            LockClass::TestC => 10,
+            LockClass::Unclassified => 11,
         }
     }
 }
@@ -138,7 +145,7 @@ pub mod witness {
     use std::cell::RefCell;
     use std::sync::{Mutex as StdMutex, OnceLock};
 
-    const CLASSES: usize = 11;
+    const CLASSES: usize = 12;
 
     thread_local! {
         /// Classes of the locks the current thread holds, in acquisition
@@ -218,7 +225,7 @@ pub mod witness {
                 if new_rank <= held_rank {
                     panic!(
                         "lock-order witness: acquiring `{class}` while holding `{h}` \
-                         violates the declared order shard -> doc-entry -> \
+                         violates the declared order shard -> doc-commit -> doc-entry -> \
                          group-committer -> journal-registry -> journal -> device -> \
                          commit-slot"
                     );

@@ -121,7 +121,8 @@ pub mod prelude {
     };
     pub use pxml_tree::{parse_data_tree, write_data_tree, Label, NodeId, Tree};
     pub use pxml_warehouse::{
-        AsyncCommit, CompactionPolicy, Document, Session, SessionConfig, Txn, Warehouse,
+        AsyncCommit, CompactionPolicy, DocSnapshot, Document, Session, SessionConfig, Txn,
+        Warehouse,
     };
 }
 

@@ -246,6 +246,80 @@ fn concurrent_commits_keep_journals_separate_across_a_crash() {
     std::fs::remove_dir_all(dir).unwrap();
 }
 
+/// The MVCC battery: readers pin snapshots while a writer streams commits.
+/// Every query must complete against *some* published snapshot — phone
+/// counts observed by a reader are monotone non-decreasing (snapshots are
+/// published in order and never mutated), and a snapshot pinned before the
+/// stream keeps its state to the end.
+#[test]
+fn readers_pin_snapshots_while_writer_streams_commits() {
+    let dir = scratch("reader-pins-snapshot");
+    let session = Session::open(&dir, plain_config()).unwrap();
+    let doc = session.create("people", directory()).unwrap();
+    doc.begin()
+        .stage(tagged_phone(0, "pre-stream", 0.9))
+        .commit()
+        .unwrap();
+    let pinned = doc.pin().unwrap();
+    let pinned_phones = pinned.fuzzy().tree().find_elements("phone").len();
+
+    let commits = 24;
+    let readers = 3;
+    let phones = Pattern::parse("person { phone }").unwrap();
+    let barrier = Arc::new(Barrier::new(readers + 1));
+    std::thread::scope(|scope| {
+        for _ in 0..readers {
+            let doc = doc.clone();
+            let barrier = barrier.clone();
+            let phones = phones.clone();
+            scope.spawn(move || {
+                barrier.wait();
+                let mut last_seen = 0;
+                let mut last_seq = 0;
+                loop {
+                    let snapshot = doc.pin().unwrap();
+                    assert!(
+                        snapshot.seq() >= last_seq,
+                        "snapshots must be published in order"
+                    );
+                    last_seq = snapshot.seq();
+                    let seen = doc.query(&phones).unwrap().len();
+                    assert!(
+                        seen >= last_seen,
+                        "a reader observed a rollback: {seen} after {last_seen}"
+                    );
+                    last_seen = seen;
+                    if seen > commits {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+        let writer_doc = doc.clone();
+        let writer_barrier = barrier.clone();
+        scope.spawn(move || {
+            writer_barrier.wait();
+            for k in 0..commits {
+                writer_doc
+                    .begin()
+                    .stage(tagged_phone(k, &format!("stream-{k}"), 0.8))
+                    .commit()
+                    .unwrap();
+            }
+        });
+    });
+
+    // The pre-stream pin is untouched by the 24 commits that followed.
+    assert_eq!(
+        pinned.fuzzy().tree().find_elements("phone").len(),
+        pinned_phones
+    );
+    assert!(doc.pin().unwrap().seq() > pinned.seq());
+    assert_eq!(doc.query(&phones).unwrap().len(), commits + 1);
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
 /// Mixed traffic from many threads — queries, commits and stats polling over
 /// disjoint and shared documents — finishes with a consistent ledger: every
 /// thread's commits are counted, every document validates, and a reopened
