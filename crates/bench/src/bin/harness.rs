@@ -1,5 +1,6 @@
-//! The experiment harness: re-runs every experiment E1–E15 (each described
-//! at its section below) and prints paper-style result tables.
+//! The experiment harness: re-runs every experiment E1–E15 plus the served
+//! E17 request-rate sweep (each described at its section below) and prints
+//! paper-style result tables.
 //!
 //! Usage:
 //!
@@ -31,6 +32,7 @@ use pxml_gen::concurrent::{
 use pxml_gen::scenarios::{extraction_update, people_directory, PeopleScenarioConfig};
 use pxml_gen::storage::journal_batches;
 use pxml_query::{MatchStrategy, Pattern};
+use pxml_server::{Client, Server, ServerConfig};
 use pxml_store::{CommitPolicy, FsBackend, FsOptions, MemBackend, StorageBackend};
 use pxml_tree::parse_data_tree;
 use pxml_warehouse::{CompactionPolicy, Session, SessionConfig, Warehouse};
@@ -68,7 +70,7 @@ fn main() {
     println!("pxml experiment harness (quick = {quick})");
     println!("=========================================\n");
     type Experiment = fn(bool, &mut Report);
-    let experiments: [(&str, Experiment); 15] = [
+    let experiments: [(&str, Experiment); 16] = [
         ("e1", e1_possible_worlds_example),
         ("e2", e2_expressiveness),
         ("e3", e3_query_models),
@@ -84,6 +86,7 @@ fn main() {
         ("e13", e13_bdd_vs_shannon),
         ("e14", e14_group_commit),
         ("e15", e15_snapshot_reads),
+        ("e17", e17_request_rate),
     ];
     for (name, body) in experiments {
         if !want(name) {
@@ -2017,6 +2020,257 @@ fn e15_snapshot_reads(quick: bool, report: &mut Report) {
         micros(contended_p99)
     );
     drop(warehouse);
+    let _ = std::fs::remove_dir_all(&dir);
+    println!();
+}
+
+// ---------------------------------------------------------------------------
+// E17 — pxml-server request-rate sweep: wire throughput and tail latency.
+// ---------------------------------------------------------------------------
+
+/// Simulated device-flush latency for E17 — deliberately heavier than
+/// [`E15_FSYNC_LATENCY`] so the sweep stays flush-bound even on a small
+/// box: every durable commit pays this inside the device gate, pinning
+/// single-client throughput to it, and the scaling headroom comes from the
+/// cross-document group-commit pipeline sharing windows between clients.
+/// It also keeps the read-tail gate honest — wire queries pay scheduler
+/// noise under 16-way contention, which must stay clearly below a flush.
+const E17_FSYNC_LATENCY: Duration = Duration::from_millis(15);
+
+/// Builds the initial directory document the E17 clients hammer.
+fn e17_document(people: usize) -> String {
+    let mut xml = String::from("<directory>");
+    for index in 0..people {
+        xml.push_str(&format!("<person><name>person-{index}</name></person>"));
+    }
+    xml.push_str("</directory>");
+    xml
+}
+
+/// One confidence-weighted phone insertion for the E17 commit mix.
+fn e17_batch(person: usize, op: usize) -> Vec<UpdateTransaction> {
+    let pattern = Pattern::parse(&format!("person {{ name[=\"person-{person}\"] }}")).unwrap();
+    let root = pattern.root();
+    let tree = parse_data_tree(&format!("<phone>+33-{op}</phone>")).unwrap();
+    vec![UpdateTransaction::new(pattern, 0.9)
+        .unwrap()
+        .with_insert(root, tree)]
+}
+
+/// The served warehouse under load: a request-rate sweep from 1 to 16
+/// concurrent wire clients issuing a mixed query/commit stream (4:1) over
+/// 8 documents across 2 tenants. Reports throughput and query/commit
+/// p50/p99 per level, then probes admission control: with a tenant budget
+/// of one and a slow flush in progress, an over-budget request must shed
+/// with `Busy` within the admission timeout instead of queueing behind the
+/// flush. Gates: 16-client throughput at least 4x the single-client rate
+/// (group-commit windows shared across connections), query p99 below the
+/// flush latency at full contention (snapshot reads never block on
+/// writers), and the `Busy` probe returning inside its bound.
+fn e17_request_rate(quick: bool, report: &mut Report) {
+    header(
+        "E17",
+        "pxml-server request-rate sweep: throughput and tail latency over the wire",
+    );
+    let levels: &[usize] = if quick {
+        &[1, 4, 16]
+    } else {
+        &[1, 2, 4, 8, 16]
+    };
+    let ops_per_client = if quick { 30 } else { 60 };
+    let tenants = ["tenant-a", "tenant-b"];
+    // One document per client at the top level: commits to one document
+    // serialize on its commit mutex, so cross-document window sharing —
+    // not intra-document queueing — is what the sweep measures.
+    let docs_per_tenant = 8usize;
+    println!(
+        "mixed 4:1 query/commit over {} docs x {} tenants, grouped commits, \
+         simulated {} ms device flush",
+        docs_per_tenant,
+        tenants.len(),
+        E17_FSYNC_LATENCY.as_millis()
+    );
+    println!(
+        "\n{:>8} {:>7} {:>9} {:>9} {:>10} {:>10} {:>10} {:>10}",
+        "clients", "ops", "wall_ms", "ops/s", "q_p50_us", "q_p99_us", "c_p50_us", "c_p99_us"
+    );
+
+    let mut single_client_rate = 0.0f64;
+    let mut top_rate = 0.0f64;
+    let mut top_query_p99 = Duration::ZERO;
+    for &clients in levels {
+        let dir =
+            std::env::temp_dir().join(format!("pxml-harness-e17-{}-{clients}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = ServerConfig::new(&dir);
+        config.session.commit = CommitPolicy::Grouped {
+            window_max_batches: 8,
+            // Long enough for concurrent clients to actually fill windows
+            // (a 2 ms wait closes them half-empty under a 15 ms flush).
+            window_max_wait: Duration::from_millis(5),
+        };
+        config.fs.simulated_sync_latency = E17_FSYNC_LATENCY;
+        let server = Server::start(config).unwrap();
+        let addr = server.local_addr();
+        for tenant in tenants {
+            let mut setup = Client::connect(addr, tenant).unwrap();
+            for doc in 0..docs_per_tenant {
+                setup
+                    .open(&format!("doc-{doc}"), Some(&e17_document(12)))
+                    .unwrap();
+            }
+            setup.close().unwrap();
+        }
+
+        let barrier = std::sync::Barrier::new(clients);
+        let started = Instant::now();
+        let per_client: Vec<(Vec<Duration>, Vec<Duration>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|client| {
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        let tenant = tenants[client % tenants.len()];
+                        let doc = format!("doc-{}", (client / tenants.len()) % docs_per_tenant);
+                        let mut wire = Client::connect(addr, tenant).unwrap();
+                        barrier.wait();
+                        let mut queries = Vec::new();
+                        let mut commits = Vec::new();
+                        for op in 0..ops_per_client {
+                            let start = Instant::now();
+                            if op % 5 == 4 {
+                                let batch = e17_batch(op % 12, client * 1000 + op);
+                                wire.commit(&doc, &batch).unwrap();
+                                commits.push(start.elapsed());
+                            } else {
+                                let _ = wire.query(&doc, "person { phone }").unwrap();
+                                queries.push(start.elapsed());
+                            }
+                        }
+                        let _ = wire.close();
+                        (queries, commits)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().unwrap())
+                .collect()
+        });
+        let wall = started.elapsed();
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut queries: Vec<Duration> = Vec::new();
+        let mut commits: Vec<Duration> = Vec::new();
+        for (q, c) in per_client {
+            queries.extend(q);
+            commits.extend(c);
+        }
+        queries.sort_unstable();
+        commits.sort_unstable();
+        let ops = queries.len() + commits.len();
+        let rate = ops as f64 / wall.as_secs_f64();
+        if clients == 1 {
+            single_client_rate = rate;
+        }
+        if clients == *levels.last().unwrap() {
+            top_rate = rate;
+            top_query_p99 = percentile(&queries, 0.99);
+        }
+        println!(
+            "{clients:>8} {ops:>7} {:>9.1} {:>9.0} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            ms(wall),
+            rate,
+            micros(percentile(&queries, 0.50)),
+            micros(percentile(&queries, 0.99)),
+            micros(percentile(&commits, 0.50)),
+            micros(percentile(&commits, 0.99)),
+        );
+        report.row(
+            "sweep",
+            &[
+                ("clients", clients.into()),
+                ("ops", ops.into()),
+                ("wall_ms", ms(wall).into()),
+                ("ops_per_s", rate.into()),
+                ("query_p50_us", micros(percentile(&queries, 0.50)).into()),
+                ("query_p99_us", micros(percentile(&queries, 0.99)).into()),
+                ("commit_p50_us", micros(percentile(&commits, 0.50)).into()),
+                ("commit_p99_us", micros(percentile(&commits, 0.99)).into()),
+            ],
+        );
+    }
+    let speedup = top_rate / single_client_rate;
+    println!(
+        "\nscaling: {:.0} -> {:.0} ops/s ({speedup:.1}x), query p99 at full \
+         contention {:.1} us",
+        single_client_rate,
+        top_rate,
+        micros(top_query_p99)
+    );
+    report.row(
+        "scaling",
+        &[
+            ("single_client_ops_per_s", single_client_rate.into()),
+            ("top_ops_per_s", top_rate.into()),
+            ("speedup", speedup.into()),
+            ("top_query_p99_us", micros(top_query_p99).into()),
+        ],
+    );
+    // Gate 1: the shared group-commit windows must buy real concurrency —
+    // 16 flush-bound clients cannot be serialized one window each.
+    assert!(
+        speedup >= 4.0,
+        "16-client throughput is only {speedup:.2}x the single-client rate"
+    );
+    // Gate 2: the E15 claim holds over the wire — snapshot reads never
+    // inherit a writer's flush stall, even at full contention.
+    assert!(
+        top_query_p99 < E17_FSYNC_LATENCY,
+        "query p99 {:.1} us reached the flush latency under contention",
+        micros(top_query_p99)
+    );
+
+    // Admission probe: budget of one, one slow flush in the gate — the
+    // over-budget request must shed, not queue.
+    let dir = std::env::temp_dir().join(format!("pxml-harness-e17-busy-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut config = ServerConfig::new(&dir);
+    config.tenant_inflight = 1;
+    config.admission_timeout = Duration::from_millis(40);
+    config.fs.simulated_sync_latency = Duration::from_millis(400);
+    let server = Server::start(config).unwrap();
+    let addr = server.local_addr();
+    let mut setup = Client::connect(addr, "tenant-a").unwrap();
+    setup.open("doc-0", Some(&e17_document(12))).unwrap();
+    let writer = std::thread::spawn(move || {
+        let mut writer = Client::connect(addr, "tenant-a").unwrap();
+        writer.commit("doc-0", &e17_batch(0, 0)).unwrap();
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    let probe_started = Instant::now();
+    let shed = setup.query("doc-0", "person { name }");
+    let probe_elapsed = probe_started.elapsed();
+    let got_busy = matches!(&shed, Err(err) if err.is_busy());
+    println!(
+        "busy probe: over-budget query shed in {:.1} ms (busy = {got_busy})",
+        ms(probe_elapsed)
+    );
+    report.row(
+        "busy_probe",
+        &[
+            ("got_busy", got_busy.into()),
+            ("shed_ms", ms(probe_elapsed).into()),
+            ("admission_timeout_ms", 40i64.into()),
+        ],
+    );
+    assert!(got_busy, "expected Busy, got {shed:?}");
+    assert!(
+        probe_elapsed < Duration::from_millis(300),
+        "busy shed took {probe_elapsed:?}, admission timeout is 40 ms"
+    );
+    writer.join().unwrap();
+    server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
     println!();
 }

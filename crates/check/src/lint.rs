@@ -24,6 +24,9 @@
 //!   guard is live: the doc-entry lock is meant to be held for the O(1)
 //!   snapshot pin or pointer swap only, so pin the `Arc` snapshot and clone
 //!   outside the lock.
+//! - **`no-net-in-engine`** — no `std::net` outside `crates/server/`: the
+//!   engine crates stay embeddable (and deterministic under the schedule
+//!   explorer), so sockets are confined to the wire front-end.
 //!
 //! A finding on a deliberate exception is suppressed with
 //! `// lint: allow(<rule>)` on the offending line or the line above.
@@ -107,6 +110,7 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
     let is_test_file = rel_path
         .split('/')
         .any(|component| component == "tests" || component == "benches");
+    let is_server_crate = rel_path.starts_with("crates/server/");
     let blanked = blank_noncode(source);
     let raw_lines: Vec<&str> = source.lines().collect();
     let code_lines: Vec<&str> = blanked.lines().collect();
@@ -161,6 +165,23 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
                     ),
                 });
             }
+        }
+
+        // --- no-net-in-engine (applies to tests too: engine suites reach
+        // the server through its crate, never raw sockets) ----------------
+        if !is_server_crate
+            && contains_ident_bounded(code, "std::net")
+            && !allowed("no-net-in-engine")
+        {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line,
+                rule: "no-net-in-engine",
+                message: "`std::net` outside `crates/server/` — the engine stays \
+                          embeddable; sockets belong to the wire front-end (see the \
+                          README's \"Serving\" section)"
+                    .to_string(),
+            });
         }
 
         // --- lock-class --------------------------------------------------
@@ -815,6 +836,38 @@ mod tests {
         assert!(lint_source("crates/x/src/lib.rs", allowed).is_empty());
         let test_file = "fn helper() {\n    let state = slot.state.read();\n    let copy = state.snapshot.fuzzy().clone();\n}\n";
         assert!(lint_source("crates/x/tests/it.rs", test_file).is_empty());
+    }
+
+    #[test]
+    fn std_net_outside_the_server_crate_is_flagged() {
+        let source =
+            "use std::net::TcpStream;\nfn f() { let l = std::net::TcpListener::bind(\"x\"); }\n";
+        let findings = lint_source("crates/store/src/fs.rs", source);
+        assert_eq!(
+            rules(&findings),
+            vec!["no-net-in-engine", "no-net-in-engine"]
+        );
+        assert_eq!(findings[0].line, 1);
+        assert_eq!(findings[1].line, 2);
+        // Even in an engine crate's test files: suites drive the server
+        // through `pxml-server`, never raw sockets.
+        let test_file = "use std::net::TcpStream;\n";
+        assert_eq!(
+            rules(&lint_source("crates/warehouse/tests/it.rs", test_file)),
+            vec!["no-net-in-engine"]
+        );
+    }
+
+    #[test]
+    fn std_net_inside_the_server_crate_or_allowed_is_fine() {
+        let source = "use std::net::{TcpListener, TcpStream};\n";
+        assert!(lint_source("crates/server/src/server.rs", source).is_empty());
+        assert!(lint_source("crates/server/tests/malformed.rs", source).is_empty());
+        let allowed = "// lint: allow(no-net-in-engine)\nuse std::net::TcpStream;\n";
+        assert!(lint_source("crates/gen/src/lib.rs", allowed).is_empty());
+        // Prose and strings never match.
+        let prose = "fn f() {\n    // std::net belongs in crates/server\n    let s = \"std::net::TcpStream\";\n}\n";
+        assert!(lint_source("crates/core/src/lib.rs", prose).is_empty());
     }
 
     #[test]

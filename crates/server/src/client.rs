@@ -1,0 +1,308 @@
+//! `pxml-client`: the blocking client for the server's wire protocol.
+//!
+//! One [`Client`] wraps one TCP connection bound to one tenant; its methods
+//! map 1:1 onto the request tags of [`crate::frame::tag`]. The harness's
+//! E17 request-rate sweep and the server test suites drive the server
+//! exclusively through this type, so it doubles as the protocol's
+//! conformance reference.
+
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use pxml_core::{FuzzyTree, UpdateTransaction};
+use pxml_store::{parse_fuzzy_document, serialize_batch};
+use pxml_tree::XmlDocument;
+
+use crate::frame::tag;
+use crate::frame::{
+    read_response, write_request, FrameError, RawResponse, DEFAULT_MAX_FRAME_BYTES,
+};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport problem (connect, send, or a broken stream).
+    Io(io::Error),
+    /// The response frame could not be read or decoded.
+    Frame(FrameError),
+    /// Admission control shed the request (`scope` is `global` or
+    /// `tenant`); nothing was executed, retry later.
+    Busy { scope: String, message: String },
+    /// The server answered with a typed error frame.
+    Server { code: String, message: String },
+    /// The server answered with a frame the client cannot make sense of
+    /// (unexpected tag, unparseable payload).
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(err) => write!(f, "transport error: {err}"),
+            ClientError::Frame(err) => write!(f, "response framing error: {err}"),
+            ClientError::Busy { scope, message } => write!(f, "busy ({scope}): {message}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+            ClientError::Protocol(message) => write!(f, "protocol error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(err: io::Error) -> Self {
+        ClientError::Io(err)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(err: FrameError) -> Self {
+        ClientError::Frame(err)
+    }
+}
+
+impl ClientError {
+    /// `true` when the failure is an admission-control shed — the caller
+    /// may retry after backing off; nothing happened server-side.
+    pub fn is_busy(&self) -> bool {
+        matches!(self, ClientError::Busy { .. })
+    }
+}
+
+/// One merged query answer: a distinct answer tree and its exact
+/// probability.
+#[derive(Debug, Clone)]
+pub struct RemoteAnswer {
+    /// Probability that this answer tree appears in a random world.
+    pub probability: f64,
+    /// The answer tree, serialized as plain XML.
+    pub xml: String,
+}
+
+/// The decoded payload of an `answers` frame.
+#[derive(Debug, Clone)]
+pub struct RemoteAnswers {
+    /// Commit sequence number of the snapshot the query ran against.
+    pub seq: u64,
+    /// Probability that the pattern matches at all.
+    pub selection: f64,
+    /// Merged answers, most probable first.
+    pub answers: Vec<RemoteAnswer>,
+}
+
+/// The decoded payload of a `stats` frame — a wire-side mirror of
+/// [`pxml_warehouse::WarehouseStats`] plus the derived occupancy.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RemoteStats {
+    pub updates_applied: usize,
+    pub queries_evaluated: usize,
+    pub simplifications: usize,
+    pub checkpoints: usize,
+    pub fsyncs: usize,
+    pub grouped_commits: usize,
+    pub grouped_windows: usize,
+    /// Mean commits per flushed group-commit window; `0.0` on tenants that
+    /// never flushed one (the server guarantees this is never NaN).
+    pub mean_window_occupancy: f64,
+}
+
+/// A blocking protocol client: one TCP connection, one tenant.
+pub struct Client {
+    stream: TcpStream,
+    tenant: String,
+    max_frame_bytes: u32,
+}
+
+impl Client {
+    /// Connects and binds every subsequent request to `tenant`.
+    pub fn connect(addr: impl ToSocketAddrs, tenant: impl Into<String>) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            tenant: tenant.into(),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        })
+    }
+
+    /// The tenant this connection is bound to.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    fn call(&mut self, tag: u8, payload: &[u8]) -> Result<RawResponse, ClientError> {
+        write_request(&mut self.stream, tag, &self.tenant, payload)?;
+        let response = read_response(&mut self.stream, self.max_frame_bytes)?;
+        match response.tag {
+            tag::ERROR => {
+                let text = response.text();
+                let (code, message) = text.split_once('\n').unwrap_or((text.as_str(), ""));
+                Err(ClientError::Server {
+                    code: code.to_string(),
+                    message: message.to_string(),
+                })
+            }
+            tag::BUSY => {
+                let text = response.text();
+                let (scope, message) = text.split_once('\n').unwrap_or((text.as_str(), ""));
+                Err(ClientError::Busy {
+                    scope: scope.to_string(),
+                    message: message.to_string(),
+                })
+            }
+            _ => Ok(response),
+        }
+    }
+
+    fn expect(&mut self, tag: u8, payload: &[u8], want: u8) -> Result<RawResponse, ClientError> {
+        let response = self.call(tag, payload)?;
+        if response.tag != want {
+            return Err(ClientError::Protocol(format!(
+                "expected response tag 0x{want:02x}, got 0x{:02x}",
+                response.tag
+            )));
+        }
+        Ok(response)
+    }
+
+    /// Opens a document; when `content` is given and the document does not
+    /// exist yet, creates it from that XML.
+    pub fn open(&mut self, doc: &str, content: Option<&str>) -> Result<String, ClientError> {
+        let payload = format!("{doc}\n{}", content.unwrap_or(""));
+        Ok(self.expect(tag::OPEN, payload.as_bytes(), tag::OK)?.text())
+    }
+
+    /// Evaluates a tree-pattern query; answers come back merged with exact
+    /// probabilities, all computed against one immutable snapshot.
+    pub fn query(&mut self, doc: &str, pattern: &str) -> Result<RemoteAnswers, ClientError> {
+        let payload = format!("{doc}\n{pattern}");
+        let response = self.expect(tag::QUERY, payload.as_bytes(), tag::ANSWERS)?;
+        parse_answers(&response.text())
+    }
+
+    /// Synchronous commit: returns once the batch is durable.
+    pub fn commit(
+        &mut self,
+        doc: &str,
+        batch: &[UpdateTransaction],
+    ) -> Result<String, ClientError> {
+        let payload = format!("{doc}\n{}", serialize_batch(batch));
+        Ok(self
+            .expect(tag::COMMIT, payload.as_bytes(), tag::OK)?
+            .text())
+    }
+
+    /// Asynchronous commit: returns at enqueue (the logical commit — later
+    /// reads see the batch), durability arrives with the group-commit
+    /// window and is reported in the [`Client::close`] summary.
+    pub fn commit_async(
+        &mut self,
+        doc: &str,
+        batch: &[UpdateTransaction],
+    ) -> Result<String, ClientError> {
+        let payload = format!("{doc}\n{}", serialize_batch(batch));
+        Ok(self
+            .expect(tag::COMMIT_ASYNC, payload.as_bytes(), tag::ACCEPTED)?
+            .text())
+    }
+
+    /// Pins and fetches the document's current snapshot — never blocked by
+    /// writers — as `(commit sequence number, fuzzy tree)`.
+    pub fn snapshot(&mut self, doc: &str) -> Result<(u64, FuzzyTree), ClientError> {
+        let response = self.expect(tag::SNAPSHOT, doc.as_bytes(), tag::SNAPSHOT_DATA)?;
+        let text = response.text();
+        let (seq, prxml) = text
+            .split_once('\n')
+            .ok_or_else(|| ClientError::Protocol("snapshot frame missing seq line".into()))?;
+        let seq: u64 = seq
+            .trim()
+            .parse()
+            .map_err(|_| ClientError::Protocol(format!("bad snapshot seq `{seq}`")))?;
+        let fuzzy = parse_fuzzy_document(prxml)
+            .map_err(|err| ClientError::Protocol(format!("bad snapshot payload: {err}")))?;
+        Ok((seq, fuzzy))
+    }
+
+    /// Runs the simplification pass over a document.
+    pub fn simplify(&mut self, doc: &str) -> Result<String, ClientError> {
+        Ok(self.expect(tag::SIMPLIFY, doc.as_bytes(), tag::OK)?.text())
+    }
+
+    /// Tenant-level warehouse counters. Never shed by admission control.
+    pub fn stats(&mut self) -> Result<RemoteStats, ClientError> {
+        let response = self.expect(tag::STATS, b"", tag::STATS_DATA)?;
+        parse_stats(&response.text())
+    }
+
+    /// Drains this connection's pending async commits server-side and
+    /// returns the drain summary. The connection is unusable afterwards.
+    pub fn close(&mut self) -> Result<String, ClientError> {
+        Ok(self.expect(tag::CLOSE, b"", tag::OK)?.text())
+    }
+}
+
+fn parse_answers(text: &str) -> Result<RemoteAnswers, ClientError> {
+    let mut lines = text.splitn(3, '\n');
+    let seq = lines
+        .next()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .ok_or_else(|| ClientError::Protocol("answers frame missing seq line".into()))?;
+    let selection = lines
+        .next()
+        .and_then(|s| s.trim().parse::<f64>().ok())
+        .ok_or_else(|| ClientError::Protocol("answers frame missing selection line".into()))?;
+    let xml = lines
+        .next()
+        .ok_or_else(|| ClientError::Protocol("answers frame missing XML body".into()))?;
+    let document = XmlDocument::parse(xml)
+        .map_err(|err| ClientError::Protocol(format!("bad answers XML: {err}")))?;
+    let mut answers = Vec::new();
+    for child in document.root.child_elements() {
+        let probability = child
+            .attribute("probability")
+            .and_then(|p| p.parse::<f64>().ok())
+            .ok_or_else(|| ClientError::Protocol("answer missing probability".into()))?;
+        let tree = child
+            .child_elements()
+            .next()
+            .ok_or_else(|| ClientError::Protocol("answer missing its tree".into()))?;
+        let mut xml = String::new();
+        tree.write_xml(&mut xml, false, 0);
+        answers.push(RemoteAnswer { probability, xml });
+    }
+    Ok(RemoteAnswers {
+        seq,
+        selection,
+        answers,
+    })
+}
+
+fn parse_stats(text: &str) -> Result<RemoteStats, ClientError> {
+    let document = XmlDocument::parse(text)
+        .map_err(|err| ClientError::Protocol(format!("bad stats XML: {err}")))?;
+    let attr_usize = |name: &str| -> Result<usize, ClientError> {
+        document
+            .root
+            .attribute(name)
+            .and_then(|v| v.parse::<usize>().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("stats frame missing `{name}`")))
+    };
+    let occupancy = document
+        .root
+        .attribute("mean_window_occupancy")
+        .and_then(|v| v.parse::<f64>().ok())
+        .ok_or_else(|| {
+            ClientError::Protocol("stats frame missing `mean_window_occupancy`".into())
+        })?;
+    Ok(RemoteStats {
+        updates_applied: attr_usize("updates_applied")?,
+        queries_evaluated: attr_usize("queries_evaluated")?,
+        simplifications: attr_usize("simplifications")?,
+        checkpoints: attr_usize("checkpoints")?,
+        fsyncs: attr_usize("fsyncs")?,
+        grouped_commits: attr_usize("grouped_commits")?,
+        grouped_windows: attr_usize("grouped_windows")?,
+        mean_window_occupancy: occupancy,
+    })
+}

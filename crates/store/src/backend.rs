@@ -140,6 +140,17 @@ pub trait StorageBackend: Send + Sync + std::fmt::Debug {
         DurabilityStats::default()
     }
 
+    /// Drains the backend's group-commit pipeline: waits out any in-flight
+    /// fsync window and flushes everything enqueued, so every batch whose
+    /// ticket was handed out before this call is durable when it returns.
+    /// Long-running embedders (the `pxml-server` tenant LRU, graceful
+    /// shutdown) call this before dropping a backend so pipelined commits
+    /// are never abandoned mid-window.
+    ///
+    /// The default implementation is a **no-op**: backends without a group
+    /// committer have nothing in flight once their synchronous calls return.
+    fn group_barrier(&self) {}
+
     /// The updates recorded in a document's journal, flattened to
     /// application order.
     fn read_journal(&self, name: &str) -> Result<Vec<UpdateTransaction>, StoreError> {

@@ -954,6 +954,10 @@ impl StorageBackend for FsBackend {
         FsBackend::durability_stats(self)
     }
 
+    fn group_barrier(&self) {
+        FsBackend::group_barrier(self);
+    }
+
     fn read_batches(&self, name: &str) -> Result<Vec<Vec<UpdateTransaction>>, StoreError> {
         FsBackend::read_batches(self, name)
     }

@@ -467,3 +467,37 @@ impl Drop for CommitTicket {
         }
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::DurabilityStats;
+
+    /// A fresh sync-policy backend has flushed no grouped window: the
+    /// occupancy must be an exact `0.0`, never `0/0 = NaN` — the server's
+    /// `stats` frame serializes this value for brand-new tenants.
+    #[test]
+    fn occupancy_zero_windows_is_zero_not_nan() {
+        let fresh = DurabilityStats::default();
+        assert_eq!(fresh.mean_window_occupancy(), 0.0);
+        // Sync commits bump fsyncs without ever opening a window; the
+        // guard keys off windows, not commits.
+        let sync_only = DurabilityStats {
+            fsyncs: 17,
+            grouped_commits: 0,
+            grouped_windows: 0,
+        };
+        let occupancy = sync_only.mean_window_occupancy();
+        assert!(occupancy.is_finite());
+        assert_eq!(occupancy, 0.0);
+    }
+
+    #[test]
+    fn occupancy_is_commits_per_window() {
+        let stats = DurabilityStats {
+            fsyncs: 3,
+            grouped_commits: 24,
+            grouped_windows: 3,
+        };
+        assert_eq!(stats.mean_window_occupancy(), 8.0);
+    }
+}

@@ -50,6 +50,16 @@ impl<T: Clone> ChunkedVec<T> {
 
     /// Cumulative count of chunks copied to un-share them before a write,
     /// through this handle and the handles it was cloned from.
+    ///
+    /// **Pitfall:** `FuzzyTree` compaction (the commit-time arena rebuild
+    /// that reclaims dead slots once they exceed `2 × live + slack`)
+    /// constructs a *fresh* `ChunkedVec` and repopulates it with `push`,
+    /// so the rebuilt handle's counter restarts near zero — the copies
+    /// performed before compaction are not carried over. Tests that bound
+    /// copy-on-write work by measuring counter deltas across commits must
+    /// keep their workloads below the compaction threshold (few enough
+    /// deletions that no rebuild triggers), or the delta silently
+    /// undercounts.
     pub fn chunk_copies(&self) -> u64 {
         self.copies
     }

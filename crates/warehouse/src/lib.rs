@@ -18,6 +18,13 @@
 //!   extraction, NLP, data cleaning) standing in for the pipelines the paper
 //!   plugs into the warehouse.
 //!
+//! To run the warehouse as a long-lived multi-tenant *service* instead of
+//! embedding it, see the `pxml-server` crate and the README's "Serving"
+//! section (wire format, tenant model, admission control, runbook): it
+//! fronts one [`Warehouse`] per tenant over a length-prefixed TCP
+//! protocol, and [`Warehouse::group_barrier`] is the drain hook its
+//! eviction and graceful shutdown paths use.
+//!
 //! ```no_run
 //! use pxml_query::Pattern;
 //! use pxml_tree::parse_data_tree;
@@ -42,4 +49,6 @@ pub use modules::{
 };
 pub use pxml_store::CommitPolicy;
 pub use session::{CompactionPolicy, Document, Session, SessionConfig, Txn};
-pub use warehouse::{AsyncCommit, DocSnapshot, Warehouse, WarehouseError, WarehouseStats};
+pub use warehouse::{
+    AsyncCommit, DocSnapshot, MergedQuery, Warehouse, WarehouseError, WarehouseStats,
+};

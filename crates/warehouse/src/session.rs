@@ -196,6 +196,15 @@ impl Session {
         self.engine.stats()
     }
 
+    /// Drains the storage backend's group-commit pipeline: every
+    /// [`Txn::commit_async`] whose handle was issued before this call is
+    /// durable when it returns (see
+    /// [`Warehouse::group_barrier`]). Call before dropping a long-lived
+    /// session whose commits may still sit in an open fsync window.
+    pub fn group_barrier(&self) {
+        self.engine.group_barrier();
+    }
+
     /// The shared engine behind the session (escape hatch for tooling that
     /// needs engine-level access, e.g. committing a prebuilt batch directly).
     pub fn engine(&self) -> &Warehouse {

@@ -551,6 +551,33 @@ impl Warehouse {
         Ok(result)
     }
 
+    /// Evaluates a TPWJ query and merges the matches into distinct answer
+    /// trees with exact probabilities, all against **one** pinned snapshot:
+    /// the match set, the event table the conditions refer to, and the
+    /// selection probability are guaranteed mutually consistent even while
+    /// commits stream into the same document. Returns the snapshot's commit
+    /// sequence number, the selection probability (probability that at
+    /// least one match exists) and the merged `(answer tree, probability)`
+    /// pairs. This is the evaluation path behind the server's `query`
+    /// frame.
+    pub fn query_merged(
+        &self,
+        name: &str,
+        pattern: &Pattern,
+    ) -> Result<MergedQuery, WarehouseError> {
+        let snapshot = self.snapshot(name)?;
+        let result = snapshot.fuzzy().query(pattern);
+        let events = snapshot.fuzzy().events();
+        let selection = result.selection_probability(events);
+        let answers = result.merged_answers(events);
+        self.stats.queries_evaluated.fetch_add(1, Ordering::Relaxed);
+        Ok(MergedQuery {
+            seq: snapshot.seq(),
+            selection,
+            answers,
+        })
+    }
+
     /// Commits a staged transaction batch to a document atomically: the
     /// batch is applied to a copy-on-write clone of the current snapshot
     /// through the policy-aware pipeline (`policy` overrides the session
@@ -760,6 +787,17 @@ impl Warehouse {
         stats
     }
 
+    /// Drains the storage backend's group-commit pipeline (see
+    /// [`StorageBackend::group_barrier`]): every async commit whose handle
+    /// was issued before this call is durable when it returns. Long-running
+    /// embedders call this before dropping the warehouse — the `pxml-server`
+    /// tenant LRU runs it on eviction and graceful shutdown so pipelined
+    /// commits are never abandoned mid-window. A no-op on `Sync`-policy and
+    /// in-memory backends.
+    pub fn group_barrier(&self) {
+        self.store.group_barrier();
+    }
+
     /// Test hook: runs `body` while holding `name`'s commit mutex — a writer
     /// frozen mid-pipeline — proving what the mutex does (serialize writers,
     /// gate drops) and does not (block readers) cover.
@@ -773,6 +811,19 @@ impl Warehouse {
         let _commit = slot.commit.lock();
         Ok(body())
     }
+}
+
+/// The result of [`Warehouse::query_merged`]: a query answer whose pieces
+/// are mutually consistent because they were all read from one pinned
+/// snapshot.
+#[derive(Debug, Clone)]
+pub struct MergedQuery {
+    /// Commit sequence number of the snapshot the query ran against.
+    pub seq: u64,
+    /// Probability that at least one match exists in a random world.
+    pub selection: f64,
+    /// Distinct merged answer trees with their exact probabilities.
+    pub answers: Vec<(Tree, f64)>,
 }
 
 /// The in-flight handle of an asynchronous commit
@@ -824,6 +875,22 @@ mod tests {
     use std::time::Duration;
 
     static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    /// A fresh sync-policy warehouse has flushed no grouped window; the
+    /// stats fold-in must surface `0.0` occupancy (not `0/0 = NaN`) so the
+    /// server's `stats` frame is well-formed on brand-new tenants.
+    #[test]
+    fn fresh_stats_occupancy_is_zero_not_nan() {
+        let stats = WarehouseStats::default();
+        assert_eq!(stats.mean_window_occupancy(), 0.0);
+        let sync_only = WarehouseStats {
+            updates_applied: 5,
+            fsyncs: 5,
+            ..WarehouseStats::default()
+        };
+        assert!(sync_only.mean_window_occupancy().is_finite());
+        assert_eq!(sync_only.mean_window_occupancy(), 0.0);
+    }
 
     fn scratch(label: &str) -> PathBuf {
         std::env::temp_dir().join(format!(
@@ -1062,13 +1129,24 @@ mod tests {
                     .expect("work on `idle` must not wait for `busy`'s commit");
                 worker.join().unwrap();
 
-                // A reader of `busy` itself completes immediately: it reads
-                // the published snapshot, not the writer's working copy.
-                let phones = Pattern::parse("person { phone }").unwrap();
-                assert!(
-                    warehouse.query("busy", &phones).unwrap().is_empty(),
-                    "a query against the committing document must not block"
-                );
+                // A reader of `busy` itself completes immediately — from
+                // its own thread, like real readers (the shard map ranks
+                // above the commit mutex, so the holder must not re-enter
+                // it): it reads the published snapshot, not the writer's
+                // working copy.
+                let shared = warehouse.clone();
+                let (read_tx, read_rx) = mpsc::channel();
+                let reader = std::thread::spawn(move || {
+                    let phones = Pattern::parse("person { phone }").unwrap();
+                    read_tx
+                        .send(shared.query("busy", &phones).unwrap().len())
+                        .unwrap();
+                });
+                let busy_matches = read_rx
+                    .recv_timeout(Duration::from_secs(30))
+                    .expect("a query against the committing document must not block");
+                reader.join().unwrap();
+                assert_eq!(busy_matches, 0);
 
                 // A second writer of `busy` does wait for the pipeline.
                 let shared = warehouse.clone();
@@ -1395,14 +1473,28 @@ mod tests {
                         .is_err(),
                     "the spawned commit must be parked on the commit mutex"
                 );
-                // Snapshots taken *now* — mid-commit — see the pre-commit
-                // state, without blocking.
-                let mid = warehouse.snapshot("people").unwrap();
-                assert_eq!(mid.seq(), pinned.seq());
-                assert_eq!(warehouse.query("people", &phones).unwrap().len(), 1);
-                let observed = warehouse.document("people").unwrap();
+                // Snapshots taken *now* — mid-commit, from a reader thread
+                // (the shard map ranks above the commit mutex in the lock
+                // order, so the mutex holder itself must not re-enter it) —
+                // see the pre-commit state, without blocking.
+                let shared = warehouse.clone();
+                let reader_pattern = phones.clone();
+                let (read_tx, read_rx) = mpsc::channel();
+                let reader = std::thread::spawn(move || {
+                    let mid = shared.snapshot("people").unwrap();
+                    let matches = shared.query("people", &reader_pattern).unwrap().len();
+                    let observed = shared.document("people").unwrap();
+                    let canonical = observed.fuzzy_canonical_string(observed.root());
+                    read_tx.send((mid.seq(), matches, canonical)).unwrap();
+                });
+                let (mid_seq, matches, canonical) = read_rx
+                    .recv_timeout(Duration::from_secs(30))
+                    .expect("mid-commit readers must not block on the commit mutex");
+                reader.join().unwrap();
+                assert_eq!(mid_seq, pinned.seq());
+                assert_eq!(matches, 1);
                 assert_eq!(
-                    observed.fuzzy_canonical_string(observed.root()),
+                    canonical,
                     pinned.fuzzy().fuzzy_canonical_string(pinned.fuzzy().root())
                 );
                 writer

@@ -11,8 +11,9 @@
 //! [`RwLock::with_class`]) and, under the `lock-witness` feature, every
 //! acquisition is checked by a lockdep-style witness:
 //!
-//! - a **declared order** over the engine's ranked classes
-//!   (shard → doc-commit → doc-entry → group-committer → journal-registry →
+//! - a **declared order** over the ranked classes
+//!   (server-conns → server-admission → server-tenants → shard → doc-commit →
+//!   doc-entry → group-committer → journal-registry →
 //!   journal → device → commit-slot): acquiring a class at or below the highest rank
 //!   already held by the current thread panics immediately, even if the
 //!   schedule happened not to deadlock this time;
@@ -46,23 +47,32 @@ use std::time::Duration;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum LockClass {
-    /// A warehouse shard's slot map (rank 0).
+    /// The server's connection registry — stream handles and join handles of
+    /// live connections, touched by the accept loop and shutdown (rank 0).
+    ServerConns,
+    /// An admission gate's in-flight counter; held only inside
+    /// `try_enter`/`leave`, never across an engine call (rank 1).
+    ServerAdmission,
+    /// The server's tenant LRU registry; held while lazily opening a tenant
+    /// warehouse, so it ranks ahead of every engine class (rank 2).
+    ServerTenants,
+    /// A warehouse shard's slot map (rank 3).
     Shard,
     /// One document's commit pipeline — the writer-serialization mutex held
-    /// across apply → journal → snapshot swap (rank 1).
+    /// across apply → journal → snapshot swap (rank 4).
     DocCommit,
     /// One document's published-state cell behind its shard slot; only ever
-    /// held for the O(1) snapshot read or pointer swap (rank 2).
+    /// held for the O(1) snapshot read or pointer swap (rank 5).
     DocEntry,
-    /// The group committer's shared window (rank 3).
+    /// The group committer's shared window (rank 6).
     GroupCommitter,
-    /// The store's name → journal-handle registry (rank 4).
+    /// The store's name → journal-handle registry (rank 7).
     JournalRegistry,
-    /// One document's journal write handle (rank 5).
+    /// One document's journal write handle (rank 8).
     Journal,
-    /// The simulated storage device gate (rank 6).
+    /// The simulated storage device gate (rank 9).
     Device,
-    /// A group-commit slot's error cell (rank 7).
+    /// A group-commit slot's error cell (rank 10).
     CommitSlot,
     /// Unranked class for witness self-tests.
     TestA,
@@ -78,6 +88,9 @@ impl LockClass {
     /// The label used in witness panic messages and docs.
     pub const fn label(self) -> &'static str {
         match self {
+            LockClass::ServerConns => "server-conns",
+            LockClass::ServerAdmission => "server-admission",
+            LockClass::ServerTenants => "server-tenants",
             LockClass::Shard => "shard",
             LockClass::DocCommit => "doc-commit",
             LockClass::DocEntry => "doc-entry",
@@ -97,14 +110,17 @@ impl LockClass {
     /// are only cycle-checked.
     pub const fn rank(self) -> Option<u8> {
         match self {
-            LockClass::Shard => Some(0),
-            LockClass::DocCommit => Some(1),
-            LockClass::DocEntry => Some(2),
-            LockClass::GroupCommitter => Some(3),
-            LockClass::JournalRegistry => Some(4),
-            LockClass::Journal => Some(5),
-            LockClass::Device => Some(6),
-            LockClass::CommitSlot => Some(7),
+            LockClass::ServerConns => Some(0),
+            LockClass::ServerAdmission => Some(1),
+            LockClass::ServerTenants => Some(2),
+            LockClass::Shard => Some(3),
+            LockClass::DocCommit => Some(4),
+            LockClass::DocEntry => Some(5),
+            LockClass::GroupCommitter => Some(6),
+            LockClass::JournalRegistry => Some(7),
+            LockClass::Journal => Some(8),
+            LockClass::Device => Some(9),
+            LockClass::CommitSlot => Some(10),
             LockClass::TestA | LockClass::TestB | LockClass::TestC | LockClass::Unclassified => {
                 None
             }
@@ -114,18 +130,21 @@ impl LockClass {
     #[cfg_attr(not(feature = "lock-witness"), allow(dead_code))]
     const fn index(self) -> usize {
         match self {
-            LockClass::Shard => 0,
-            LockClass::DocCommit => 1,
-            LockClass::DocEntry => 2,
-            LockClass::GroupCommitter => 3,
-            LockClass::JournalRegistry => 4,
-            LockClass::Journal => 5,
-            LockClass::Device => 6,
-            LockClass::CommitSlot => 7,
-            LockClass::TestA => 8,
-            LockClass::TestB => 9,
-            LockClass::TestC => 10,
-            LockClass::Unclassified => 11,
+            LockClass::ServerConns => 0,
+            LockClass::ServerAdmission => 1,
+            LockClass::ServerTenants => 2,
+            LockClass::Shard => 3,
+            LockClass::DocCommit => 4,
+            LockClass::DocEntry => 5,
+            LockClass::GroupCommitter => 6,
+            LockClass::JournalRegistry => 7,
+            LockClass::Journal => 8,
+            LockClass::Device => 9,
+            LockClass::CommitSlot => 10,
+            LockClass::TestA => 11,
+            LockClass::TestB => 12,
+            LockClass::TestC => 13,
+            LockClass::Unclassified => 14,
         }
     }
 }
@@ -145,7 +164,7 @@ pub mod witness {
     use std::cell::RefCell;
     use std::sync::{Mutex as StdMutex, OnceLock};
 
-    const CLASSES: usize = 12;
+    const CLASSES: usize = 15;
 
     thread_local! {
         /// Classes of the locks the current thread holds, in acquisition
@@ -225,7 +244,8 @@ pub mod witness {
                 if new_rank <= held_rank {
                     panic!(
                         "lock-order witness: acquiring `{class}` while holding `{h}` \
-                         violates the declared order shard -> doc-commit -> doc-entry -> \
+                         violates the declared order server-conns -> server-admission -> \
+                         server-tenants -> shard -> doc-commit -> doc-entry -> \
                          group-committer -> journal-registry -> journal -> device -> \
                          commit-slot"
                     );
