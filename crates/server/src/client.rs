@@ -229,7 +229,10 @@ impl Client {
         Ok(self.expect(tag::SIMPLIFY, doc.as_bytes(), tag::OK)?.text())
     }
 
-    /// Tenant-level warehouse counters. Never shed by admission control.
+    /// Tenant-level warehouse counters. Never shed by admission control,
+    /// but answers only for tenants already resident server-side — a
+    /// never-touched (or evicted) tenant gets a typed `not-resident`
+    /// error instead of being lazily opened.
     pub fn stats(&mut self) -> Result<RemoteStats, ClientError> {
         let response = self.expect(tag::STATS, b"", tag::STATS_DATA)?;
         parse_stats(&response.text())

@@ -7,12 +7,15 @@
 //! [`Warehouse`] over its own storage subdirectory (`<root>/<tenant>`),
 //! opened lazily on first use and held in an LRU registry of at most
 //! [`ServerConfig::max_tenants`] resident warehouses. Eviction picks the
-//! least-recently-used tenant with no in-flight request, drains its
-//! group-commit pipeline ([`Warehouse::group_barrier`]) and drops it — a
-//! later request re-opens it from storage via normal crash recovery. If
-//! every tenant is busy the registry temporarily overshoots rather than
-//! evicting a warehouse that a request still holds, which would let a
-//! re-opened backend race the old one on the same journal files.
+//! least-recently-used tenant that no request currently holds — the
+//! registry's `Arc` is the sole reference (`Arc::strong_count == 1`),
+//! checked while the registry lock is held, so no new holder can appear
+//! mid-decision — drains its group-commit pipeline
+//! ([`Warehouse::group_barrier`]) and drops it; a later request re-opens
+//! it from storage via normal crash recovery. If every tenant is held the
+//! registry temporarily overshoots rather than evicting a warehouse a
+//! request still references, which would let a re-opened backend race the
+//! old one on the same journal files.
 //!
 //! # Admission control
 //!
@@ -23,7 +26,11 @@
 //! the server never queues unboundedly, so an overloaded tenant degrades
 //! into fast rejections instead of unbounded latency for everyone.
 //! `stats` and `close` frames bypass admission: observability and draining
-//! must keep working exactly when the server is saturated.
+//! must keep working exactly when the server is saturated. To keep that
+//! admission-free path harmless, `stats` answers only for tenants already
+//! resident in the registry (typed `not-resident` error otherwise) — it
+//! never lazily opens a warehouse, so it cannot create storage directories
+//! or force evictions of live tenants.
 //!
 //! # Locks
 //!
@@ -39,7 +46,7 @@ use std::collections::HashMap;
 use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -106,14 +113,14 @@ impl ServerConfig {
 }
 
 /// A counting admission gate: at most `limit` holders at once, bounded
-/// waiting, lock-free occupancy reads (`in_flight` mirrors the count into
-/// an atomic so the tenant LRU can check busyness without taking the
-/// `server-admission` mutex while it holds the `server-tenants` one).
+/// waiting. (Tenant-LRU busyness is judged by `Arc` holders of the tenant,
+/// not by gate occupancy — a request holds the `Arc` strictly longer than
+/// its gate slot, so the reference count covers the windows the gate
+/// cannot see.)
 struct Gate {
     limit: usize,
     count: Mutex<usize>,
     freed: Condvar,
-    active: AtomicUsize,
 }
 
 impl Gate {
@@ -122,7 +129,6 @@ impl Gate {
             limit: limit.max(1),
             count: Mutex::with_class(LockClass::ServerAdmission, 0),
             freed: Condvar::new(),
-            active: AtomicUsize::new(0),
         }
     }
 
@@ -139,20 +145,14 @@ impl Gate {
             self.freed.wait_for(&mut count, deadline - now);
         }
         *count += 1;
-        self.active.store(*count, Ordering::Release);
         true
     }
 
     fn leave(&self) {
         let mut count = self.count.lock();
         *count = count.saturating_sub(1);
-        self.active.store(*count, Ordering::Release);
         drop(count);
         self.freed.notify_one();
-    }
-
-    fn in_flight(&self) -> usize {
-        self.active.load(Ordering::Acquire)
     }
 }
 
@@ -166,7 +166,9 @@ struct Tenant {
 }
 
 /// Streams and join handles of live connections, under one
-/// `server-conns` mutex.
+/// `server-conns` mutex. Handles of finished handlers are reaped by the
+/// accept loop as new connections arrive, so a long-running server does
+/// not accumulate one `JoinHandle` per connection ever accepted.
 #[derive(Default)]
 struct ConnTable {
     streams: HashMap<u64, TcpStream>,
@@ -295,6 +297,7 @@ fn accept_loop(inner: Arc<ServerInner>, listener: TcpListener) {
             .name(format!("pxml-conn-{conn_id}"))
             .spawn(move || handle_connection(handler_inner, stream, conn_id));
         let mut conns = inner.conns.lock();
+        conns.handles.retain(|handle| !handle.is_finished());
         match spawned {
             Ok(handle) => conns.handles.push(handle),
             Err(_) => {
@@ -434,10 +437,19 @@ impl ServerInner {
         }
         match request.tag {
             // Observability bypasses admission: stats must answer exactly
-            // when the gates are full.
-            tag::STATS => match self.resolve_tenant(&request.tenant) {
-                Ok(tenant) => stats_response(&tenant.warehouse),
-                Err(response) => response,
+            // when the gates are full. Being admission-free it must also
+            // stay harmless, so it only looks at already-resident tenants —
+            // a lazy open here would let an unthrottled probe create
+            // storage directories and evict live tenants.
+            tag::STATS => match self.resident_tenant(&request.tenant) {
+                Some(tenant) => stats_response(&tenant.warehouse),
+                None => error_response(
+                    "not-resident",
+                    &format!(
+                        "tenant `{}` is not resident; touch it with a gated request first",
+                        request.tenant
+                    ),
+                ),
             },
             tag::OPEN
             | tag::QUERY
@@ -485,8 +497,16 @@ impl ServerInner {
         response
     }
 
+    /// Stats-path lookup: already-resident tenants only, never a lazy
+    /// open. Does not bump the LRU stamp — observability must not perturb
+    /// eviction order. The returned `Arc` keeps the tenant safe from
+    /// eviction while the stats frame is built (`strong_count > 1`).
+    fn resident_tenant(&self, name: &str) -> Option<Arc<Tenant>> {
+        self.tenants.lock().get(name).map(Arc::clone)
+    }
+
     /// Looks a tenant up, lazily opening its warehouse and LRU-evicting an
-    /// idle one when over capacity. The registry lock is held across the
+    /// unheld one when over capacity. The registry lock is held across the
     /// lazy open (so two connections cannot open the same tenant twice);
     /// the evicted warehouse's barrier runs *after* the lock is released.
     fn resolve_tenant(&self, name: &str) -> Result<Arc<Tenant>, RawResponse> {
@@ -507,14 +527,22 @@ impl ServerInner {
                 });
                 tenants.insert(name.to_string(), Arc::clone(&tenant));
                 if tenants.len() > self.config.max_tenants {
-                    // Evict the least-recently-used *idle* tenant. If every
-                    // other tenant has requests in flight, overshoot
-                    // instead: dropping a warehouse a request still holds
-                    // would let a re-opened backend race it on the same
-                    // journal files.
+                    // Evict the least-recently-used tenant that no request
+                    // holds. "Holds" means `Arc` holders, not gate
+                    // occupancy: a request clones the `Arc` (under this
+                    // lock) before it enters the tenant gate, and the
+                    // stats path never enters the gate at all — judging
+                    // busyness by the gate would evict a tenant a request
+                    // is about to use. With the registry lock held,
+                    // `strong_count == 1` means the map entry is the sole
+                    // reference and no new holder can appear until the
+                    // lock is released. If every other tenant is held,
+                    // overshoot instead: dropping a warehouse a request
+                    // still references would let a re-opened backend race
+                    // it on the same journal files.
                     let victim = tenants
                         .values()
-                        .filter(|t| t.name != name && t.gate.in_flight() == 0)
+                        .filter(|t| t.name != name && Arc::strong_count(t) == 1)
                         .min_by_key(|t| t.last_used.load(Ordering::Acquire))
                         .map(|t| t.name.clone());
                     if let Some(victim) = victim {

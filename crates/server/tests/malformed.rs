@@ -124,8 +124,14 @@ fn unknown_tag_gets_typed_error_and_connection_survives() {
         .write_all(&raw_request(0x7F, b"acme", b"whatever"))
         .unwrap();
     expect_error_code(&mut stream, "unknown-tag");
-    // Framing was intact, so the connection stays usable: a valid stats
-    // request on the same stream must answer.
+    // Framing was intact, so the connection stays usable: a valid open
+    // (which makes the tenant resident) and then a stats request on the
+    // same stream must both answer.
+    stream
+        .write_all(&raw_request(tag::OPEN, b"acme", b"doc\n<doc/>"))
+        .unwrap();
+    let response = read_response(&mut stream, DEFAULT_MAX_FRAME_BYTES).unwrap();
+    assert_eq!(response.tag, tag::OK);
     stream
         .write_all(&raw_request(tag::STATS, b"acme", b""))
         .unwrap();
@@ -247,10 +253,10 @@ fn oversized_client_frame_is_capped_by_config() {
     // A small frame fits under the cap on a fresh connection.
     let mut stream = TcpStream::connect(server.local_addr()).unwrap();
     stream
-        .write_all(&raw_request(tag::STATS, b"acme", b""))
+        .write_all(&raw_request(tag::OPEN, b"acme", b"doc\n<doc/>"))
         .unwrap();
     let response = read_response(&mut stream, DEFAULT_MAX_FRAME_BYTES).unwrap();
-    assert_eq!(response.tag, tag::STATS_DATA);
+    assert_eq!(response.tag, tag::OK);
 
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);

@@ -266,6 +266,87 @@ fn lru_evicts_idle_tenants_and_reopens_them() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A tenant with a request in flight is never an eviction victim, even
+/// when it is the LRU-oldest: busyness is judged by `Arc` holders of the
+/// tenant entry (which a request takes before it even enters the tenant's
+/// admission gate), so the LRU skips it and evicts an unheld tenant
+/// instead — and the held tenant's commit lands intact.
+#[test]
+fn eviction_skips_tenants_held_by_in_flight_requests() {
+    let dir = scratch("evict-held");
+    let mut config = ServerConfig::new(&dir);
+    config.max_tenants = 2;
+    // Slow flushes keep the held tenant's commit in flight while other
+    // tenants churn the LRU (opening a fresh tenant does not flush, so
+    // the churn itself stays fast).
+    config.fs.simulated_sync_latency = Duration::from_millis(600);
+    let server = Server::start(config).unwrap();
+    let addr = server.local_addr();
+
+    let mut held = Client::connect(addr, "held").unwrap();
+    held.open("doc", Some(PEOPLE_XML)).unwrap();
+
+    let writer = std::thread::spawn(move || {
+        let mut writer = Client::connect(addr, "held").unwrap();
+        writer.commit("doc", &phone_batch(0.6)).unwrap();
+    });
+    // Let the writer get into its 600 ms flush; from here `held` is the
+    // LRU-oldest resident tenant but has a request holding it.
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Two cheap touches: `idle` becomes resident, then `trigger` pushes
+    // the registry over max_tenants. The victim must be `idle` — more
+    // recently used than `held`, but unheld.
+    let mut idle = Client::connect(addr, "idle").unwrap();
+    let _ = idle.open("doc", None);
+    let mut trigger = Client::connect(addr, "trigger").unwrap();
+    let _ = trigger.open("doc", None);
+
+    let resident = server.resident_tenants();
+    assert!(
+        resident.contains(&"held".to_string()),
+        "held tenant was evicted mid-request; resident: {resident:?}"
+    );
+    assert!(
+        !resident.contains(&"idle".to_string()),
+        "expected the unheld tenant to be the victim; resident: {resident:?}"
+    );
+
+    writer.join().unwrap();
+    let answers = held.query("doc", "person { phone }").unwrap();
+    assert_eq!(answers.answers.len(), 1);
+    assert!((answers.answers[0].probability - 0.6).abs() < 1e-9);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `stats` is admission-free, so it must be harmless: a probe for a
+/// never-seen tenant is refused with a typed error instead of lazily
+/// opening a warehouse — no storage directory, no resident entry, no LRU
+/// churn.
+#[test]
+fn stats_never_lazily_opens_a_tenant() {
+    let dir = scratch("stats-resident");
+    let server = Server::start(ServerConfig::new(&dir)).unwrap();
+
+    let mut ghost = Client::connect(server.local_addr(), "ghost").unwrap();
+    match ghost.stats() {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "not-resident"),
+        other => panic!("expected not-resident, got {other:?}"),
+    }
+    assert!(server.resident_tenants().is_empty());
+    assert!(!dir.join("ghost").exists());
+
+    // A gated request makes the tenant resident; stats answers from then
+    // on.
+    ghost.open("doc", Some(PEOPLE_XML)).unwrap();
+    assert_eq!(ghost.stats().unwrap().updates_applied, 0);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn over_budget_requests_get_busy_within_the_admission_timeout() {
     let dir = scratch("busy");
