@@ -1,6 +1,6 @@
 //! The experiment harness: re-runs every experiment E1–E15 plus the served
-//! E17 request-rate sweep (each described at its section below) and prints
-//! paper-style result tables.
+//! E17 request-rate sweep and the E18 chaos sweep (each described at its
+//! section below) and prints paper-style result tables.
 //!
 //! Usage:
 //!
@@ -33,7 +33,9 @@ use pxml_gen::scenarios::{extraction_update, people_directory, PeopleScenarioCon
 use pxml_gen::storage::journal_batches;
 use pxml_query::{MatchStrategy, Pattern};
 use pxml_server::{Client, Server, ServerConfig};
-use pxml_store::{CommitPolicy, FsBackend, FsOptions, MemBackend, StorageBackend};
+use pxml_store::{
+    CommitPolicy, FaultOp, FaultPlan, FsBackend, FsOptions, MemBackend, StorageBackend,
+};
 use pxml_tree::parse_data_tree;
 use pxml_warehouse::{CompactionPolicy, Session, SessionConfig, Warehouse};
 use rand::rngs::StdRng;
@@ -70,7 +72,7 @@ fn main() {
     println!("pxml experiment harness (quick = {quick})");
     println!("=========================================\n");
     type Experiment = fn(bool, &mut Report);
-    let experiments: [(&str, Experiment); 16] = [
+    let experiments: [(&str, Experiment); 17] = [
         ("e1", e1_possible_worlds_example),
         ("e2", e2_expressiveness),
         ("e3", e3_query_models),
@@ -87,6 +89,7 @@ fn main() {
         ("e14", e14_group_commit),
         ("e15", e15_snapshot_reads),
         ("e17", e17_request_rate),
+        ("e18", e18_chaos_sweep),
     ];
     for (name, body) in experiments {
         if !want(name) {
@@ -2272,5 +2275,357 @@ fn e17_request_rate(quick: bool, report: &mut Report) {
     writer.join().unwrap();
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
+    println!();
+}
+
+// ---------------------------------------------------------------------------
+// E18 — chaos sweep: injected storage faults under mixed load
+// ---------------------------------------------------------------------------
+
+/// Simulated device-flush latency for E18: enough to make the durability
+/// path the resource faults degrade, small enough that the sweep stays
+/// cheap — the goodput gate compares ratios, not absolute rates.
+const E18_FSYNC_LATENCY: Duration = Duration::from_millis(2);
+
+fn e18_doc(index: usize) -> String {
+    format!("chaos-{index}")
+}
+
+/// One tagged confidence-weighted insertion: the tag round-trips through
+/// the journal, so replay can be compared against the acked-commit list
+/// element by element.
+fn e18_batch(tag: u64) -> Vec<UpdateTransaction> {
+    let pattern = Pattern::parse("person { name[=\"person-0\"] }").unwrap();
+    let root = pattern.root();
+    let tree = parse_data_tree(&format!("<email>c{tag}@chaos</email>")).unwrap();
+    vec![UpdateTransaction::new(pattern, 0.9)
+        .unwrap()
+        .with_insert(root, tree)]
+}
+
+/// The tags of every update a cold, fault-free reopen of the store would
+/// replay for `doc`, in replay order.
+fn e18_journal_tags(backend: &dyn StorageBackend, doc: &str) -> Vec<u64> {
+    backend
+        .read_journal(doc)
+        .unwrap()
+        .iter()
+        .map(|update| match &update.operations()[0] {
+            pxml_core::UpdateOperation::Insert { subtree, .. } => subtree
+                .node_value(subtree.root())
+                .unwrap_or_default()
+                .strip_prefix('c')
+                .and_then(|rest| rest.split('@').next())
+                .and_then(|tag| tag.parse().ok())
+                .expect("E18 journal records carry c<tag>@chaos emails"),
+            _ => unreachable!("E18 updates are inserts"),
+        })
+        .collect()
+}
+
+/// The robustness claim behind the fault-injection layer, measured: under a
+/// mixed 4:1 query/commit load, injected fsync failures must never corrupt
+/// the acked-commit prefix — a failed commit quarantines the document,
+/// readers keep serving the last durable snapshot, `reopen_document` heals
+/// it, and a cold restart replays exactly the acknowledged commits. Part 1
+/// pins that with one scheduled fault; part 2 sweeps seeded fault rates
+/// (fault-free, 0.5%, 1%, 2%) through the grouped commit pipeline with
+/// retrying writers and gates both exactness at every rate and bounded
+/// goodput degradation: at a 1% fsync fault rate, goodput must stay at or
+/// above 70% of the fault-free baseline.
+fn e18_chaos_sweep(quick: bool, report: &mut Report) {
+    header(
+        "E18",
+        "chaos sweep: fsync faults under mixed load, exact acked-prefix recovery",
+    );
+
+    // --- part 1: one scheduled fault, deterministic accounting ------------
+    // Under the per-batch sync policy every commit is exactly one fsync
+    // round (document creation syncs outside the round path), so failing
+    // fsync #4 fails the 4th commit and nothing else.
+    let dir = std::env::temp_dir().join(format!("pxml-harness-e18-single-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let plan = std::sync::Arc::new(FaultPlan::new().fail_nth(FaultOp::Fsync, 4));
+    let backend = FsBackend::with_options(
+        &dir,
+        FsOptions {
+            fault: Some(plan.clone()),
+            ..FsOptions::default()
+        },
+    )
+    .unwrap();
+    let warehouse = Warehouse::with_backend(
+        std::sync::Arc::new(backend),
+        SessionConfig {
+            compaction: CompactionPolicy::Never,
+            ..SessionConfig::default()
+        },
+    )
+    .unwrap();
+    warehouse
+        .create_document("doc", parse_data_tree(&e17_document(4)).unwrap())
+        .unwrap();
+    let pattern = Pattern::parse("person { email }").unwrap();
+    let mut acked: Vec<u64> = Vec::new();
+    let mut failed_tag = None;
+    let mut served_during_quarantine = false;
+    for op in 0..50u64 {
+        if op % 5 == 4 {
+            match warehouse.commit_batch("doc", &e18_batch(op), None) {
+                Ok(_) => acked.push(op),
+                Err(error) => {
+                    assert!(
+                        warehouse.is_quarantined("doc"),
+                        "commit failed without quarantining: {error}"
+                    );
+                    // Mid-quarantine reads serve the last durable snapshot.
+                    served_during_quarantine = warehouse.query("doc", &pattern).is_ok();
+                    failed_tag = Some(op);
+                    warehouse.reopen_document("doc").unwrap();
+                }
+            }
+        } else {
+            let _ = warehouse.query("doc", &pattern).unwrap();
+        }
+    }
+    assert_eq!(
+        plan.injected_faults(),
+        1,
+        "the scheduled fault must fire once"
+    );
+    let failed_tag = failed_tag.expect("the scheduled fault never surfaced on a commit");
+    assert!(served_during_quarantine, "quarantine blocked a reader");
+    drop(warehouse);
+    // Cold restart: a fresh fault-free backend replays the journal.
+    let replayed = e18_journal_tags(&FsBackend::open(&dir).unwrap(), "doc");
+    let exact = replayed == acked;
+    println!(
+        "single fault: {} commits acked, commit {failed_tag} rolled back, \
+         replay holds {} (exact = {exact})",
+        acked.len(),
+        replayed.len()
+    );
+    report.row(
+        "single_fault",
+        &[
+            ("acked_commits", (acked.len() as i64).into()),
+            ("failed_tag", (failed_tag as i64).into()),
+            ("replayed_commits", (replayed.len() as i64).into()),
+            ("exact_prefix", exact.into()),
+            (
+                "reads_served_during_quarantine",
+                served_during_quarantine.into(),
+            ),
+        ],
+    );
+    assert!(
+        exact,
+        "replay diverged from the acked prefix: {replayed:?} vs {acked:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- part 2: seeded fault-rate sweep through the grouped pipeline -----
+    let rates: &[f64] = if quick {
+        &[0.0, 0.01, 0.02]
+    } else {
+        &[0.0, 0.005, 0.01, 0.02]
+    };
+    let threads = 4usize;
+    let ops_per_thread = if quick { 100 } else { 200 };
+    println!(
+        "\nmixed 4:1 query/commit, {threads} writers x {ops_per_thread} ops, grouped \
+         commits, simulated {} ms flush, retrying writers reopen on quarantine",
+        E18_FSYNC_LATENCY.as_millis()
+    );
+    println!(
+        "\n{:>8} {:>7} {:>7} {:>9} {:>8} {:>9} {:>10} {:>6}",
+        "fault_%", "ops", "acked_c", "injected", "retries", "wall_ms", "goodput/s", "exact"
+    );
+    let mut baseline_goodput = 0.0f64;
+    let mut goodput_at_1pct = 0.0f64;
+    for &rate in rates {
+        let dir = std::env::temp_dir().join(format!(
+            "pxml-harness-e18-sweep-{}-{}",
+            std::process::id(),
+            (rate * 10_000.0) as u64
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Nonzero-rate plans also schedule two deterministic faults: at
+        // these op counts the expected number of random hits is below one,
+        // and the exactness gate must never run fault-free by luck.
+        let mut chaos = FaultPlan::seeded(BENCH_SEED ^ (rate * 10_000.0) as u64)
+            .fail_rate(FaultOp::Fsync, rate);
+        if rate > 0.0 {
+            chaos = chaos
+                .fail_nth(FaultOp::Fsync, 5)
+                .fail_nth(FaultOp::Fsync, 17);
+        }
+        let plan = std::sync::Arc::new(chaos);
+        let backend = FsBackend::with_options(
+            &dir,
+            FsOptions {
+                commit: CommitPolicy::Grouped {
+                    window_max_batches: threads,
+                    window_max_wait: Duration::from_millis(2),
+                },
+                simulated_sync_latency: E18_FSYNC_LATENCY,
+                fault: Some(plan.clone()),
+                ..FsOptions::default()
+            },
+        )
+        .unwrap();
+        let warehouse = Warehouse::with_backend(
+            std::sync::Arc::new(backend),
+            SessionConfig {
+                compaction: CompactionPolicy::Never,
+                ..SessionConfig::default()
+            },
+        )
+        .unwrap();
+        for t in 0..threads {
+            warehouse
+                .create_document(&e18_doc(t), parse_data_tree(&e17_document(4)).unwrap())
+                .unwrap();
+        }
+
+        let barrier = std::sync::Barrier::new(threads);
+        let started = Instant::now();
+        // One writer per document: within a document, acked order is commit
+        // order is replay order. A failed commit was rolled back (grouped
+        // windows truncate before any ticket resolves), so retrying the
+        // same tag cannot double-apply it.
+        let per_thread: Vec<(Vec<u64>, usize, usize)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let warehouse = &warehouse;
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        let doc = e18_doc(t);
+                        let pattern = Pattern::parse("person { email }").unwrap();
+                        let mut acked: Vec<u64> = Vec::new();
+                        let mut queries_ok = 0usize;
+                        let mut retries = 0usize;
+                        barrier.wait();
+                        for op in 0..ops_per_thread {
+                            let tag = t as u64 * 1_000_000 + op as u64;
+                            if op % 5 == 4 {
+                                let batch = e18_batch(tag);
+                                let mut attempt = 0;
+                                loop {
+                                    match warehouse.commit_batch(&doc, &batch, None) {
+                                        Ok(_) => {
+                                            acked.push(tag);
+                                            break;
+                                        }
+                                        Err(error) => {
+                                            attempt += 1;
+                                            assert!(
+                                                attempt < 8,
+                                                "commit {tag} still failing after \
+                                                 {attempt} attempts: {error}"
+                                            );
+                                            retries += 1;
+                                            // Heal our own document; a reopen
+                                            // also clears committer poison left
+                                            // by a neighbour's failed window.
+                                            if warehouse.is_quarantined(&doc) {
+                                                let _ = warehouse.reopen_document(&doc);
+                                            }
+                                        }
+                                    }
+                                }
+                            } else {
+                                warehouse.query(&doc, &pattern).unwrap();
+                                queries_ok += 1;
+                            }
+                        }
+                        (acked, queries_ok, retries)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().unwrap())
+                .collect()
+        });
+        let wall = started.elapsed();
+        drop(warehouse);
+
+        // Cold restart over a fault-free backend: per document, the replay
+        // must be exactly that writer's acked sequence.
+        let fresh = FsBackend::open(&dir).unwrap();
+        let mut exact = true;
+        let mut acked_commits = 0usize;
+        let mut acked_ops = 0usize;
+        let mut total_retries = 0usize;
+        for (t, (acked, queries_ok, retries)) in per_thread.iter().enumerate() {
+            let replayed = e18_journal_tags(&fresh, &e18_doc(t));
+            exact &= &replayed == acked;
+            acked_commits += acked.len();
+            acked_ops += acked.len() + queries_ok;
+            total_retries += retries;
+        }
+        let goodput = acked_ops as f64 / wall.as_secs_f64();
+        if rate == 0.0 {
+            baseline_goodput = goodput;
+        }
+        if (rate - 0.01).abs() < 1e-12 {
+            goodput_at_1pct = goodput;
+        }
+        println!(
+            "{:>8.1} {:>7} {acked_commits:>7} {:>9} {total_retries:>8} {:>9.1} {goodput:>10.0} {exact:>6}",
+            rate * 100.0,
+            threads * ops_per_thread,
+            plan.injected_faults(),
+            ms(wall),
+        );
+        report.row(
+            "sweep",
+            &[
+                ("fault_rate", rate.into()),
+                ("ops", ((threads * ops_per_thread) as i64).into()),
+                ("acked_commits", (acked_commits as i64).into()),
+                ("injected_faults", (plan.injected_faults() as i64).into()),
+                ("commit_retries", (total_retries as i64).into()),
+                ("wall_ms", ms(wall).into()),
+                ("goodput_ops_per_s", goodput.into()),
+                ("exact_prefix", exact.into()),
+            ],
+        );
+        assert!(
+            exact,
+            "rate {rate}: cold-restart replay diverged from the acked prefix"
+        );
+        // The commit volume guarantees at least 17 fsync rounds (windows
+        // hold at most `threads` batches), so both scheduled faults fired.
+        if rate > 0.0 {
+            assert!(
+                plan.injected_faults() >= 2,
+                "rate {rate}: the scheduled faults never fired — the sweep ran fault-free"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let degradation = goodput_at_1pct / baseline_goodput;
+    println!(
+        "\ndegradation: {baseline_goodput:.0} -> {goodput_at_1pct:.0} acked ops/s at 1% \
+         faults ({:.0}% of baseline)",
+        degradation * 100.0
+    );
+    report.row(
+        "degradation",
+        &[
+            ("baseline_goodput_ops_per_s", baseline_goodput.into()),
+            ("goodput_at_1pct_ops_per_s", goodput_at_1pct.into()),
+            ("ratio", degradation.into()),
+        ],
+    );
+    // The gate: recovery (rollback + quarantine + reopen replay) must cost
+    // bounded goodput, not collapse the service.
+    assert!(
+        degradation >= 0.70,
+        "goodput at 1% faults fell to {:.0}% of the fault-free baseline",
+        degradation * 100.0
+    );
     println!();
 }

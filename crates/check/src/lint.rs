@@ -27,6 +27,12 @@
 //! - **`no-net-in-engine`** — no `std::net` outside `crates/server/`: the
 //!   engine crates stay embeddable (and deterministic under the schedule
 //!   explorer), so sockets are confined to the wire front-end.
+//! - **`io-result-drop`** — no `let _ = …;` discards and no
+//!   statement-position `.ok();` in `crates/store/` / `crates/warehouse/`
+//!   non-test code: on the durability path a silently dropped `Result` is
+//!   how fsyncgate-class bugs hide (the fsync failed, nobody noticed, the
+//!   commit was acknowledged anyway). Handle the error or mark the one
+//!   deliberate discard with the allow marker.
 //!
 //! A finding on a deliberate exception is suppressed with
 //! `// lint: allow(<rule>)` on the offending line or the line above.
@@ -111,6 +117,8 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
         .split('/')
         .any(|component| component == "tests" || component == "benches");
     let is_server_crate = rel_path.starts_with("crates/server/");
+    let is_durability_crate =
+        rel_path.starts_with("crates/store/") || rel_path.starts_with("crates/warehouse/");
     let blanked = blank_noncode(source);
     let raw_lines: Vec<&str> = source.lines().collect();
     let code_lines: Vec<&str> = blanked.lines().collect();
@@ -221,6 +229,39 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
                         ),
                     });
                 }
+            }
+        }
+
+        // --- io-result-drop ----------------------------------------------
+        // (Lexical: `let _ = …;` always discards; a line-final `.ok();`
+        // whose value is neither bound, assigned, nor returned does too.
+        // Value-position uses like `let n = s.parse().ok();` stay legal.)
+        if is_durability_crate && non_test && !allowed("io-result-drop") {
+            let trimmed = code.trim();
+            if trimmed.starts_with("let _ =") {
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line,
+                    rule: "io-result-drop",
+                    message: "`let _ = …` discards a result on the durability path — a \
+                              dropped I/O error here is how fsyncgate-class bugs hide; \
+                              handle it or mark the deliberate discard with \
+                              `// lint: allow(io-result-drop)`"
+                        .to_string(),
+                });
+            } else if trimmed.ends_with(".ok();")
+                && !trimmed.contains('=')
+                && !trimmed.starts_with("return ")
+            {
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line,
+                    rule: "io-result-drop",
+                    message: "statement-position `.ok()` silently swallows a `Result` on \
+                              the durability path — handle the error or mark the \
+                              deliberate discard with `// lint: allow(io-result-drop)`"
+                        .to_string(),
+                });
             }
         }
 
@@ -868,6 +909,45 @@ mod tests {
         // Prose and strings never match.
         let prose = "fn f() {\n    // std::net belongs in crates/server\n    let s = \"std::net::TcpStream\";\n}\n";
         assert!(lint_source("crates/core/src/lib.rs", prose).is_empty());
+    }
+
+    #[test]
+    fn io_result_drop_is_flagged_in_store_and_warehouse() {
+        let source =
+            "fn f(file: &File) {\n    let _ = file.sync_all();\n    file.sync_all().ok();\n}\n";
+        for path in [
+            "crates/store/src/fs.rs",
+            "crates/warehouse/src/warehouse.rs",
+        ] {
+            let findings = lint_source(path, source);
+            assert_eq!(rules(&findings), vec!["io-result-drop", "io-result-drop"]);
+            assert_eq!(findings[0].line, 2);
+            assert_eq!(findings[1].line, 3);
+        }
+    }
+
+    #[test]
+    fn io_result_drop_is_scoped_to_durability_crates_and_non_test_code() {
+        let source =
+            "fn f(file: &File) {\n    let _ = file.sync_all();\n    file.sync_all().ok();\n}\n";
+        // Other crates are out of scope (their Results aren't durability).
+        assert!(lint_source("crates/query/src/lib.rs", source).is_empty());
+        // Test files and #[cfg(test)] regions are exempt.
+        assert!(lint_source("crates/store/tests/it.rs", source).is_empty());
+        let in_test_mod = format!("#[cfg(test)]\nmod tests {{\n{source}}}\n");
+        assert!(lint_source("crates/store/src/fs.rs", &in_test_mod).is_empty());
+    }
+
+    #[test]
+    fn io_result_drop_does_not_flag_value_position_or_named_bindings() {
+        let source = "fn f() {\n    let _guard = slot.commit.lock();\n    let n = text.parse::<u32>().ok();\n    self.cache = reload().ok();\n    return fallible().ok();\n}\n";
+        assert!(lint_source("crates/store/src/fs.rs", source).is_empty());
+    }
+
+    #[test]
+    fn io_result_drop_allow_marker_suppresses() {
+        let source = "fn f(file: &File) {\n    // lint: allow(io-result-drop)\n    let _ = file.sync_all();\n    file.sync_all().ok(); // lint: allow(io-result-drop)\n}\n";
+        assert!(lint_source("crates/store/src/fs.rs", source).is_empty());
     }
 
     #[test]

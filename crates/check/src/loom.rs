@@ -141,6 +141,8 @@ pub fn scenarios() -> Vec<Scenario> {
             window_max: 2,
             fill_idle: false,
             bug_ack_before_fsync: false,
+            fsync_fails_at: None,
+            bug_ack_after_failed_fsync: false,
         },
         Scenario {
             name: "2t-2docs-w2",
@@ -149,6 +151,8 @@ pub fn scenarios() -> Vec<Scenario> {
             window_max: 2,
             fill_idle: false,
             bug_ack_before_fsync: false,
+            fsync_fails_at: None,
+            bug_ack_after_failed_fsync: false,
         },
         Scenario {
             name: "2t-1doc-w1",
@@ -157,6 +161,8 @@ pub fn scenarios() -> Vec<Scenario> {
             window_max: 1,
             fill_idle: false,
             bug_ack_before_fsync: false,
+            fsync_fails_at: None,
+            bug_ack_after_failed_fsync: false,
         },
         Scenario {
             name: "2t-2docs-fill-idle",
@@ -165,6 +171,8 @@ pub fn scenarios() -> Vec<Scenario> {
             window_max: 2,
             fill_idle: true,
             bug_ack_before_fsync: false,
+            fsync_fails_at: None,
+            bug_ack_after_failed_fsync: false,
         },
         Scenario {
             name: "3t-2docs-w3",
@@ -173,6 +181,8 @@ pub fn scenarios() -> Vec<Scenario> {
             window_max: 3,
             fill_idle: false,
             bug_ack_before_fsync: false,
+            fsync_fails_at: None,
+            bug_ack_after_failed_fsync: false,
         },
         Scenario {
             name: "3t-1doc-w2",
@@ -181,6 +191,33 @@ pub fn scenarios() -> Vec<Scenario> {
             window_max: 2,
             fill_idle: false,
             bug_ack_before_fsync: false,
+            fsync_fails_at: None,
+            bug_ack_after_failed_fsync: false,
+        },
+        // Failing-fsync scenarios: the first (or a later) shared round
+        // fails, and in every schedule the invariants must still hold — in
+        // particular I1 proves no reachable state acknowledges a record
+        // outside the fsynced prefix, across the rollback, the poisoned
+        // drains and the failed enqueues.
+        Scenario {
+            name: "2t-1doc-fsync-fail-1",
+            threads: vec![vec![0, 0], vec![0, 0]],
+            docs: 1,
+            window_max: 2,
+            fill_idle: false,
+            bug_ack_before_fsync: false,
+            fsync_fails_at: Some(1),
+            bug_ack_after_failed_fsync: false,
+        },
+        Scenario {
+            name: "2t-2docs-fsync-fail-2",
+            threads: vec![vec![0, 1], vec![1, 0]],
+            docs: 2,
+            window_max: 2,
+            fill_idle: false,
+            bug_ack_before_fsync: false,
+            fsync_fails_at: Some(2),
+            bug_ack_after_failed_fsync: false,
         },
     ]
 }
@@ -195,6 +232,24 @@ pub fn seeded_bug_scenario() -> Scenario {
         window_max: 2,
         fill_idle: false,
         bug_ack_before_fsync: true,
+        fsync_fails_at: None,
+        bug_ack_after_failed_fsync: false,
+    }
+}
+
+/// The seeded fsyncgate bug: the leader's first fsync round fails but it
+/// acknowledges the window anyway (records written, never durable). The
+/// explorer's I1 must catch it — the self-tests assert it does.
+pub fn seeded_fsyncgate_scenario() -> Scenario {
+    Scenario {
+        name: "seeded-ack-after-failed-fsync",
+        threads: vec![vec![0], vec![0]],
+        docs: 1,
+        window_max: 2,
+        fill_idle: false,
+        bug_ack_before_fsync: false,
+        fsync_fails_at: Some(1),
+        bug_ack_after_failed_fsync: true,
     }
 }
 
@@ -222,6 +277,8 @@ mod tests {
             window_max: 2,
             fill_idle: false,
             bug_ack_before_fsync: false,
+            fsync_fails_at: None,
+            bug_ack_after_failed_fsync: false,
         };
         let stats = explore(&scenario);
         assert!(stats.violations.is_empty(), "{:?}", stats.violations);

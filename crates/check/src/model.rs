@@ -24,6 +24,21 @@
 //! (acknowledging members when their records are written rather than when
 //! the window is fsynced); the explorer's self-tests assert the invariant
 //! machinery actually catches it.
+//!
+//! # Fsync failure
+//!
+//! `fsync_fails_at = Some(n)` makes the n-th shared fsync round fail, and
+//! the model then mirrors the real protocol's failure path
+//! (`crates/store/src/group.rs`, "Fsync failure poisons the committer"):
+//! the window's unsynced records roll back out of the journal, every member
+//! slot resolves *failed* (never acknowledged), and the committer is
+//! poisoned at the leader's release — subsequent enqueues fail immediately
+//! and a waiter finding the poison drains and fails the queue instead of
+//! leading. The durability invariant I1 is checked at every reachable state
+//! as always, so the explorer proves **no schedule acknowledges a record
+//! outside the fsynced prefix** even across the failure. The companion
+//! seeded bug `bug_ack_after_failed_fsync` — the fsyncgate pattern of
+//! shrugging the error off and acknowledging anyway — must make I1 fire.
 
 /// Index of a modeled document.
 pub type DocId = usize;
@@ -47,6 +62,15 @@ pub struct Scenario {
     /// Seeded bug: the leader acknowledges its window without an fsync
     /// round, breaking "ack ⇒ durable". For explorer self-tests only.
     pub bug_ack_before_fsync: bool,
+    /// Injected fault: the n-th shared fsync round (1-based) fails. The
+    /// failing window rolls back, its members fail, and the committer is
+    /// poisoned from the leader's release on (no reopen inside the bounded
+    /// scenarios — poison is terminal here).
+    pub fsync_fails_at: Option<usize>,
+    /// Seeded fsyncgate bug: the leader treats the failed round as success —
+    /// records stay written but not durable, members are acknowledged
+    /// anyway. For explorer self-tests only.
+    pub bug_ack_after_failed_fsync: bool,
 }
 
 impl Scenario {
@@ -70,6 +94,10 @@ pub enum Pc {
     /// Leader whose window is fully written and (unless the seeded bug is
     /// armed) fsynced; about to complete the member slots.
     Synced { commit: usize },
+    /// Leader whose fsync round failed: the window already rolled back and
+    /// its slots resolved failed; about to poison the committer and give up
+    /// leadership.
+    FailedSync { commit: usize },
     /// Leader that completed every slot; about to give up leadership.
     Releasing { commit: usize },
     /// All program-order commits acknowledged.
@@ -116,6 +144,18 @@ pub struct State {
     durable: Vec<usize>,
     /// `acked[t][k]`: thread `t`'s `k`-th commit has been acknowledged.
     acked: Vec<Vec<bool>>,
+    /// `failed[t][k]`: thread `t`'s `k`-th commit resolved with an error
+    /// (failed fsync round, poisoned enqueue, or poisoned drain). Constant
+    /// all-false in fault-free scenarios, so their state space — and the
+    /// pinned coverage numbers — are unchanged.
+    failed: Vec<Vec<bool>>,
+    /// Fsync rounds attempted so far. Only counted when the scenario injects
+    /// a fault (`fsync_fails_at`), so fault-free scenarios memoize exactly
+    /// as before.
+    fsync_rounds: usize,
+    /// Mirrors `Window::poisoned`: set at the failed leader's release, after
+    /// which nothing flushes.
+    poisoned: bool,
     /// Ground truth for the order invariant: per-document enqueue order.
     enqueue_order: Vec<Vec<CommitId>>,
 }
@@ -145,6 +185,13 @@ impl State {
                 .iter()
                 .map(|commits| vec![false; commits.len()])
                 .collect(),
+            failed: scenario
+                .threads
+                .iter()
+                .map(|commits| vec![false; commits.len()])
+                .collect(),
+            fsync_rounds: 0,
+            poisoned: false,
             enqueue_order: vec![Vec::new(); scenario.docs],
         }
     }
@@ -164,11 +211,13 @@ impl State {
                     moves.push((t, Step::Enqueue));
                 }
                 Pc::Waiting { commit } => {
-                    if self.acked[t][commit] {
+                    if self.acked[t][commit] || self.failed[t][commit] {
                         moves.push((t, Step::ObserveAck));
                     } else if self.leader.is_none() {
                         // A follower with an active leader is blocked: it
                         // sleeps until the leader's release notification.
+                        // (On a poisoned committer `Lead` drains and fails
+                        // the queue instead of taking leadership.)
                         moves.push((t, Step::Lead));
                     }
                 }
@@ -181,7 +230,7 @@ impl State {
                     }
                 }
                 Pc::Synced { .. } => moves.push((t, Step::CompleteSlots)),
-                Pc::Releasing { .. } => moves.push((t, Step::Release)),
+                Pc::FailedSync { .. } | Pc::Releasing { .. } => moves.push((t, Step::Release)),
                 Pc::Done => {}
             }
         }
@@ -205,15 +254,34 @@ impl State {
         let mut next = self.clone();
         match (step, self.pc[t].clone()) {
             (Step::Enqueue, Pc::Idle { next: k }) => {
-                let doc = scenario.threads[t][k];
-                if next.leader.is_some() || !next.pending.is_empty() {
-                    next.hint = true;
+                if next.poisoned {
+                    // Poisoned committer: the enqueue returns a pre-failed
+                    // slot and nothing enters the pipeline.
+                    next.failed[t][k] = true;
+                    next.pc[t] = Pc::Waiting { commit: k };
+                } else {
+                    let doc = scenario.threads[t][k];
+                    if next.leader.is_some() || !next.pending.is_empty() {
+                        next.hint = true;
+                    }
+                    next.pending.push(((t, k), doc));
+                    next.enqueue_order[doc].push((t, k));
+                    next.pc[t] = Pc::Waiting { commit: k };
                 }
-                next.pending.push(((t, k), doc));
-                next.enqueue_order[doc].push((t, k));
-                next.pc[t] = Pc::Waiting { commit: k };
             }
             (Step::Lead, Pc::Waiting { commit }) => {
+                if next.poisoned {
+                    // The poisoned branch of `wait`: nothing may flush — the
+                    // waiter drains and fails the whole queue (its own slot
+                    // included) without taking leadership, then loops to
+                    // observe the failure.
+                    let drained = std::mem::take(&mut next.pending);
+                    for ((thread, k), _) in drained {
+                        next.failed[thread][k] = true;
+                    }
+                    next.pc[t] = Pc::Waiting { commit };
+                    return next;
+                }
                 next.leader = Some(t);
                 let fill = scenario.fill_idle || next.hint || next.pending.len() > 1;
                 if fill {
@@ -244,13 +312,40 @@ impl State {
                 };
             }
             (Step::FsyncRound, Pc::Writing { commit, .. }) => {
-                if !scenario.bug_ack_before_fsync {
-                    // One shared round covers every file the window touched.
-                    for &(_, doc) in &self.window {
-                        next.durable[doc] = next.journal[doc].len();
-                    }
+                let failing = scenario
+                    .fsync_fails_at
+                    .is_some_and(|n| self.fsync_rounds + 1 == n);
+                if scenario.fsync_fails_at.is_some() {
+                    // Counted only under injection so fault-free scenarios
+                    // memoize (and pin their coverage numbers) unchanged.
+                    next.fsync_rounds += 1;
                 }
-                next.pc[t] = Pc::Synced { commit };
+                if failing && !scenario.bug_ack_after_failed_fsync {
+                    // The real failure path, as one observable step (in the
+                    // store it all happens inside `flush_window` while the
+                    // followers sleep): the round fails, the unsynced
+                    // records — everything past the durable prefix belongs
+                    // to this window, windows being serialized — roll back,
+                    // and every member slot resolves failed.
+                    for &((thread, k), doc) in &self.window {
+                        next.journal[doc].truncate(next.durable[doc]);
+                        next.failed[thread][k] = true;
+                    }
+                    next.window.clear();
+                    next.pc[t] = Pc::FailedSync { commit };
+                } else {
+                    if !scenario.bug_ack_before_fsync && !failing {
+                        // One shared round covers every file the window
+                        // touched.
+                        for &(_, doc) in &self.window {
+                            next.durable[doc] = next.journal[doc].len();
+                        }
+                    }
+                    // A failing round with `bug_ack_after_failed_fsync`
+                    // falls through here *without* advancing the durable
+                    // prefix: the fsyncgate bug — proceed to ack anyway.
+                    next.pc[t] = Pc::Synced { commit };
+                }
             }
             (Step::CompleteSlots, Pc::Synced { commit }) => {
                 for &((thread, k), _) in &self.window {
@@ -260,6 +355,13 @@ impl State {
                 next.pc[t] = Pc::Releasing { commit };
             }
             (Step::Release, Pc::Releasing { commit }) => {
+                next.leader = None;
+                next.pc[t] = Pc::Waiting { commit };
+            }
+            (Step::Release, Pc::FailedSync { commit }) => {
+                // Poison and release are one critical section in the real
+                // `wait` (the window mutex is held across both).
+                next.poisoned = true;
                 next.leader = None;
                 next.pc[t] = Pc::Waiting { commit };
             }
@@ -332,7 +434,11 @@ impl State {
         if let Some(leader) = self.leader {
             if !matches!(
                 self.pc[leader],
-                Pc::Filling { .. } | Pc::Writing { .. } | Pc::Synced { .. } | Pc::Releasing { .. }
+                Pc::Filling { .. }
+                    | Pc::Writing { .. }
+                    | Pc::Synced { .. }
+                    | Pc::FailedSync { .. }
+                    | Pc::Releasing { .. }
             ) {
                 return Some(format!(
                     "leader thread {leader} is not in a leader phase ({:?})",
@@ -340,20 +446,37 @@ impl State {
                 ));
             }
         }
-        // I4 — terminal completeness: everyone done ⇒ everything acked,
-        // durable, and journals complete.
-        if self.is_terminal() {
-            if !self.acked.iter().flatten().all(|&a| a) {
-                return Some("terminal state with an unacknowledged commit".to_string());
+        // I5 — resolution exclusivity: no commit both acknowledged and
+        // failed (an acked-then-errored slot would let a client both trust
+        // and distrust the same batch).
+        for (t, acks) in self.acked.iter().enumerate() {
+            for (k, &acked) in acks.iter().enumerate() {
+                if acked && self.failed[t][k] {
+                    return Some(format!("commit {t}:{k} both acknowledged and failed"));
+                }
             }
-            for doc in 0..scenario.docs {
-                if self.journal[doc] != self.enqueue_order[doc]
-                    || self.durable[doc] != self.journal[doc].len()
-                {
-                    return Some(format!(
-                        "terminal state but doc {doc} journal is incomplete or not \
-                         fully durable"
-                    ));
+        }
+        // I4 — terminal completeness: everyone done ⇒ every commit resolved
+        // (acked or, under injection, failed); fault-free scenarios must
+        // additionally end with complete, fully durable journals.
+        if self.is_terminal() {
+            for (t, acks) in self.acked.iter().enumerate() {
+                for (k, &acked) in acks.iter().enumerate() {
+                    if !acked && !self.failed[t][k] {
+                        return Some("terminal state with an unacknowledged commit".to_string());
+                    }
+                }
+            }
+            if scenario.fsync_fails_at.is_none() {
+                for doc in 0..scenario.docs {
+                    if self.journal[doc] != self.enqueue_order[doc]
+                        || self.durable[doc] != self.journal[doc].len()
+                    {
+                        return Some(format!(
+                            "terminal state but doc {doc} journal is incomplete or not \
+                             fully durable"
+                        ));
+                    }
                 }
             }
         }
@@ -373,6 +496,8 @@ mod tests {
             window_max: 2,
             fill_idle: false,
             bug_ack_before_fsync: false,
+            fsync_fails_at: None,
+            bug_ack_after_failed_fsync: false,
         }
     }
 

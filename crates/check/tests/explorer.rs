@@ -2,7 +2,7 @@
 //! durability/ordering invariants in **every** bounded schedule, and the
 //! invariant machinery must actually catch a seeded durability bug.
 
-use pxml_check::loom::{explore, scenarios, seeded_bug_scenario};
+use pxml_check::loom::{explore, scenarios, seeded_bug_scenario, seeded_fsyncgate_scenario};
 
 #[test]
 fn every_scenario_upholds_the_invariants_in_every_schedule() {
@@ -72,6 +72,59 @@ fn seeded_ack_before_fsync_bug_is_detected() {
         stats.violations
     );
     // Each recorded violation carries the schedule that exposed it.
+    assert!(
+        stats.violations[0].contains("t0:") || stats.violations[0].contains("t1:"),
+        "violation lacks a schedule trace: {}",
+        stats.violations[0]
+    );
+}
+
+#[test]
+fn failing_fsync_scenarios_are_explored_and_uphold_durability() {
+    // The failure scenarios are part of the battery (so the first test has
+    // already proven no schedule acks a non-durable record across the
+    // failure); here we additionally pin that the fault actually fires —
+    // a battery where the injected round is never reached would prove
+    // nothing.
+    let battery = scenarios();
+    let failing = battery
+        .iter()
+        .filter(|s| s.fsync_fails_at.is_some())
+        .collect::<Vec<_>>();
+    assert!(failing.len() >= 2, "failure scenarios missing from battery");
+    for scenario in failing {
+        let stats = explore(scenario);
+        assert!(
+            stats.violations.is_empty(),
+            "[{}] {:?}",
+            scenario.name,
+            stats.violations
+        );
+        assert!(stats.terminals >= 1, "[{}] never terminates", scenario.name);
+        // More states than the fault-free twin would add nothing by itself;
+        // the meaningful signal is that exploration is non-trivial.
+        assert!(stats.states > 1 && stats.schedules > 1);
+    }
+}
+
+#[test]
+fn seeded_ack_after_failed_fsync_bug_is_detected() {
+    // The fsyncgate pattern: fsync fails, the leader shrugs and acks. The
+    // records sit in the page cache (journal tail), not in the durable
+    // prefix — I1 must fire in some schedule, with the trace attached.
+    let stats = explore(&seeded_fsyncgate_scenario());
+    assert!(
+        !stats.violations.is_empty(),
+        "the explorer failed to catch the seeded ack-after-failed-fsync bug"
+    );
+    assert!(
+        stats
+            .violations
+            .iter()
+            .any(|violation| violation.contains("not durable")),
+        "violations never mention durability: {:?}",
+        stats.violations
+    );
     assert!(
         stats.violations[0].contains("t0:") || stats.violations[0].contains("t1:"),
         "violation lacks a schedule trace: {}",

@@ -9,10 +9,13 @@
 use std::fmt;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use pxml_core::{FuzzyTree, UpdateTransaction};
 use pxml_store::{parse_fuzzy_document, serialize_batch};
 use pxml_tree::XmlDocument;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::frame::tag;
 use crate::frame::{
@@ -29,8 +32,15 @@ pub enum ClientError {
     /// Admission control shed the request (`scope` is `global` or
     /// `tenant`); nothing was executed, retry later.
     Busy { scope: String, message: String },
-    /// The server answered with a typed error frame.
-    Server { code: String, message: String },
+    /// The server answered with a typed error frame. `retryable` is the
+    /// server's own judgement (the second payload line): `true` means the
+    /// same request may succeed later — e.g. a quarantined document the
+    /// server is re-opening — `false` means retrying verbatim cannot help.
+    Server {
+        code: String,
+        retryable: bool,
+        message: String,
+    },
     /// The server answered with a frame the client cannot make sense of
     /// (unexpected tag, unparseable payload).
     Protocol(String),
@@ -42,7 +52,14 @@ impl fmt::Display for ClientError {
             ClientError::Io(err) => write!(f, "transport error: {err}"),
             ClientError::Frame(err) => write!(f, "response framing error: {err}"),
             ClientError::Busy { scope, message } => write!(f, "busy ({scope}): {message}"),
-            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+            ClientError::Server {
+                code,
+                retryable,
+                message,
+            } => {
+                let kind = if *retryable { "retryable" } else { "final" };
+                write!(f, "server error [{code}, {kind}]: {message}")
+            }
             ClientError::Protocol(message) => write!(f, "protocol error: {message}"),
         }
     }
@@ -67,6 +84,27 @@ impl ClientError {
     /// may retry after backing off; nothing happened server-side.
     pub fn is_busy(&self) -> bool {
         matches!(self, ClientError::Busy { .. })
+    }
+
+    /// `true` when the failure is transient and a retry may succeed:
+    /// admission sheds, server errors the server itself marked retryable
+    /// (quarantined documents under auto-reopen, raw storage failures),
+    /// and socket timeouts. [`RetryPolicy`] retries exactly these.
+    ///
+    /// Caveat for timeouts: a timed-out read leaves the late response in
+    /// the stream, desynchronizing this connection — reconnect before
+    /// retrying (a [`RetryPolicy`] closure that dials a fresh [`Client`]
+    /// does this naturally).
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ClientError::Busy { .. } => true,
+            ClientError::Server { retryable, .. } => *retryable,
+            ClientError::Io(err) | ClientError::Frame(FrameError::Io(err)) => matches!(
+                err.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+            _ => false,
+        }
     }
 }
 
@@ -105,6 +143,37 @@ pub struct RemoteStats {
     /// Mean commits per flushed group-commit window; `0.0` on tenants that
     /// never flushed one (the server guarantees this is never NaN).
     pub mean_window_occupancy: f64,
+    /// Documents currently quarantined after a failed commit (writes get
+    /// typed retryable errors until the server's auto-reopen restores
+    /// them; reads keep serving the last durable snapshot).
+    pub quarantined_docs: usize,
+    /// Names of those quarantined documents, sorted.
+    pub quarantined: Vec<String>,
+}
+
+/// Socket-level tuning for a [`Client`] connection.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Read deadline per response; a server that stops answering surfaces
+    /// as a transient timeout error instead of a hang. `None` blocks
+    /// forever.
+    pub read_timeout: Option<Duration>,
+    /// Write deadline per request frame.
+    pub write_timeout: Option<Duration>,
+    /// Cap on a response frame's declared length.
+    pub max_frame_bytes: u32,
+}
+
+impl Default for ClientConfig {
+    /// 30 s read and write deadlines (matching the server's default idle
+    /// deadline) and the protocol's default frame cap.
+    fn default() -> Self {
+        ClientConfig {
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
 }
 
 /// A blocking protocol client: one TCP connection, one tenant.
@@ -115,14 +184,26 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects and binds every subsequent request to `tenant`.
+    /// Connects and binds every subsequent request to `tenant`, with the
+    /// default [`ClientConfig`] (30 s socket deadlines).
     pub fn connect(addr: impl ToSocketAddrs, tenant: impl Into<String>) -> io::Result<Client> {
+        Client::connect_with(addr, tenant, ClientConfig::default())
+    }
+
+    /// Connects with explicit socket tuning.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        tenant: impl Into<String>,
+        config: ClientConfig,
+    ) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(config.read_timeout)?;
+        stream.set_write_timeout(config.write_timeout)?;
         Ok(Client {
             stream,
             tenant: tenant.into(),
-            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            max_frame_bytes: config.max_frame_bytes,
         })
     }
 
@@ -136,10 +217,14 @@ impl Client {
         let response = read_response(&mut self.stream, self.max_frame_bytes)?;
         match response.tag {
             tag::ERROR => {
+                // Payload: `code\nretryable\nmessage`. An absent or
+                // unrecognized retryable line (older peers) means final.
                 let text = response.text();
-                let (code, message) = text.split_once('\n').unwrap_or((text.as_str(), ""));
+                let (code, rest) = text.split_once('\n').unwrap_or((text.as_str(), ""));
+                let (retryable, message) = rest.split_once('\n').unwrap_or((rest, ""));
                 Err(ClientError::Server {
                     code: code.to_string(),
+                    retryable: retryable == "retry",
                     message: message.to_string(),
                 })
             }
@@ -245,6 +330,82 @@ impl Client {
     }
 }
 
+/// Capped exponential backoff with seeded jitter for transient failures
+/// ([`ClientError::is_transient`]): `Busy` sheds, server errors marked
+/// retryable, socket timeouts.
+///
+/// Attempt `n` (0-based) sleeps `min(cap, base · 2ⁿ) · j` where `j` is
+/// uniform in `[0.5, 1.0)` from a deterministic generator — seeded jitter
+/// keeps a fleet of clients from re-converging on the same retry instant
+/// while staying reproducible in tests and the harness.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (so `max_retries = 3` means at most
+    /// 4 attempts).
+    pub max_retries: usize,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Ceiling on any single backoff sleep (pre-jitter).
+    pub cap: Duration,
+    /// Jitter seed; two policies with the same seed sleep identically.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// 4 retries, 25 ms base, 1 s cap.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(1),
+            seed: 0x9e3779b97f4a7c15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The pre-sleep backoff durations this policy would use, in order —
+    /// jittered, deterministic for a given seed. Exposed for tests and for
+    /// callers that schedule their own sleeps.
+    pub fn backoffs(&self) -> Vec<Duration> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.max_retries)
+            .map(|attempt| self.backoff(attempt, &mut rng))
+            .collect()
+    }
+
+    fn backoff(&self, attempt: usize, rng: &mut StdRng) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32.checked_shl(attempt as u32).unwrap_or(u32::MAX))
+            .min(self.cap);
+        exp.mul_f64(0.5 + 0.5 * rng.gen::<f64>())
+    }
+
+    /// Runs `operation` until it succeeds, fails non-transiently, or the
+    /// retry budget is spent (the last error is returned). The closure is
+    /// the retry unit: have it dial a fresh [`Client`] when retrying after
+    /// timeouts (a timed-out connection is desynchronized — see
+    /// [`ClientError::is_transient`]).
+    pub fn run<T>(
+        &self,
+        mut operation: impl FnMut() -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut attempt = 0;
+        loop {
+            match operation() {
+                Ok(value) => return Ok(value),
+                Err(error) if error.is_transient() && attempt < self.max_retries => {
+                    std::thread::sleep(self.backoff(attempt, &mut rng));
+                    attempt += 1;
+                }
+                Err(error) => return Err(error),
+            }
+        }
+    }
+}
+
 fn parse_answers(text: &str) -> Result<RemoteAnswers, ClientError> {
     let mut lines = text.splitn(3, '\n');
     let seq = lines
@@ -298,6 +459,16 @@ fn parse_stats(text: &str) -> Result<RemoteStats, ClientError> {
         .ok_or_else(|| {
             ClientError::Protocol("stats frame missing `mean_window_occupancy`".into())
         })?;
+    let quarantined: Vec<String> = document
+        .root
+        .attribute("quarantined")
+        .map(|names| {
+            names
+                .split_whitespace()
+                .map(|name| name.to_string())
+                .collect()
+        })
+        .unwrap_or_default();
     Ok(RemoteStats {
         updates_applied: attr_usize("updates_applied")?,
         queries_evaluated: attr_usize("queries_evaluated")?,
@@ -307,5 +478,116 @@ fn parse_stats(text: &str) -> Result<RemoteStats, ClientError> {
         grouped_commits: attr_usize("grouped_commits")?,
         grouped_windows: attr_usize("grouped_windows")?,
         mean_window_occupancy: occupancy,
+        quarantined_docs: attr_usize("quarantined_docs")?,
+        quarantined,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn retry_policy_backoffs_are_deterministic_capped_and_jittered() {
+        let policy = RetryPolicy {
+            max_retries: 6,
+            base: Duration::from_millis(100),
+            cap: Duration::from_millis(400),
+            seed: 7,
+        };
+        let first = policy.backoffs();
+        assert_eq!(first, policy.backoffs(), "same seed, same sleeps");
+        assert_eq!(first.len(), 6);
+        for (attempt, backoff) in first.iter().enumerate() {
+            let exp = Duration::from_millis(100)
+                .saturating_mul(1 << attempt.min(31))
+                .min(Duration::from_millis(400));
+            // Jitter keeps every sleep in [exp/2, exp).
+            assert!(*backoff >= exp / 2 && *backoff < exp, "attempt {attempt}");
+        }
+        assert_ne!(
+            first,
+            RetryPolicy { seed: 8, ..policy }.backoffs(),
+            "different seeds must not sleep in lockstep"
+        );
+    }
+
+    #[test]
+    fn transient_classification_follows_the_failure_taxonomy() {
+        let busy = ClientError::Busy {
+            scope: "global".into(),
+            message: String::new(),
+        };
+        let retryable = ClientError::Server {
+            code: "quarantined".into(),
+            retryable: true,
+            message: String::new(),
+        };
+        let fatal = ClientError::Server {
+            code: "unknown-doc".into(),
+            retryable: false,
+            message: String::new(),
+        };
+        let timeout = ClientError::Io(io::Error::new(io::ErrorKind::WouldBlock, "timed out"));
+        let frame_timeout = ClientError::Frame(FrameError::Io(io::Error::new(
+            io::ErrorKind::TimedOut,
+            "timed out",
+        )));
+        let broken = ClientError::Io(io::Error::new(io::ErrorKind::BrokenPipe, "gone"));
+        assert!(busy.is_transient());
+        assert!(retryable.is_transient());
+        assert!(timeout.is_transient());
+        assert!(frame_timeout.is_transient());
+        assert!(!fatal.is_transient());
+        assert!(!broken.is_transient());
+    }
+
+    #[test]
+    fn run_retries_transients_and_gives_up_on_final_errors() {
+        let policy = RetryPolicy {
+            max_retries: 3,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+            seed: 1,
+        };
+        // Two sheds, then success.
+        let calls = Cell::new(0usize);
+        let result = policy.run(|| {
+            calls.set(calls.get() + 1);
+            if calls.get() < 3 {
+                Err(ClientError::Busy {
+                    scope: "tenant".into(),
+                    message: String::new(),
+                })
+            } else {
+                Ok(calls.get())
+            }
+        });
+        assert_eq!(result.unwrap(), 3);
+        // A final error is returned immediately, no retries.
+        let calls = Cell::new(0usize);
+        let result: Result<(), ClientError> = policy.run(|| {
+            calls.set(calls.get() + 1);
+            Err(ClientError::Server {
+                code: "bad-name".into(),
+                retryable: false,
+                message: String::new(),
+            })
+        });
+        assert!(matches!(result, Err(ClientError::Server { .. })));
+        assert_eq!(calls.get(), 1);
+        // A transient error that never clears exhausts the budget:
+        // 1 attempt + max_retries.
+        let calls = Cell::new(0usize);
+        let result: Result<(), ClientError> = policy.run(|| {
+            calls.set(calls.get() + 1);
+            Err(ClientError::Busy {
+                scope: "global".into(),
+                message: String::new(),
+            })
+        });
+        assert!(result.unwrap_err().is_busy());
+        assert_eq!(calls.get(), 4);
+    }
 }

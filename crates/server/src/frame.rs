@@ -62,7 +62,11 @@ pub mod tag {
     pub const STATS_DATA: u8 = 0x83;
     /// Async commit accepted (applied + enqueued, not yet durable).
     pub const ACCEPTED: u8 = 0x84;
-    /// Typed failure: `code\nmessage`.
+    /// Typed failure: `code\nretryable\nmessage`, where `retryable` is
+    /// `retry` (transient — the same request may succeed later, e.g. a
+    /// quarantined document the server is re-opening) or `final` (retrying
+    /// verbatim cannot help: bad names, malformed payloads, missing
+    /// documents).
     pub const ERROR: u8 = 0xC0;
     /// Admission control shed this request: `scope\nmessage` where scope is
     /// `global` or `tenant`. Retry later; nothing was executed.

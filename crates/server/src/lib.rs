@@ -29,6 +29,8 @@ pub mod client;
 pub mod frame;
 pub mod server;
 
-pub use client::{Client, ClientError, RemoteAnswer, RemoteAnswers, RemoteStats};
+pub use client::{
+    Client, ClientConfig, ClientError, RemoteAnswer, RemoteAnswers, RemoteStats, RetryPolicy,
+};
 pub use frame::{FrameError, DEFAULT_MAX_FRAME_BYTES};
 pub use server::{Server, ServerConfig};

@@ -91,12 +91,17 @@ pub struct ServerConfig {
     pub admission_timeout: Duration,
     /// Cap on a frame's declared length.
     pub max_frame_bytes: u32,
+    /// Per-connection idle read deadline: a peer that sends no complete
+    /// frame for this long is reaped (its handler exits and drains any
+    /// pending async commits). Keeps silent or wedged clients from pinning
+    /// handler threads and socket buffers forever.
+    pub idle_timeout: Duration,
 }
 
 impl ServerConfig {
     /// Defaults for a root directory: loopback ephemeral port, 8 resident
     /// tenants, 64 in-flight per tenant, 256 global, 100 ms admission
-    /// timeout.
+    /// timeout, 30 s idle read deadline.
     pub fn new(root: impl Into<PathBuf>) -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
@@ -108,6 +113,7 @@ impl ServerConfig {
             global_inflight: 256,
             admission_timeout: Duration::from_millis(100),
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            idle_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -156,13 +162,26 @@ impl Gate {
     }
 }
 
+/// Floor and ceiling of the per-tenant quarantine re-open backoff.
+const REOPEN_BACKOFF_MIN_MS: u64 = 50;
+const REOPEN_BACKOFF_MAX_MS: u64 = 5_000;
+
 /// One resident tenant: its warehouse, its admission gate, and its LRU
-/// recency stamp.
+/// recency stamp, plus the backoff state of quarantine auto-reopen (plain
+/// atomics — no lock class, no lock ordering to get wrong).
 struct Tenant {
     name: String,
     warehouse: Warehouse,
     gate: Gate,
     last_used: AtomicU64,
+    /// Server-clock millisecond before which no re-open attempt runs; the
+    /// winning CAS on this value claims the attempt, so concurrent requests
+    /// against a quarantined document never pile re-opens on top of each
+    /// other.
+    reopen_at_ms: AtomicU64,
+    /// Current backoff step, doubled on every failed re-open up to the cap
+    /// and reset on success.
+    reopen_backoff_ms: AtomicU64,
 }
 
 /// Streams and join handles of live connections, under one
@@ -177,6 +196,8 @@ struct ConnTable {
 
 struct ServerInner {
     config: ServerConfig,
+    /// Monotonic base of the millisecond clock the re-open backoff runs on.
+    started: Instant,
     stopping: AtomicBool,
     /// Logical LRU clock: bumped on every tenant touch.
     clock: AtomicU64,
@@ -204,6 +225,7 @@ impl Server {
         let inner = Arc::new(ServerInner {
             global: Gate::new(config.global_inflight),
             config,
+            started: Instant::now(),
             stopping: AtomicBool::new(false),
             clock: AtomicU64::new(0),
             tenants: Mutex::with_class(LockClass::ServerTenants, HashMap::new()),
@@ -327,6 +349,12 @@ fn drain_pending(pending: &mut Vec<PendingCommit>) -> String {
 
 fn handle_connection(inner: Arc<ServerInner>, stream: TcpStream, conn_id: u64) {
     let _ = stream.set_nodelay(true);
+    // The idle read deadline reaps silent peers: a timed-out read surfaces
+    // as `FrameError::Io(WouldBlock | TimedOut)` and drops the connection
+    // below. The write deadline keeps a peer that stopped draining its
+    // responses from wedging this handler forever.
+    let _ = stream.set_read_timeout(Some(inner.config.idle_timeout));
+    let _ = stream.set_write_timeout(Some(inner.config.idle_timeout));
     let mut writer = match stream.try_clone() {
         Ok(clone) => clone,
         Err(_) => return,
@@ -336,21 +364,25 @@ fn handle_connection(inner: Arc<ServerInner>, stream: TcpStream, conn_id: u64) {
     loop {
         let request = match read_request(&mut reader, inner.config.max_frame_bytes) {
             Ok(request) => request,
-            // Clean close, mid-frame disconnect, transport error: nothing
-            // sensible to answer on; drop the connection.
+            // Clean close, mid-frame disconnect, transport error, idle
+            // deadline: nothing sensible to answer on; drop the connection
+            // (the drain below still waits out pending async commits).
             Err(FrameError::Closed) | Err(FrameError::Truncated) | Err(FrameError::Io(_)) => break,
             // Framing is provably broken (hostile length prefix, garbled
             // header): answer with a typed error, then refuse to keep
             // parsing the stream.
             Err(err @ FrameError::Oversized { .. }) | Err(err @ FrameError::BadHeader(_)) => {
-                let _ = respond(&mut writer, error_response("malformed", &err.to_string()));
+                let _ = respond(
+                    &mut writer,
+                    error_response("malformed", false, &err.to_string()),
+                );
                 break;
             }
         };
         if inner.stopping.load(Ordering::Acquire) {
             let _ = respond(
                 &mut writer,
-                error_response("shutdown", "server is shutting down"),
+                error_response("shutdown", true, "server is shutting down"),
             );
             break;
         }
@@ -381,10 +413,15 @@ fn respond(writer: &mut impl Write, response: RawResponse) -> io::Result<()> {
     write_response(writer, response.tag, &response.payload)
 }
 
-fn error_response(code: &str, message: &str) -> RawResponse {
+/// A typed error frame: `code\nretryable\nmessage`. `retryable` tells the
+/// client whether re-sending the same request later can succeed (`retry` —
+/// transient conditions like a quarantined document under auto-reopen)
+/// or cannot (`final` — bad names, malformed payloads, missing documents).
+fn error_response(code: &str, retryable: bool, message: &str) -> RawResponse {
+    let retryable = if retryable { "retry" } else { "final" };
     RawResponse {
         tag: tag::ERROR,
-        payload: format!("{code}\n{message}").into_bytes(),
+        payload: format!("{code}\n{retryable}\n{message}").into_bytes(),
     }
 }
 
@@ -404,14 +441,28 @@ fn ok_response(message: String) -> RawResponse {
 
 fn engine_error(err: WarehouseError) -> RawResponse {
     match err {
-        WarehouseError::UnknownDocument(name) => {
-            error_response("unknown-doc", &format!("document `{name}` does not exist"))
-        }
+        WarehouseError::UnknownDocument(name) => error_response(
+            "unknown-doc",
+            false,
+            &format!("document `{name}` does not exist"),
+        ),
         WarehouseError::DuplicateDocument(name) => error_response(
             "duplicate-doc",
+            false,
             &format!("document `{name}` already exists"),
         ),
-        other => error_response("engine", &other.to_string()),
+        // Quarantine is transient by design: the tenant auto-reopen path
+        // (backoff-gated, see `maybe_reopen_quarantined`) restores the
+        // document from its journal, so the same request can succeed on a
+        // later attempt.
+        err @ WarehouseError::Quarantined { .. } => {
+            error_response("quarantined", true, &err.to_string())
+        }
+        // Raw storage failures (a failed fsync, an injected fault, a full
+        // disk that later clears) are the transient class the retry
+        // guidance in README "Failure model & recovery" is about.
+        err @ WarehouseError::Store(_) => error_response("engine", true, &err.to_string()),
+        other => error_response("engine", false, &other.to_string()),
     }
 }
 
@@ -432,6 +483,7 @@ impl ServerInner {
         if !valid_name(&request.tenant) {
             return error_response(
                 "bad-tenant",
+                false,
                 "tenant id must be 1-64 chars of [A-Za-z0-9._-], not starting with `.`",
             );
         }
@@ -445,6 +497,7 @@ impl ServerInner {
                 Some(tenant) => stats_response(&tenant.warehouse),
                 None => error_response(
                     "not-resident",
+                    false,
                     &format!(
                         "tenant `{}` is not resident; touch it with a gated request first",
                         request.tenant
@@ -457,7 +510,11 @@ impl ServerInner {
             | tag::COMMIT_ASYNC
             | tag::SNAPSHOT
             | tag::SIMPLIFY => self.admitted(request, pending),
-            other => error_response("unknown-tag", &format!("unknown request tag 0x{other:02x}")),
+            other => error_response(
+                "unknown-tag",
+                false,
+                &format!("unknown request tag 0x{other:02x}"),
+            ),
         }
     }
 
@@ -524,6 +581,8 @@ impl ServerInner {
                     warehouse: opened,
                     gate: Gate::new(self.config.tenant_inflight),
                     last_used: AtomicU64::new(stamp),
+                    reopen_at_ms: AtomicU64::new(0),
+                    reopen_backoff_ms: AtomicU64::new(REOPEN_BACKOFF_MIN_MS),
                 });
                 tenants.insert(name.to_string(), Arc::clone(&tenant));
                 if tenants.len() > self.config.max_tenants {
@@ -563,10 +622,63 @@ impl ServerInner {
             commit: self.config.session.commit,
             ..self.config.fs.clone()
         };
-        let backend = FsBackend::with_options(self.config.root.join(name), options)
-            .map_err(|err| error_response("engine", &format!("opening tenant `{name}`: {err}")))?;
-        Warehouse::with_backend(Arc::new(backend), self.config.session)
-            .map_err(|err| error_response("engine", &format!("recovering tenant `{name}`: {err}")))
+        let backend =
+            FsBackend::with_options(self.config.root.join(name), options).map_err(|err| {
+                error_response("engine", true, &format!("opening tenant `{name}`: {err}"))
+            })?;
+        Warehouse::with_backend(Arc::new(backend), self.config.session).map_err(|err| {
+            error_response(
+                "engine",
+                true,
+                &format!("recovering tenant `{name}`: {err}"),
+            )
+        })
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Backoff-gated quarantine auto-reopen. If `doc` is quarantined and
+    /// the tenant's backoff window has elapsed, one request (the winner of
+    /// the CAS on `reopen_at_ms`) replays the document's journal via
+    /// [`Warehouse::reopen_document`]; everyone else proceeds and gets the
+    /// typed `quarantined` (retryable) error until the re-open lands. A
+    /// failed re-open doubles the backoff up to the cap so a persistently
+    /// broken disk is probed, not hammered.
+    fn maybe_reopen_quarantined(&self, tenant: &Tenant, doc: &str) {
+        if !tenant.warehouse.is_quarantined(doc) {
+            return;
+        }
+        let now = self.now_ms();
+        let at = tenant.reopen_at_ms.load(Ordering::Acquire);
+        if now < at {
+            return;
+        }
+        let backoff = tenant.reopen_backoff_ms.load(Ordering::Acquire);
+        if tenant
+            .reopen_at_ms
+            .compare_exchange(at, now + backoff, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            // Another request claimed this attempt.
+            return;
+        }
+        match tenant.warehouse.reopen_document(doc) {
+            Ok(()) => {
+                tenant
+                    .reopen_backoff_ms
+                    .store(REOPEN_BACKOFF_MIN_MS, Ordering::Release);
+                tenant.reopen_at_ms.store(now, Ordering::Release);
+            }
+            // The quarantine stays; the client keeps getting the typed
+            // retryable error while the backoff runs.
+            Err(_) => {
+                tenant
+                    .reopen_backoff_ms
+                    .store((backoff * 2).min(REOPEN_BACKOFF_MAX_MS), Ordering::Release);
+            }
+        }
     }
 
     fn dispatch(
@@ -577,14 +689,16 @@ impl ServerInner {
     ) -> RawResponse {
         let (doc, rest) = match split_doc_payload(&request.payload) {
             Ok(parts) => parts,
-            Err(message) => return error_response("bad-payload", &message),
+            Err(message) => return error_response("bad-payload", false, &message),
         };
         if !valid_name(&doc) {
             return error_response(
                 "bad-name",
+                false,
                 "document name must be 1-64 chars of [A-Za-z0-9._-], not starting with `.`",
             );
         }
+        self.maybe_reopen_quarantined(tenant, &doc);
         let warehouse = &tenant.warehouse;
         match request.tag {
             tag::OPEN => match warehouse.snapshot(&doc) {
@@ -592,7 +706,7 @@ impl ServerInner {
                 Err(WarehouseError::UnknownDocument(_)) if !rest.trim().is_empty() => {
                     let tree = match parse_data_tree(rest.trim()) {
                         Ok(tree) => tree,
-                        Err(err) => return error_response("bad-payload", &err.to_string()),
+                        Err(err) => return error_response("bad-payload", false, &err.to_string()),
                     };
                     match warehouse.create_document(&doc, tree) {
                         Ok(()) => ok_response(format!("created {doc}")),
@@ -609,7 +723,7 @@ impl ServerInner {
             tag::QUERY => {
                 let pattern = match Pattern::parse(rest.trim()) {
                     Ok(pattern) => pattern,
-                    Err(err) => return error_response("bad-pattern", &err.to_string()),
+                    Err(err) => return error_response("bad-pattern", false, &err.to_string()),
                 };
                 match warehouse.query_merged(&doc, &pattern) {
                     Ok(merged) => {
@@ -636,7 +750,7 @@ impl ServerInner {
             tag::COMMIT => {
                 let batch = match parse_batch(&rest) {
                     Ok(batch) => batch,
-                    Err(err) => return error_response("bad-payload", &err.to_string()),
+                    Err(err) => return error_response("bad-payload", false, &err.to_string()),
                 };
                 match warehouse.commit_batch(&doc, &batch, None) {
                     Ok(stats) => ok_response(format!("applied={}", stats.len())),
@@ -646,7 +760,7 @@ impl ServerInner {
             tag::COMMIT_ASYNC => {
                 let batch = match parse_batch(&rest) {
                     Ok(batch) => batch,
-                    Err(err) => return error_response("bad-payload", &err.to_string()),
+                    Err(err) => return error_response("bad-payload", false, &err.to_string()),
                 };
                 // Bound the un-drained ticket backlog: wait out the oldest
                 // before accepting more.
@@ -688,7 +802,7 @@ impl ServerInner {
                 )),
                 Err(err) => engine_error(err),
             },
-            other => error_response("unknown-tag", &format!("unknown request tag 0x{other:02x}")),
+            other => error_response("unknown-tag", false, &format!("unknown request tag 0x{other:02x}")),
         }
     }
 }
@@ -699,7 +813,15 @@ impl ServerInner {
 /// window — fresh sync-policy tenants included.
 fn stats_response(warehouse: &Warehouse) -> RawResponse {
     let stats = warehouse.stats();
+    let quarantined = warehouse.quarantined_documents();
+    let quarantined_names = quarantined
+        .iter()
+        .map(|(name, _)| name.as_str())
+        .collect::<Vec<_>>()
+        .join(" ");
     let element = XmlElement::new("pxml:stats")
+        .with_attribute("quarantined_docs", quarantined.len().to_string())
+        .with_attribute("quarantined", quarantined_names)
         .with_attribute("updates_applied", stats.updates_applied.to_string())
         .with_attribute("queries_evaluated", stats.queries_evaluated.to_string())
         .with_attribute("simplifications", stats.simplifications.to_string())

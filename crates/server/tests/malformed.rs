@@ -6,6 +6,7 @@ use std::io::Write;
 use std::net::TcpStream;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use pxml_server::frame::{read_response, tag, FrameError, DEFAULT_MAX_FRAME_BYTES};
 use pxml_server::{Client, Server, ServerConfig};
@@ -258,6 +259,42 @@ fn oversized_client_frame_is_capped_by_config() {
     let response = read_response(&mut stream, DEFAULT_MAX_FRAME_BYTES).unwrap();
     assert_eq!(response.tag, tag::OK);
 
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A peer that connects and then says nothing must be reaped by the idle
+/// read deadline — handler threads and socket buffers are not pinned
+/// forever by silent clients. Same for a peer that stalls mid-frame.
+#[test]
+fn silent_and_stalled_clients_are_reaped_by_the_idle_deadline() {
+    let dir = scratch("idle-reap");
+    let mut config = ServerConfig::new(&dir);
+    config.idle_timeout = Duration::from_millis(150);
+    let server = Server::start(config).unwrap();
+
+    // Fully silent peer: never sends a byte.
+    let mut silent = TcpStream::connect(server.local_addr()).unwrap();
+    // Stalled peer: half a length prefix, then nothing.
+    let mut stalled = TcpStream::connect(server.local_addr()).unwrap();
+    stalled.write_all(&[0x00, 0x00]).unwrap();
+
+    let start = Instant::now();
+    expect_dropped(&mut silent);
+    expect_dropped(&mut stalled);
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed >= Duration::from_millis(100),
+        "reaped suspiciously early ({elapsed:?}) — deadline not in effect?"
+    );
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "reap took {elapsed:?}; the idle deadline is not being enforced"
+    );
+
+    // The reap was clean: the same server keeps serving well-formed
+    // clients.
+    assert_tenant_alive(&server);
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -166,4 +166,18 @@ pub trait StorageBackend: Send + Sync + std::fmt::Debug {
         }
         Ok(fuzzy)
     }
+
+    /// In-place recovery after a failed commit: drop any cached state for
+    /// `name`, re-establish the on-disk truth (truncating a torn or
+    /// unsynced journal tail), clear a poisoned commit pipeline, and return
+    /// the recovered tree — the checkpoint with the surviving journal
+    /// replayed on top. `Warehouse::reopen_document` routes through this to
+    /// lift a document out of quarantine.
+    ///
+    /// The default implementation forwards to
+    /// [`recover_document`](StorageBackend::recover_document): backends
+    /// without caches or a commit pipeline have nothing else to reset.
+    fn reopen_document(&self, name: &str) -> Result<FuzzyTree, StoreError> {
+        self.recover_document(name)
+    }
 }

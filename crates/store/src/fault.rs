@@ -1,0 +1,521 @@
+//! Deterministic fault injection for the storage layer.
+//!
+//! [`FaultBackend`] wraps any `Arc<dyn StorageBackend>` and consults a shared
+//! [`FaultPlan`] before the operations it forwards; the same plan can be
+//! installed into [`FsOptions::fault`](crate::FsOptions) so the `FsBackend`
+//! **fsync funnel** consults it too — the one injection point the trait
+//! surface cannot see. Together they cover the four faultable operations the
+//! robustness battery drives: journal appends, fsync rounds, checkpoint
+//! loads and checkpoint folds.
+//!
+//! Everything is deterministic: "fail the Nth append" faults are exact
+//! per-operation counters, and rate-based faults draw from a seeded
+//! SplitMix64 stream, so a failing chaos run reproduces from its seed alone.
+//!
+//! # Fault semantics
+//!
+//! * [`FaultKind::Error`] fires **before** the operation touches the inner
+//!   backend: nothing is written, the caller gets a typed
+//!   [`StoreError::Io`] whose message carries the [`INJECTED_FAULT`] marker.
+//! * [`FaultKind::TornWrite`] (appends only) lets the inner append land and
+//!   then shears trailing bytes off the newest segment file — the on-disk
+//!   shape of a crash mid-record. The error is reported to the caller and
+//!   the document **must be reopened** before further appends: the in-memory
+//!   meters are deliberately left stale, exactly like a real torn write,
+//!   and only a rescan (`reopen_document`) truncates the torn tail away.
+//! * [`FaultKind::Latency`] sleeps, then lets the operation through — the
+//!   slow-disk half of the chaos battery.
+//!
+//! Fsync faults against a backend with no filesystem under it (no
+//! [`root_dir`](crate::StorageBackend::root_dir)) fire at the append itself:
+//! for such backends the append *is* the durability point, so the
+//! conservative pre-write semantics apply and nothing phantom survives.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use pxml_core::{FuzzyTree, UpdateTransaction};
+
+use crate::backend::StorageBackend;
+use crate::error::StoreError;
+use crate::group::{CommitTicket, DurabilityStats};
+
+/// Marker every injected error message starts with; [`is_injected`] keys on
+/// it so tests can tell planned faults from real I/O trouble.
+pub const INJECTED_FAULT: &str = "injected fault";
+
+/// `true` when `error` is an I/O error manufactured by a [`FaultPlan`].
+pub fn is_injected(error: &StoreError) -> bool {
+    matches!(error, StoreError::Io(io) if io.to_string().contains(INJECTED_FAULT))
+}
+
+/// The storage operations a [`FaultPlan`] can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// A journal append (any of the `append_batch*` entry points).
+    Append,
+    /// A device fsync round — consulted by the `FsBackend` fsync funnel
+    /// when the plan is installed via [`FsOptions::fault`](crate::FsOptions),
+    /// or at the append itself on backends with no filesystem below.
+    Fsync,
+    /// A checkpoint read (`load_document`).
+    Load,
+    /// A checkpoint fold (`checkpoint`).
+    Checkpoint,
+}
+
+impl FaultOp {
+    const ALL: usize = 4;
+
+    fn index(self) -> usize {
+        match self {
+            FaultOp::Append => 0,
+            FaultOp::Fsync => 1,
+            FaultOp::Load => 2,
+            FaultOp::Checkpoint => 3,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            FaultOp::Append => "append",
+            FaultOp::Fsync => "fsync",
+            FaultOp::Load => "load",
+            FaultOp::Checkpoint => "checkpoint",
+        }
+    }
+}
+
+/// What an injected fault does to its operation (see the module docs for
+/// the exact semantics of each).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail with a typed I/O error before the operation runs.
+    Error,
+    /// Let an append land, then shear bytes off the newest segment file —
+    /// the on-disk shape of a crash mid-record. Falls back to [`Error`]
+    /// semantics on backends with no filesystem. Appends only.
+    ///
+    /// [`Error`]: FaultKind::Error
+    TornWrite,
+    /// Sleep this long, then let the operation through.
+    Latency(Duration),
+}
+
+/// One scheduled deterministic fault: the `nth` (1-based) operation of `op`
+/// observed by the plan.
+#[derive(Debug, Clone, Copy)]
+struct Scheduled {
+    op: FaultOp,
+    nth: usize,
+    kind: FaultKind,
+}
+
+/// A seeded, shareable fault schedule (see the module docs).
+///
+/// Built with the `fail_nth` / `fail_rate` / `latency` builders *before*
+/// wrapping in an `Arc`; afterwards the plan is immutable apart from its
+/// lock-free counters and RNG stream, so it can be consulted from any
+/// thread without ordering constraints.
+pub struct FaultPlan {
+    seed: u64,
+    scheduled: Vec<Scheduled>,
+    /// Probability that each operation of this kind fails ([`FaultKind::Error`]).
+    rates: [f64; FaultOp::ALL],
+    /// Unconditional injected latency per operation kind.
+    latency: [Duration; FaultOp::ALL],
+    /// Operations observed, per kind.
+    counters: [AtomicUsize; FaultOp::ALL],
+    /// Faults actually injected (errors and torn writes; latency excluded).
+    injected: AtomicUsize,
+    /// SplitMix64 stream for the rate decisions: `fetch_add` of the golden
+    /// gamma advances the stream atomically, the mix is pure — no lock.
+    rng: AtomicU64,
+}
+
+impl fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("seed", &self.seed)
+            .field("scheduled", &self.scheduled.len())
+            .field("rates", &self.rates)
+            .field("injected", &self.injected_faults())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::new()
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan: every operation passes through untouched.
+    pub fn new() -> Self {
+        FaultPlan::seeded(0)
+    }
+
+    /// An empty plan whose rate decisions draw from `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            scheduled: Vec::new(),
+            rates: [0.0; FaultOp::ALL],
+            latency: [Duration::ZERO; FaultOp::ALL],
+            counters: Default::default(),
+            injected: AtomicUsize::new(0),
+            rng: AtomicU64::new(seed),
+        }
+    }
+
+    /// Schedules the `nth` (1-based) `op` to fail with a typed I/O error.
+    pub fn fail_nth(self, op: FaultOp, nth: usize) -> Self {
+        self.fail_nth_with(op, nth, FaultKind::Error)
+    }
+
+    /// Schedules the `nth` (1-based) `op` to fail with `kind`.
+    pub fn fail_nth_with(mut self, op: FaultOp, nth: usize, kind: FaultKind) -> Self {
+        assert!(nth >= 1, "fault schedules are 1-based");
+        self.scheduled.push(Scheduled { op, nth, kind });
+        self
+    }
+
+    /// Every `op` fails independently with probability `rate`, decided by
+    /// the seeded stream.
+    pub fn fail_rate(mut self, op: FaultOp, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        self.rates[op.index()] = rate;
+        self
+    }
+
+    /// Every `op` sleeps `latency` before running.
+    pub fn latency(mut self, op: FaultOp, latency: Duration) -> Self {
+        self.latency[op.index()] = latency;
+        self
+    }
+
+    /// The seed the rate decisions draw from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// How many operations of this kind the plan has observed.
+    pub fn ops(&self, op: FaultOp) -> usize {
+        self.counters[op.index()].load(Ordering::Relaxed)
+    }
+
+    /// How many faults (errors and torn writes) the plan has injected.
+    pub fn injected_faults(&self) -> usize {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// One SplitMix64 step: the atomic add is the whole state transition,
+    /// so concurrent callers draw distinct values from one stream.
+    fn next_f64(&self) -> f64 {
+        let state = self
+            .rng
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (1.0 / ((1u64 << 53) as f64))
+    }
+
+    /// Counts one `op`, applies any injected latency, and returns the fault
+    /// to inject, if any. The crate's injection points call this exactly
+    /// once per operation.
+    pub(crate) fn decide(&self, op: FaultOp) -> Option<(FaultKind, StoreError)> {
+        let count = self.counters[op.index()].fetch_add(1, Ordering::Relaxed) + 1;
+        let latency = self.latency[op.index()];
+        if latency > Duration::ZERO {
+            std::thread::sleep(latency);
+        }
+        let kind = self
+            .scheduled
+            .iter()
+            .find(|fault| fault.op == op && fault.nth == count)
+            .map(|fault| fault.kind)
+            .or_else(|| {
+                let rate = self.rates[op.index()];
+                (rate > 0.0 && self.next_f64() < rate).then_some(FaultKind::Error)
+            })?;
+        if let FaultKind::Latency(sleep) = kind {
+            std::thread::sleep(sleep);
+            return None;
+        }
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        let error = StoreError::Io(std::io::Error::other(format!(
+            "{INJECTED_FAULT}: {} #{count}",
+            op.label()
+        )));
+        Some((kind, error))
+    }
+
+    /// [`FaultPlan::decide`] for injection points that cannot carry a torn
+    /// write (everything but appends): torn writes degrade to plain errors.
+    pub(crate) fn decide_error(&self, op: FaultOp) -> Result<(), StoreError> {
+        match self.decide(op) {
+            Some((_, error)) => Err(error),
+            None => Ok(()),
+        }
+    }
+}
+
+/// A [`StorageBackend`] decorator injecting the faults of a [`FaultPlan`]
+/// (see the module docs). With an empty plan it is a pure pass-through —
+/// the backend conformance suite runs against it in exactly that mode.
+#[derive(Debug, Clone)]
+pub struct FaultBackend {
+    inner: Arc<dyn StorageBackend>,
+    plan: Arc<FaultPlan>,
+}
+
+impl FaultBackend {
+    /// Wraps `inner`, consulting `plan` before appends, loads and
+    /// checkpoints. For fsync faults against an `FsBackend`, install the
+    /// same plan via [`FsOptions::fault`](crate::FsOptions) too.
+    pub fn new(inner: Arc<dyn StorageBackend>, plan: Arc<FaultPlan>) -> Self {
+        FaultBackend { inner, plan }
+    }
+
+    /// The shared plan (op counters, injected-fault count).
+    pub fn plan(&self) -> &Arc<FaultPlan> {
+        &self.plan
+    }
+
+    /// The fault decision every append entry point funnels through: counts
+    /// the append, and on backends with no filesystem below also lets
+    /// planned fsync faults fire here (the append is their durability
+    /// point). Returns the error to surface without touching the inner
+    /// backend, or the torn-write marker.
+    fn append_fault(&self) -> Result<Option<StoreError>, StoreError> {
+        match self.plan.decide(FaultOp::Append) {
+            Some((FaultKind::TornWrite, error)) if self.inner.root_dir().is_some() => {
+                return Ok(Some(error));
+            }
+            Some((_, error)) => return Err(error),
+            None => {}
+        }
+        if self.inner.root_dir().is_none() {
+            self.plan.decide_error(FaultOp::Fsync)?;
+        }
+        Ok(None)
+    }
+
+    /// The torn-write shear: chops `TEAR_BYTES` off the end of the newest
+    /// segment file of `name`, leaving a record whose payload is shorter
+    /// than its header promises — what a crash mid-append leaves behind.
+    fn tear_tail(&self, name: &str) -> Result<(), StoreError> {
+        const TEAR_BYTES: u64 = 3;
+        let root = self
+            .inner
+            .root_dir()
+            .ok_or_else(|| StoreError::Format("torn write needs a filesystem backend".into()))?;
+        let Some((path, len)) = newest_segment(root, name)? else {
+            return Ok(());
+        };
+        let file = fs::OpenOptions::new().write(true).open(&path)?;
+        file.set_len(len.saturating_sub(TEAR_BYTES))?;
+        file.sync_all()?;
+        Ok(())
+    }
+}
+
+/// The highest-(epoch, seq) segment file of `name` under `root`, with its
+/// length — the file the last append touched.
+fn newest_segment(root: &Path, name: &str) -> Result<Option<(PathBuf, u64)>, StoreError> {
+    let mut newest: Option<(u64, u64, PathBuf)> = None;
+    let prefix = format!("{name}.journal.");
+    for entry in fs::read_dir(root)? {
+        let path = entry?.path();
+        let Some(file_name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(parts) = file_name
+            .strip_prefix(&prefix)
+            .and_then(|rest| rest.strip_suffix(".seg"))
+        else {
+            continue;
+        };
+        let Some((epoch, seq)) = parts.split_once('.') else {
+            continue;
+        };
+        let (Ok(epoch), Ok(seq)) = (epoch.parse::<u64>(), seq.parse::<u64>()) else {
+            continue;
+        };
+        if newest
+            .as_ref()
+            .is_none_or(|(e, s, _)| (epoch, seq) > (*e, *s))
+        {
+            newest = Some((epoch, seq, path));
+        }
+    }
+    match newest {
+        Some((_, _, path)) => {
+            let len = fs::metadata(&path)?.len();
+            Ok(Some((path, len)))
+        }
+        None => Ok(None),
+    }
+}
+
+impl StorageBackend for FaultBackend {
+    fn list_documents(&self) -> Result<Vec<String>, StoreError> {
+        self.inner.list_documents()
+    }
+
+    fn contains(&self, name: &str) -> bool {
+        self.inner.contains(name)
+    }
+
+    fn save_document(&self, name: &str, fuzzy: &FuzzyTree) -> Result<(), StoreError> {
+        self.inner.save_document(name, fuzzy)
+    }
+
+    fn load_document(&self, name: &str) -> Result<FuzzyTree, StoreError> {
+        self.plan.decide_error(FaultOp::Load)?;
+        self.inner.load_document(name)
+    }
+
+    fn append_batch(&self, name: &str, batch: &[UpdateTransaction]) -> Result<(), StoreError> {
+        match self.append_fault()? {
+            None => self.inner.append_batch(name, batch),
+            Some(error) => {
+                self.inner.append_batch(name, batch)?;
+                self.tear_tail(name)?;
+                Err(error)
+            }
+        }
+    }
+
+    fn append_batch_grouped(
+        &self,
+        name: &str,
+        batch: &[UpdateTransaction],
+    ) -> Result<(), StoreError> {
+        match self.append_fault()? {
+            None => self.inner.append_batch_grouped(name, batch),
+            Some(error) => {
+                self.inner.append_batch_grouped(name, batch)?;
+                self.tear_tail(name)?;
+                Err(error)
+            }
+        }
+    }
+
+    fn append_batch_enqueue(&self, name: &str, batch: &[UpdateTransaction]) -> CommitTicket {
+        match self.append_fault() {
+            Err(error) => CommitTicket::resolved(Err(error)),
+            // A torn write cannot resolve asynchronously (the shear must
+            // happen after the write, before the caller sees the ticket),
+            // so it runs the append synchronously.
+            Ok(Some(error)) => CommitTicket::resolved(
+                self.inner
+                    .append_batch_grouped(name, batch)
+                    .and_then(|()| self.tear_tail(name))
+                    .and(Err(error)),
+            ),
+            Ok(None) => self.inner.append_batch_enqueue(name, batch),
+        }
+    }
+
+    fn durability_stats(&self) -> DurabilityStats {
+        self.inner.durability_stats()
+    }
+
+    fn group_barrier(&self) {
+        self.inner.group_barrier();
+    }
+
+    fn read_batches(&self, name: &str) -> Result<Vec<Vec<UpdateTransaction>>, StoreError> {
+        self.inner.read_batches(name)
+    }
+
+    fn read_journal(&self, name: &str) -> Result<Vec<UpdateTransaction>, StoreError> {
+        self.inner.read_journal(name)
+    }
+
+    fn journal_length(&self, name: &str) -> Result<usize, StoreError> {
+        self.inner.journal_length(name)
+    }
+
+    fn journal_batches(&self, name: &str) -> Result<usize, StoreError> {
+        self.inner.journal_batches(name)
+    }
+
+    fn journal_size_bytes(&self, name: &str) -> Result<u64, StoreError> {
+        self.inner.journal_size_bytes(name)
+    }
+
+    fn checkpoint(&self, name: &str, fuzzy: &FuzzyTree) -> Result<(), StoreError> {
+        self.plan.decide_error(FaultOp::Checkpoint)?;
+        self.inner.checkpoint(name, fuzzy)
+    }
+
+    fn remove_document(&self, name: &str) -> Result<(), StoreError> {
+        self.inner.remove_document(name)
+    }
+
+    fn recover_document(&self, name: &str) -> Result<FuzzyTree, StoreError> {
+        self.inner.recover_document(name)
+    }
+
+    /// Recovery entry point: deliberately fault-free, so a quarantined
+    /// document can always be reopened even under an aggressive plan.
+    fn reopen_document(&self, name: &str) -> Result<FuzzyTree, StoreError> {
+        self.inner.reopen_document(name)
+    }
+
+    fn root_dir(&self) -> Option<&Path> {
+        self.inner.root_dir()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_decides_nothing_but_counts() {
+        let plan = FaultPlan::new();
+        for _ in 0..5 {
+            assert!(plan.decide(FaultOp::Append).is_none());
+        }
+        assert_eq!(plan.ops(FaultOp::Append), 5);
+        assert_eq!(plan.ops(FaultOp::Fsync), 0);
+        assert_eq!(plan.injected_faults(), 0);
+    }
+
+    #[test]
+    fn nth_fault_fires_exactly_once() {
+        let plan = FaultPlan::new().fail_nth(FaultOp::Fsync, 3);
+        assert!(plan.decide(FaultOp::Fsync).is_none());
+        assert!(plan.decide(FaultOp::Fsync).is_none());
+        let (kind, error) = plan.decide(FaultOp::Fsync).expect("third fsync fails");
+        assert_eq!(kind, FaultKind::Error);
+        assert!(is_injected(&error));
+        assert!(plan.decide(FaultOp::Fsync).is_none());
+        assert_eq!(plan.injected_faults(), 1);
+    }
+
+    #[test]
+    fn rate_faults_are_seed_deterministic() {
+        let run = |seed: u64| -> Vec<bool> {
+            let plan = FaultPlan::seeded(seed).fail_rate(FaultOp::Append, 0.3);
+            (0..64)
+                .map(|_| plan.decide(FaultOp::Append).is_some())
+                .collect()
+        };
+        assert_eq!(run(7), run(7), "same seed, same fault sequence");
+        assert_ne!(run(7), run(8), "different seeds diverge");
+        let hits = run(7).iter().filter(|hit| **hit).count();
+        assert!((5..25).contains(&hits), "rate 0.3 over 64 ops hit {hits}");
+    }
+}

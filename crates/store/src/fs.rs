@@ -72,6 +72,7 @@ use pxml_core::{FuzzyTree, UpdateTransaction};
 
 use crate::backend::StorageBackend;
 use crate::error::StoreError;
+use crate::fault::{FaultOp, FaultPlan};
 use crate::format::{extract_epoch, parse_fuzzy_document, serialize_fuzzy_document_with_epoch};
 use crate::group::{CommitPolicy, CommitTicket, DurabilityStats, GroupCommitter, PendingAppend};
 use crate::journal::{parse_batch, parse_batched_journal, serialize_batch};
@@ -117,6 +118,37 @@ impl DocMeta {
         self.updates = 0;
         self.bytes = 0;
     }
+
+    /// The cursor/meter state a failed fsync must roll back to.
+    fn snapshot(&self) -> MetaSnapshot {
+        MetaSnapshot {
+            active_seq: self.active_seq,
+            active_len: self.active_len,
+            batches: self.batches,
+            updates: self.updates,
+            bytes: self.bytes,
+        }
+    }
+
+    fn restore(&mut self, saved: &MetaSnapshot) {
+        self.active_seq = saved.active_seq;
+        self.active_len = saved.active_len;
+        self.batches = saved.batches;
+        self.updates = saved.updates;
+        self.bytes = saved.bytes;
+    }
+}
+
+/// A copy of [`DocMeta`]'s journal cursor and meters, taken before records
+/// are written so a failed fsync round can roll the document back to its
+/// last durable state (see [`FsBackend::rollback_unsynced`]).
+#[derive(Debug, Clone, Copy)]
+struct MetaSnapshot {
+    active_seq: Option<u64>,
+    active_len: u64,
+    batches: usize,
+    updates: usize,
+    bytes: u64,
 }
 
 /// Construction options for [`FsBackend`] ([`FsBackend::with_options`]).
@@ -141,6 +173,13 @@ pub struct FsOptions {
     /// immediately (see [`GroupCommitter`]'s module docs). `false` (the
     /// default) is what production sessions want.
     pub group_fill_idle_windows: bool,
+    /// A fault plan the backend's **fsync funnel** consults before every
+    /// real device flush — the injection point a
+    /// [`FaultBackend`](crate::FaultBackend) wrapper cannot see from the
+    /// trait surface. Share the same plan with the wrapper so its op
+    /// counters cover the whole stack. `None` (the default) disables fsync
+    /// injection entirely.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl Default for FsOptions {
@@ -150,6 +189,7 @@ impl Default for FsOptions {
             commit: CommitPolicy::default(),
             simulated_sync_latency: Duration::ZERO,
             group_fill_idle_windows: false,
+            fault: None,
         }
     }
 }
@@ -190,6 +230,9 @@ pub struct FsBackend {
     group: Option<Arc<GroupCommitter>>,
     device: Arc<Device>,
     counters: Arc<SyncCounters>,
+    /// The fault plan of [`FsOptions::fault`], consulted by the fsync
+    /// funnel; `None` in production.
+    fault: Option<Arc<FaultPlan>>,
 }
 
 /// One just-written journal record: the still-open (not yet fsync'd)
@@ -275,6 +318,7 @@ impl FsBackend {
                 gate: Mutex::with_class(LockClass::Device, ()),
             }),
             counters: Arc::new(SyncCounters::default()),
+            fault: options.fault,
         };
         backend.sweep_and_migrate()?;
         Ok(backend)
@@ -630,8 +674,54 @@ impl FsBackend {
         if !self.contains(name) {
             return Err(StoreError::MissingDocument(name.to_string()));
         }
+        let saved = meta.snapshot();
         let appended = self.write_record(name, &mut meta, batch)?;
-        self.fsync_round(std::slice::from_ref(&appended.file), appended.fresh)
+        match self.fsync_round(std::slice::from_ref(&appended.file), appended.fresh) {
+            Ok(()) => Ok(()),
+            Err(error) => {
+                // The record is in the page cache but never reached the
+                // device: roll it back so replay surfaces exactly the
+                // acknowledged batches and nothing more.
+                self.rollback_unsynced(name, &mut meta, &saved);
+                Err(error)
+            }
+        }
+    }
+
+    /// Best-effort undo of the records written for `name` since `saved` but
+    /// never covered by a successful fsync round: segments created after the
+    /// snapshot are removed, the previously active segment is truncated back
+    /// to its durable length, and the meters are restored. If the disk
+    /// refuses even the rollback, the cached meters are invalidated so the
+    /// next touch rescans the on-disk truth instead of trusting stale state.
+    ///
+    /// Callers must hold the document's meta lock *and* guarantee no new
+    /// window can flush concurrently (the committer is poisoned first on the
+    /// grouped path; the sync path holds the meta lock throughout).
+    fn rollback_unsynced(&self, name: &str, meta: &mut DocMeta, saved: &MetaSnapshot) {
+        let epoch = meta.epoch;
+        let rolled: std::io::Result<()> = (|| {
+            if let Some(active) = meta.active_seq {
+                let first_new = saved.active_seq.map_or(0, |seq| seq + 1);
+                for seq in first_new..=active {
+                    let path = self.segment_path(name, epoch, seq);
+                    if path.exists() {
+                        fs::remove_file(&path)?;
+                    }
+                }
+            }
+            if let Some(seq) = saved.active_seq {
+                let file = fs::OpenOptions::new()
+                    .write(true)
+                    .open(self.segment_path(name, epoch, seq))?;
+                file.set_len(saved.active_len)?;
+            }
+            Ok(())
+        })();
+        meta.restore(saved);
+        if rolled.is_err() {
+            meta.loaded = false;
+        }
     }
 
     /// Writes one record into the document's active segment (rolling past
@@ -690,6 +780,12 @@ impl FsBackend {
     /// the round is the unit the device serializes on, and the quantity
     /// group commit divides.
     fn fsync_round(&self, files: &[fs::File], fresh_segment: bool) -> Result<(), StoreError> {
+        if let Some(plan) = &self.fault {
+            // An injected fsync fault preempts the round entirely: the data
+            // was written but never reached the device — exactly the state a
+            // real fsync failure leaves (callers roll the records back).
+            plan.decide_error(FaultOp::Fsync)?;
+        }
         if self.device.latency > Duration::ZERO {
             let _gate = self.device.gate.lock();
             std::thread::sleep(self.device.latency);
@@ -739,12 +835,19 @@ impl FsBackend {
     /// first-appearance order, so same-document records land in enqueue —
     /// i.e. commit — order and the one-lock-at-a-time rule holds), then
     /// issues a **single** shared fsync round and completes every slot.
-    /// Infallible by construction: a per-member failure is carried on that
-    /// member's slot and, for same-document successors (whose bytes would
-    /// land after the torn record), on theirs too.
-    pub(crate) fn flush_window(&self, window: Vec<PendingAppend>) {
+    /// A per-member failure is carried on that member's slot and, for
+    /// same-document successors (whose bytes would land after the torn
+    /// record), on theirs too.
+    ///
+    /// A failed **window fsync** errors every written slot, rolls every
+    /// touched document back to its pre-window state
+    /// ([`FsBackend::rollback_unsynced`]), and returns the failure message
+    /// so the committer poisons itself — no slot is ever acknowledged past
+    /// a failed round, and the fsync is never retried (see the
+    /// [`crate::group`] module docs).
+    pub(crate) fn flush_window(&self, window: Vec<PendingAppend>) -> Result<(), String> {
         if window.is_empty() {
-            return;
+            return Ok(());
         }
         let mut order: Vec<String> = Vec::new();
         let mut by_doc: HashMap<String, Vec<PendingAppend>> = HashMap::new();
@@ -760,6 +863,9 @@ impl FsBackend {
         let mut files: Vec<fs::File> = Vec::new();
         let mut open_segments: HashMap<(String, u64), ()> = HashMap::new();
         let mut fresh_segment = false;
+        // Per-document pre-window snapshots, so a failed window fsync can
+        // roll every touched journal back to its last durable state.
+        let mut doc_snapshots: Vec<(String, MetaSnapshot)> = Vec::new();
         for name in order {
             // `order` holds each name once and `by_doc` was keyed from the
             // same members, so a miss can only mean the grouping above went
@@ -784,6 +890,7 @@ impl FsBackend {
                 }
                 continue;
             }
+            doc_snapshots.push((name.clone(), meta.snapshot()));
             let mut doc_failed: Option<String> = None;
             for member in members {
                 if let Some(message) = &doc_failed {
@@ -810,7 +917,7 @@ impl FsBackend {
             }
         }
         if written.is_empty() {
-            return;
+            return Ok(());
         }
         match self.fsync_round(&files, fresh_segment) {
             Ok(()) => {
@@ -823,12 +930,23 @@ impl FsBackend {
                 self.counters
                     .grouped_windows
                     .fetch_add(1, Ordering::Relaxed);
+                Ok(())
             }
             Err(error) => {
                 let message = error.to_string();
+                // Roll back before any waiter can observe the failure: when
+                // a ticket resolves Err, the journal already holds exactly
+                // the acknowledged prefix again. The caller poisons the
+                // committer, so no new window can race these truncations.
+                for (name, saved) in &doc_snapshots {
+                    let meta = self.meta(name);
+                    let mut meta = meta.lock();
+                    self.rollback_unsynced(name, &mut meta, saved);
+                }
                 for slot in &written {
                     slot.complete_err(message.clone());
                 }
+                Err(message)
             }
         }
     }
@@ -886,6 +1004,24 @@ impl FsBackend {
             update.apply_to_fuzzy(&mut fuzzy)?;
         }
         Ok(fuzzy)
+    }
+
+    /// In-place recovery after a failed commit: clears a poisoned group
+    /// committer (safe — the failing flush already rolled its unsynced
+    /// records back), drops the document's cached journal meters so the next
+    /// touch rescans the on-disk truth (truncating any torn tail), and
+    /// returns the recovered tree. `Warehouse::reopen_document` routes
+    /// through this to lift a document out of quarantine.
+    pub fn reopen_document(&self, name: &str) -> Result<FuzzyTree, StoreError> {
+        if let Some(group) = &self.group {
+            group.clear_poison();
+        }
+        {
+            let meta = self.meta(name);
+            let mut meta = meta.lock();
+            meta.loaded = false;
+        }
+        FsBackend::recover_document(self, name)
     }
 
     /// Checkpoints a document: writes `fuzzy` as the new checkpoint (stamped
@@ -980,6 +1116,14 @@ impl StorageBackend for FsBackend {
 
     fn remove_document(&self, name: &str) -> Result<(), StoreError> {
         FsBackend::remove_document(self, name)
+    }
+
+    fn recover_document(&self, name: &str) -> Result<FuzzyTree, StoreError> {
+        FsBackend::recover_document(self, name)
+    }
+
+    fn reopen_document(&self, name: &str) -> Result<FuzzyTree, StoreError> {
+        FsBackend::reopen_document(self, name)
     }
 
     fn root_dir(&self) -> Option<&Path> {
@@ -1567,6 +1711,95 @@ mod tests {
         assert_eq!(store.journal_batches("people").unwrap(), 0);
         let recovered = store.recover_document("people").unwrap();
         assert_eq!(recovered.tree().find_elements("email").len(), 1);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// A failed fsync on the synchronous path rolls the record back: the
+    /// error surfaces, the journal holds exactly the acknowledged batches
+    /// (no phantom), and the document keeps working afterwards.
+    #[test]
+    fn sync_fsync_failure_rolls_the_record_back() {
+        use crate::fault::{is_injected, FaultOp, FaultPlan};
+        let dir = scratch("fsync-fail-sync");
+        let plan = Arc::new(FaultPlan::new().fail_nth(FaultOp::Fsync, 2));
+        let store = FsBackend::with_options(
+            &dir,
+            FsOptions {
+                fault: Some(plan),
+                ..FsOptions::default()
+            },
+        )
+        .unwrap();
+        store.save_document("people", &sample_fuzzy()).unwrap();
+        store.append_batch("people", &[sample_update()]).unwrap();
+        let error = store
+            .append_batch("people", &[sample_update()])
+            .unwrap_err();
+        assert!(is_injected(&error), "unexpected error: {error}");
+        assert_eq!(store.journal_batches("people").unwrap(), 1);
+        assert_eq!(store.read_batches("people").unwrap().len(), 1);
+        // A fresh handle rebuilds the same truth from disk.
+        let reopened = FsBackend::open(&dir).unwrap();
+        assert_eq!(reopened.journal_batches("people").unwrap(), 1);
+        // The sync path carries no poison: the next append just works.
+        store.append_batch("people", &[sample_update()]).unwrap();
+        assert_eq!(store.journal_batches("people").unwrap(), 2);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// A failed window fsync errors every ticket, rolls the window's records
+    /// back, and poisons the committer — recovery requires a reopen, which
+    /// restores write availability with the journal equal to the
+    /// acknowledged prefix.
+    #[test]
+    fn grouped_fsync_failure_poisons_until_reopen() {
+        use crate::fault::{is_injected, FaultOp, FaultPlan};
+        let dir = scratch("fsync-fail-grouped");
+        let plan = Arc::new(FaultPlan::new().fail_nth(FaultOp::Fsync, 1));
+        let store = FsBackend::with_options(
+            &dir,
+            FsOptions {
+                commit: CommitPolicy::Grouped {
+                    window_max_batches: 4,
+                    window_max_wait: Duration::from_millis(5),
+                },
+                fault: Some(plan),
+                ..FsOptions::default()
+            },
+        )
+        .unwrap();
+        store.save_document("people", &sample_fuzzy()).unwrap();
+        let error = store
+            .append_batch_grouped("people", &[sample_update()])
+            .unwrap_err();
+        assert!(is_injected(&error), "unexpected error: {error}");
+        // Rolled back: no journal on disk, meters agree.
+        assert_eq!(store.journal_batches("people").unwrap(), 0);
+        assert!(segment_files(&dir).is_empty());
+        // Poisoned: the next grouped append fails without touching the
+        // device — there is no retry-fsync-then-ack.
+        let fsyncs_before = store.durability_stats().fsyncs;
+        let poisoned = store
+            .append_batch_grouped("people", &[sample_update()])
+            .unwrap_err();
+        assert!(poisoned.to_string().contains("poisoned"));
+        assert_eq!(store.durability_stats().fsyncs, fsyncs_before);
+        // Reopen lifts the poison and recovers the durable state.
+        let recovered = store.reopen_document("people").unwrap();
+        assert!(recovered.tree().find_elements("email").is_empty());
+        store
+            .append_batch_grouped("people", &[sample_update()])
+            .unwrap();
+        assert_eq!(store.journal_batches("people").unwrap(), 1);
+        assert_eq!(
+            store
+                .recover_document("people")
+                .unwrap()
+                .tree()
+                .find_elements("email")
+                .len(),
+            1
+        );
         fs::remove_dir_all(dir).unwrap();
     }
 

@@ -30,6 +30,20 @@
 //! wait time by whichever committer arrives first, so an idle store costs
 //! nothing and process exit cannot strand a flusher thread.
 //!
+//! # Fsync failure poisons the committer
+//!
+//! A failed window fsync errors **every** ticket in that window — none is
+//! acknowledged — and **poisons** the committer: every later enqueue fails
+//! immediately until the document is re-opened
+//! (`StorageBackend::reopen_document`), which re-establishes the on-disk
+//! truth and clears the poison. The committer never retries the fsync and
+//! then acks: after a failed fsync the kernel may have *dropped* the dirty
+//! pages while clearing the error flag, so a retry that returns success
+//! proves nothing about the lost writes — the PostgreSQL "fsyncgate" bug
+//! class. The unsynced records themselves are rolled back (truncated away)
+//! by the failing flush, so recovery replays exactly the acknowledged
+//! prefix.
+//!
 //! # Idle fast-path
 //!
 //! A leader whose window holds a single batch and has seen no evidence of
@@ -193,6 +207,17 @@ struct Window {
     /// fill-wait still drains a solo window. Gates the idle fast-path (see
     /// the module docs).
     concurrency_hint: bool,
+    /// Set when a window fsync failed: the committer refuses all further
+    /// work (every enqueue fails immediately) until the store is re-opened
+    /// or a document reopen clears it. See "Fsync failure poisons the
+    /// committer" in the module docs.
+    poisoned: Option<String>,
+}
+
+/// The error message enqueues and drains carry while the committer is
+/// poisoned.
+fn poisoned_message(cause: &str) -> String {
+    format!("group committer poisoned by a failed fsync (reopen the document to recover): {cause}")
 }
 
 /// The leader/follower group committer of one [`FsBackend`] (see the module
@@ -237,6 +262,7 @@ impl GroupCommitter {
                     leader_active: false,
                     opened_at: None,
                     concurrency_hint: false,
+                    poisoned: None,
                 },
             ),
             wakeup: Condvar::new(),
@@ -249,10 +275,17 @@ impl GroupCommitter {
 
     /// Enqueues a batch into the open window and returns its slot. The
     /// append is not durable (and must not be acknowledged) until the slot
-    /// completes — [`GroupCommitter::wait`] does both.
+    /// completes — [`GroupCommitter::wait`] does both. On a poisoned
+    /// committer the slot comes back already failed and nothing is enqueued.
     pub(crate) fn enqueue(&self, name: &str, batch: &[UpdateTransaction]) -> Arc<CommitSlot> {
         let slot = CommitSlot::new();
         let mut window = self.lock();
+        if let Some(cause) = &window.poisoned {
+            let message = poisoned_message(cause);
+            drop(window);
+            slot.complete_err(message);
+            return slot;
+        }
         if window.leader_active || !window.pending.is_empty() {
             // Someone else is committing right now: re-arm the fill-wait so
             // the racing appends coalesce into shared windows.
@@ -296,6 +329,20 @@ impl GroupCommitter {
                 drop(window);
                 continue;
             }
+            if let Some(cause) = window.poisoned.clone() {
+                // Poisoned: nothing may flush. Fail whatever is queued (our
+                // own slot included — it was enqueued before the poison
+                // landed) and let the loop observe the failure.
+                let drained = std::mem::take(&mut window.pending);
+                window.opened_at = None;
+                drop(window);
+                let message = poisoned_message(&cause);
+                for member in &drained {
+                    member.slot.complete_err(message.clone());
+                }
+                self.wakeup.notify_all();
+                continue;
+            }
             // No leader and our slot is still pending, so it is still in the
             // queue: take leadership and fill the window. Idle fast-path: a
             // lone append with no evidence of concurrency skips the fill-wait
@@ -325,8 +372,15 @@ impl GroupCommitter {
             // next window meanwhile; `leader_active` stays set, serializing
             // windows (and journal order) until this one is fully complete.
             drop(window);
-            backend.flush_window(drained);
+            let flushed = backend.flush_window(drained);
             let mut window = self.lock();
+            if let Err(cause) = flushed {
+                // The window fsync failed: every slot in it is already
+                // errored and the unsynced records rolled back — poison the
+                // committer so nothing flushes until a reopen (see the
+                // module docs for why there is no retry).
+                window.poisoned = Some(cause);
+            }
             window.leader_active = false;
             drop(window);
             self.wakeup.notify_all();
@@ -349,6 +403,19 @@ impl GroupCommitter {
                 drop(window);
                 continue;
             }
+            if let Some(cause) = window.poisoned.clone() {
+                // Poisoned: nothing may flush. Fail the queue — that *is*
+                // the settled state a barrier caller needs.
+                let drained = std::mem::take(&mut window.pending);
+                window.opened_at = None;
+                drop(window);
+                let message = poisoned_message(&cause);
+                for member in &drained {
+                    member.slot.complete_err(message.clone());
+                }
+                self.wakeup.notify_all();
+                return;
+            }
             if window.pending.is_empty() {
                 return;
             }
@@ -358,12 +425,22 @@ impl GroupCommitter {
             let drained = std::mem::take(&mut window.pending);
             window.opened_at = None;
             drop(window);
-            backend.flush_window(drained);
+            let flushed = backend.flush_window(drained);
             let mut window = self.lock();
+            if let Err(cause) = flushed {
+                window.poisoned = Some(cause);
+            }
             window.leader_active = false;
             drop(window);
             self.wakeup.notify_all();
         }
+    }
+
+    /// Lifts the poison after a document reopen re-established the on-disk
+    /// truth. Safe because the failing flush already rolled its unsynced
+    /// records back — there is no half-durable window to resume.
+    pub(crate) fn clear_poison(&self) {
+        self.lock().poisoned = None;
     }
 }
 
@@ -463,6 +540,10 @@ impl Drop for CommitTicket {
             backend,
         }) = self.inner.take()
         {
+            // A dropped ticket deliberately discards the outcome: the batch
+            // still flushes, and the durability error (if any) resurfaces at
+            // recovery time — see the type docs.
+            // lint: allow(io-result-drop)
             let _ = committer.wait(&slot, &backend);
         }
     }

@@ -23,7 +23,10 @@
 //!   the leader/follower [`GroupCommitter`] coalescing many documents'
 //!   appends into one fsync window, and the [`CommitTicket`] handle of an
 //!   enqueued append;
-//! * [`mem`] — [`MemBackend`]: the in-process backend for tests and benches.
+//! * [`mem`] — [`MemBackend`]: the in-process backend for tests and benches;
+//! * [`fault`] — [`FaultBackend`]: deterministic fault injection over any
+//!   backend, driven by a seeded [`FaultPlan`] (the chaos battery and the
+//!   E18 sweep run the whole stack through it).
 //!
 //! [`DocumentStore`] is the historical name of the file-system store and
 //! remains an alias for [`FsBackend`].
@@ -40,6 +43,7 @@
 
 pub mod backend;
 pub mod error;
+pub mod fault;
 pub mod format;
 pub mod fs;
 pub mod group;
@@ -48,6 +52,7 @@ pub mod mem;
 
 pub use backend::StorageBackend;
 pub use error::StoreError;
+pub use fault::{is_injected, FaultBackend, FaultKind, FaultOp, FaultPlan};
 pub use format::{parse_fuzzy_document, serialize_fuzzy_document};
 pub use fs::{FsBackend, FsOptions, DEFAULT_SEGMENT_ROLL_BYTES};
 pub use group::{CommitPolicy, CommitTicket, DurabilityStats, GroupCommitter};

@@ -9,7 +9,10 @@ use std::sync::Arc;
 
 use pxml_core::{FuzzyTree, UpdateTransaction};
 use pxml_query::Pattern;
-use pxml_store::{CommitPolicy, FsBackend, FsOptions, MemBackend, StorageBackend, StoreError};
+use pxml_store::{
+    is_injected, CommitPolicy, FaultBackend, FaultOp, FaultPlan, FsBackend, FsOptions, MemBackend,
+    StorageBackend, StoreError,
+};
 use pxml_tree::parse_data_tree;
 
 static COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -293,4 +296,126 @@ fn fs_backend_conforms_concurrently_grouped() {
     let dir = scratch("fs-grouped-concurrent");
     concurrent_conformance(Arc::new(grouped_backend(&dir)));
     std::fs::remove_dir_all(dir).unwrap();
+}
+
+/// With an empty plan the fault decorator must be a pure pass-through:
+/// the full suite runs unchanged, the plan counts every operation it saw,
+/// and no fault is ever injected.
+#[test]
+fn fault_backend_passthrough_conforms_over_fs() {
+    let dir = scratch("fault-passthrough-fs");
+    let plan = Arc::new(FaultPlan::new());
+    let backend = FaultBackend::new(Arc::new(FsBackend::open(&dir).unwrap()), plan.clone());
+    conformance_suite(&backend);
+    assert_eq!(plan.injected_faults(), 0);
+    assert!(plan.ops(FaultOp::Append) > 0, "appends must be counted");
+    assert!(plan.ops(FaultOp::Load) > 0, "loads must be counted");
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn fault_backend_passthrough_conforms_over_mem() {
+    let plan = Arc::new(FaultPlan::new());
+    let backend = FaultBackend::new(Arc::new(MemBackend::new()), plan.clone());
+    conformance_suite(&backend);
+    assert_eq!(plan.injected_faults(), 0);
+}
+
+#[test]
+fn fault_backend_passthrough_conforms_concurrently_over_fs() {
+    let dir = scratch("fault-passthrough-fs-concurrent");
+    concurrent_conformance(Arc::new(FaultBackend::new(
+        Arc::new(FsBackend::open(&dir).unwrap()),
+        Arc::new(FaultPlan::new()),
+    )));
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn fault_backend_passthrough_conforms_concurrently_over_mem() {
+    concurrent_conformance(Arc::new(FaultBackend::new(
+        Arc::new(MemBackend::new()),
+        Arc::new(FaultPlan::new()),
+    )));
+}
+
+/// A planned fsync failure on `FsBackend` (plan installed through
+/// [`FsOptions::fault`], decorator sharing the same plan): the poisoned
+/// append surfaces a typed injected error, the unsynced record is rolled
+/// back so the journal holds exactly the acknowledged prefix, and the
+/// backend keeps working once the one-shot fault has fired.
+#[test]
+fn injected_fsync_failure_rolls_back_the_append_over_fs() {
+    let dir = scratch("fault-fsync-fs");
+    let plan = Arc::new(FaultPlan::new().fail_nth(FaultOp::Fsync, 1));
+    let inner = FsBackend::with_options(
+        &dir,
+        FsOptions {
+            fault: Some(plan.clone()),
+            ..FsOptions::default()
+        },
+    )
+    .unwrap();
+    let backend = FaultBackend::new(Arc::new(inner), plan.clone());
+
+    // `save_document` syncs outside the fsync-round path, so the first
+    // append is fsync #1 — the planned failure.
+    backend.save_document("people", &sample_fuzzy()).unwrap();
+    let error = backend
+        .append_batch("people", &[tagged_update("lost")])
+        .unwrap_err();
+    assert!(is_injected(&error), "unexpected error: {error}");
+    assert_eq!(plan.injected_faults(), 1);
+
+    // The non-durable record was rolled back: replay sees nothing.
+    assert_eq!(backend.journal_batches("people").unwrap(), 0);
+    assert!(backend.read_journal("people").unwrap().is_empty());
+
+    // The fault was one-shot; the next append is durable and the journal
+    // holds exactly the acknowledged commit.
+    backend
+        .append_batch("people", &[tagged_update("kept")])
+        .unwrap();
+    assert_eq!(backend.journal_batches("people").unwrap(), 1);
+    assert_eq!(
+        backend
+            .recover_document("people")
+            .unwrap()
+            .tree()
+            .find_elements("email")
+            .len(),
+        1
+    );
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+/// The same planned fsync failure over `MemBackend`: with no filesystem
+/// below, the decorator fires the fault at the append boundary — before
+/// the inner backend is touched — so the journal again holds exactly the
+/// acknowledged prefix.
+#[test]
+fn injected_fsync_failure_rolls_back_the_append_over_mem() {
+    let plan = Arc::new(FaultPlan::new().fail_nth(FaultOp::Fsync, 1));
+    let backend = FaultBackend::new(Arc::new(MemBackend::new()), plan.clone());
+
+    backend.save_document("people", &sample_fuzzy()).unwrap();
+    let error = backend
+        .append_batch("people", &[tagged_update("lost")])
+        .unwrap_err();
+    assert!(is_injected(&error), "unexpected error: {error}");
+    assert_eq!(backend.journal_batches("people").unwrap(), 0);
+
+    backend
+        .append_batch("people", &[tagged_update("kept")])
+        .unwrap();
+    assert_eq!(backend.journal_batches("people").unwrap(), 1);
+    assert_eq!(
+        backend
+            .recover_document("people")
+            .unwrap()
+            .tree()
+            .find_elements("email")
+            .len(),
+        1
+    );
 }

@@ -65,6 +65,16 @@
 //! or that races a same-name re-create — reports `UnknownDocument` instead
 //! of leaking work into the wrong document.
 //!
+//! Failure handling is quarantine-based: a commit whose durable append
+//! fails never publishes (MVCC rollback is dropping the working copy), and
+//! the document is marked quarantined — every later *write* is refused with
+//! a typed error carrying the original cause, while readers keep serving
+//! the last durable snapshot. [`Warehouse::reopen_document`] lifts the
+//! quarantine: it drops the in-memory state, has the backend re-establish
+//! the on-disk truth (truncating unsynced tails, clearing a poisoned group
+//! committer) and republishes the checkpoint + journal replay. See README
+//! § "Failure model & recovery".
+//!
 //! These rules are not just prose: every lock here carries a
 //! `parking_lot::LockClass` (`Shard`, `DocEntry`, …) and the whole test
 //! battery can run under a lockdep-style order witness with
@@ -107,6 +117,16 @@ pub enum WarehouseError {
     DuplicateDocument(String),
     /// A module runner was handed modules but no documents to drain into.
     EmptyDocumentSet,
+    /// The document is quarantined after a failed commit: writes are refused
+    /// until [`Warehouse::reopen_document`] re-establishes the on-disk truth.
+    /// Readers are unaffected — they keep serving the last durable snapshot.
+    Quarantined {
+        /// The quarantined document.
+        document: String,
+        /// The failure that quarantined it (the first one; later refusals
+        /// carry the same original cause).
+        reason: String,
+    },
 }
 
 impl fmt::Display for WarehouseError {
@@ -124,6 +144,13 @@ impl fmt::Display for WarehouseError {
                 write!(
                     f,
                     "no warehouse documents were provided to drain the modules into"
+                )
+            }
+            WarehouseError::Quarantined { document, reason } => {
+                write!(
+                    f,
+                    "document `{document}` is quarantined after a failed commit \
+                     (reopen it to recover): {reason}"
                 )
             }
         }
@@ -276,6 +303,13 @@ struct DocState {
     /// re-create would apply its batch to this orphaned entry while
     /// journaling it against the unrelated new document.
     dropped: bool,
+    /// Set when a commit's durable append failed: the in-memory snapshot and
+    /// the journal may disagree, so every *write* path refuses with
+    /// [`WarehouseError::Quarantined`] until [`Warehouse::reopen_document`]
+    /// replays the journal and clears this. Readers ignore it — the published
+    /// snapshot is still the last durable state (the blocking commit path
+    /// never publishes a batch whose append failed).
+    quarantined: Option<String>,
 }
 
 /// One document's engine-resident state.
@@ -300,6 +334,7 @@ impl DocSlot {
                 DocState {
                     snapshot: DocSnapshot::first(fuzzy),
                     dropped: false,
+                    quarantined: None,
                 },
             ),
         })
@@ -522,6 +557,29 @@ impl Warehouse {
         Ok(state.snapshot.clone())
     }
 
+    /// Write-path gate: a quarantined document refuses every mutation with
+    /// the typed error until a reopen clears it. Read paths never call this —
+    /// readers keep serving the last durable snapshot through the quarantine.
+    fn check_quarantine(slot: &DocSlot, name: &str) -> Result<(), WarehouseError> {
+        if let Some(reason) = &slot.state.read().quarantined {
+            return Err(WarehouseError::Quarantined {
+                document: name.to_string(),
+                reason: reason.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Quarantines a document after a failed durable append. First failure
+    /// wins: a refusal caused by an existing quarantine never overwrites the
+    /// original reason.
+    fn quarantine(slot: &DocSlot, reason: String) {
+        let mut state = slot.state.write();
+        if state.quarantined.is_none() {
+            state.quarantined = Some(reason);
+        }
+    }
+
     /// Pins the current snapshot of a document: O(1), and the returned
     /// handle stays valid (and immutable) no matter what commits, drops or
     /// re-creates happen afterwards.
@@ -613,6 +671,7 @@ impl Warehouse {
         let slot = self.slot(name)?;
         let _commit = slot.commit.lock();
         let base = Self::pin(&slot, name)?;
+        Self::check_quarantine(&slot, name)?;
         if batch.is_empty() {
             return Ok(BatchStats::default());
         }
@@ -628,7 +687,16 @@ impl Warehouse {
                 .updates
                 .push(update.apply_to_fuzzy_with(&mut working, policy)?);
         }
-        self.store.append_batch_grouped(name, batch)?;
+        if let Err(error) = self.store.append_batch_grouped(name, batch) {
+            // The durable commit point failed. MVCC rollback is dropping the
+            // working copy — the published snapshot never moved — but the
+            // journal (and, under group commit, the whole pipeline) can no
+            // longer be trusted: quarantine the document so writes stop until
+            // a reopen re-establishes the on-disk truth. Readers keep serving
+            // the snapshot we just declined to replace.
+            Self::quarantine(&slot, error.to_string());
+            return Err(error.into());
+        }
         let published = Self::publish(&slot, &base, working);
 
         // The commit happened: record it before any maintenance can fail.
@@ -696,10 +764,12 @@ impl Warehouse {
         let slot = self.slot(name)?;
         let commit = slot.commit.lock();
         let base = Self::pin(&slot, name)?;
+        Self::check_quarantine(&slot, name)?;
         if batch.is_empty() {
             return Ok(AsyncCommit {
                 stats: BatchStats::default(),
                 ticket: CommitTicket::resolved(Ok(())),
+                guard: None,
             });
         }
         let mut working = base.fuzzy().clone();
@@ -710,6 +780,19 @@ impl Warehouse {
                 .push(update.apply_to_fuzzy_with(&mut working, policy)?);
         }
         let ticket = self.store.append_batch_enqueue(name, batch);
+        // A ticket that comes back already failed — a sync-degraded backend's
+        // append erred, or a poisoned committer refused the enqueue — must
+        // not publish: surface the failure and quarantine exactly like the
+        // blocking path.
+        let ticket = if ticket.is_durable() {
+            if let Err(error) = ticket.wait() {
+                Self::quarantine(&slot, error.to_string());
+                return Err(error.into());
+            }
+            CommitTicket::resolved(Ok(()))
+        } else {
+            ticket
+        };
         Self::publish(&slot, &base, working);
         drop(commit);
         self.stats
@@ -721,6 +804,7 @@ impl Warehouse {
         Ok(AsyncCommit {
             stats: batch_stats,
             ticket,
+            guard: Some(slot),
         })
     }
 
@@ -749,6 +833,7 @@ impl Warehouse {
         let slot = self.slot(name)?;
         let commit = slot.commit.lock();
         let base = Self::pin(&slot, name)?;
+        Self::check_quarantine(&slot, name)?;
         let mut working = base.fuzzy().clone();
         let report = Simplifier::new().run(&mut working)?;
         self.store.checkpoint(name, &working)?;
@@ -769,10 +854,72 @@ impl Warehouse {
             // save + truncate. Readers are unaffected.
             let _commit = slot.commit.lock();
             let snapshot = Self::pin(&slot, name)?;
+            Self::check_quarantine(&slot, name)?;
             self.store.checkpoint(name, snapshot.fuzzy())?;
         }
         self.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Lifts a document out of quarantine: takes the commit mutex (waiting
+    /// out any in-flight writer), drops the in-memory state, re-establishes
+    /// the on-disk truth through the backend's
+    /// [`reopen_document`](StorageBackend::reopen_document) — which truncates
+    /// any unsynced or torn journal tail and clears a poisoned commit
+    /// pipeline — and publishes the recovered tree (checkpoint + surviving
+    /// journal replayed) as the document's next snapshot with the quarantine
+    /// cleared. No acknowledged commit is lost: everything the journal holds
+    /// is replayed, and the failing append was rolled back before it ever
+    /// resolved.
+    ///
+    /// Readers that pinned a pre-reopen snapshot keep it unchanged; the
+    /// published sequence number still advances, so pins stay ordered. Safe
+    /// on a healthy document too, where it simply re-publishes the durable
+    /// state.
+    pub fn reopen_document(&self, name: &str) -> Result<(), WarehouseError> {
+        let slot = self.slot(name)?;
+        let _commit = slot.commit.lock();
+        Self::pin(&slot, name)?;
+        let recovered = self.store.reopen_document(name)?;
+        let mut state = slot.state.write();
+        if state.dropped {
+            return Err(WarehouseError::UnknownDocument(name.to_string()));
+        }
+        let next = state.snapshot.successor(recovered);
+        state.snapshot = next;
+        state.quarantined = None;
+        Ok(())
+    }
+
+    /// Whether a document is currently quarantined (false for unknown names).
+    pub fn is_quarantined(&self, name: &str) -> bool {
+        self.slot(name)
+            .map(|slot| slot.state.read().quarantined.is_some())
+            .unwrap_or(false)
+    }
+
+    /// The quarantined documents and the failure that quarantined each,
+    /// sorted by name. Reads only the in-memory slots — never storage — so
+    /// the server's `stats` frame can afford it on every request. Shard locks
+    /// are taken one at a time and dropped before the per-document state
+    /// reads (lock rule 1), so the listing is a per-shard point-in-time view.
+    pub fn quarantined_documents(&self) -> Vec<(String, String)> {
+        let mut quarantined = Vec::new();
+        for shard in &self.shards {
+            let slots: Vec<(String, Slot)> = shard
+                .slots
+                .read()
+                .iter()
+                .map(|(name, slot)| (name.clone(), slot.clone()))
+                .collect();
+            for (name, slot) in slots {
+                if let Some(reason) = slot.state.read().quarantined.clone() {
+                    quarantined.push((name, reason));
+                }
+            }
+        }
+        quarantined.sort();
+        quarantined
     }
 
     /// Running counters since the warehouse was opened. Reads atomics only —
@@ -834,11 +981,23 @@ pub struct MergedQuery {
 /// Dropping the handle without waiting still flushes the batch (the
 /// underlying ticket blocks for its window on drop), but discards the
 /// outcome — wait on it before acknowledging the commit to anyone.
-#[derive(Debug)]
 #[must_use = "an async commit is durable only once its handle resolves"]
 pub struct AsyncCommit {
     stats: BatchStats,
     ticket: CommitTicket,
+    /// The document slot to quarantine if the window fsync later fails: an
+    /// async commit publishes *before* durability, so a deferred failure
+    /// leaves the in-memory state ahead of the journal — exactly what
+    /// quarantine + reopen exist to repair. `None` only for empty batches.
+    guard: Option<Slot>,
+}
+
+impl fmt::Debug for AsyncCommit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AsyncCommit")
+            .field("durable", &self.ticket.is_durable())
+            .finish_non_exhaustive()
+    }
 }
 
 impl AsyncCommit {
@@ -855,9 +1014,27 @@ impl AsyncCommit {
 
     /// Blocks until the batch's window has fsync'd and returns the batch
     /// statistics — the point at which the commit may be acknowledged.
+    ///
+    /// On a window-fsync failure the batch was already published in memory
+    /// but rolled back on disk, so this quarantines the document before
+    /// returning the error: subsequent writes are refused until
+    /// [`Warehouse::reopen_document`] discards the phantom in-memory state
+    /// and replays the journal.
     pub fn wait(self) -> Result<BatchStats, WarehouseError> {
-        self.ticket.wait()?;
-        Ok(self.stats)
+        let AsyncCommit {
+            stats,
+            ticket,
+            guard,
+        } = self;
+        match ticket.wait() {
+            Ok(()) => Ok(stats),
+            Err(error) => {
+                if let Some(slot) = &guard {
+                    Warehouse::quarantine(slot, error.to_string());
+                }
+                Err(error.into())
+            }
+        }
     }
 }
 
@@ -1587,6 +1764,132 @@ mod tests {
         // The churn didn't corrupt anything: exactly the final phone is live.
         let phones = Pattern::parse("person { phone }").unwrap();
         assert_eq!(warehouse.query("people", &phones).unwrap().len(), 1);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// The quarantine battery, blocking path: an injected fsync failure on a
+    /// commit (1) surfaces the storage error and publishes nothing, (2)
+    /// leaves readers on the last durable snapshot, (3) refuses every
+    /// subsequent write with the typed quarantine error, and (4) is fully
+    /// repaired by `reopen_document` — write availability back, zero
+    /// acknowledged commits lost, zero phantom commits.
+    #[test]
+    fn failed_commit_quarantines_writes_but_readers_survive() {
+        let dir = scratch("quarantine-sync");
+        // `save_document` syncs outside the fault-counted fsync rounds, so
+        // round #2 is the second commit's append.
+        let plan = std::sync::Arc::new(
+            pxml_store::FaultPlan::new().fail_nth(pxml_store::FaultOp::Fsync, 2),
+        );
+        let backend = FsBackend::with_options(
+            &dir,
+            FsOptions {
+                fault: Some(plan),
+                ..FsOptions::default()
+            },
+        )
+        .unwrap();
+        let warehouse =
+            Warehouse::with_backend(std::sync::Arc::new(backend), plain_config()).unwrap();
+        warehouse.create_document("people", directory()).unwrap();
+        commit_one(&warehouse, "people", &add_phone("alice", 0.8)).unwrap();
+        let phones = Pattern::parse("person { phone }").unwrap();
+
+        let err = commit_one(&warehouse, "people", &add_phone("bob", 0.6)).unwrap_err();
+        assert!(matches!(err, WarehouseError::Store(_)), "got {err}");
+        // Readers: still the last durable snapshot, not the failed batch.
+        assert_eq!(warehouse.query("people", &phones).unwrap().len(), 1);
+        assert!(warehouse.is_quarantined("people"));
+        let listed = warehouse.quarantined_documents();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].0, "people");
+        // Writers: every mutation path reports the typed error.
+        assert!(matches!(
+            commit_one(&warehouse, "people", &add_phone("bob", 0.6)),
+            Err(WarehouseError::Quarantined { .. })
+        ));
+        assert!(matches!(
+            warehouse.commit_batch_async("people", &[add_phone("bob", 0.6)], None),
+            Err(WarehouseError::Quarantined { .. })
+        ));
+        assert!(matches!(
+            warehouse.simplify("people"),
+            Err(WarehouseError::Quarantined { .. })
+        ));
+        assert!(matches!(
+            warehouse.checkpoint("people"),
+            Err(WarehouseError::Quarantined { .. })
+        ));
+
+        // Reopen: quarantine lifted, no data lost, writes land again.
+        warehouse.reopen_document("people").unwrap();
+        assert!(!warehouse.is_quarantined("people"));
+        assert!(warehouse.quarantined_documents().is_empty());
+        assert_eq!(warehouse.query("people", &phones).unwrap().len(), 1);
+        commit_one(&warehouse, "people", &add_phone("bob", 0.6)).unwrap();
+        assert_eq!(warehouse.query("people", &phones).unwrap().len(), 2);
+        // And the repair is durable: a cold restart replays exactly the
+        // acknowledged commits.
+        drop(warehouse);
+        let reopened = Warehouse::with_config(&dir, plain_config()).unwrap();
+        assert_eq!(reopened.query("people", &phones).unwrap().len(), 2);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// The quarantine battery, async path: the enqueue published the batch
+    /// in memory before the window fsync failed, so the deferred error at
+    /// `wait` quarantines the document, and `reopen_document` discards the
+    /// phantom in-memory state — the journal never acknowledged the batch.
+    #[test]
+    fn async_window_failure_quarantines_at_wait_and_reopen_discards_phantom() {
+        let dir = scratch("quarantine-async");
+        let plan = std::sync::Arc::new(
+            pxml_store::FaultPlan::new().fail_nth(pxml_store::FaultOp::Fsync, 1),
+        );
+        let backend = FsBackend::with_options(
+            &dir,
+            FsOptions {
+                commit: pxml_store::CommitPolicy::Grouped {
+                    window_max_batches: 4,
+                    window_max_wait: Duration::from_millis(5),
+                },
+                fault: Some(plan),
+                ..FsOptions::default()
+            },
+        )
+        .unwrap();
+        let warehouse =
+            Warehouse::with_backend(std::sync::Arc::new(backend), plain_config()).unwrap();
+        warehouse.create_document("people", directory()).unwrap();
+        let phones = Pattern::parse("person { phone }").unwrap();
+        let pinned = warehouse.snapshot("people").unwrap();
+
+        let handle = warehouse
+            .commit_batch_async("people", &[add_phone("alice", 0.8)], None)
+            .unwrap();
+        // The enqueue is the logical commit point: in-memory reads see it.
+        assert_eq!(warehouse.query("people", &phones).unwrap().len(), 1);
+        // The window fsync fails: the deferred error surfaces at wait and
+        // quarantines the document.
+        let err = handle.wait().unwrap_err();
+        assert!(matches!(err, WarehouseError::Store(_)), "got {err}");
+        assert!(warehouse.is_quarantined("people"));
+        assert!(matches!(
+            commit_one(&warehouse, "people", &add_phone("bob", 0.6)),
+            Err(WarehouseError::Quarantined { .. })
+        ));
+
+        // Reopen: the phantom batch is gone (it was never durable), the
+        // sequence still advances past every earlier pin, and writes land.
+        warehouse.reopen_document("people").unwrap();
+        assert!(!warehouse.is_quarantined("people"));
+        assert_eq!(warehouse.query("people", &phones).unwrap().len(), 0);
+        assert!(warehouse.snapshot("people").unwrap().seq() > pinned.seq());
+        commit_one(&warehouse, "people", &add_phone("bob", 0.6)).unwrap();
+        assert_eq!(warehouse.query("people", &phones).unwrap().len(), 1);
+        drop(warehouse);
+        let reopened = Warehouse::with_config(&dir, plain_config()).unwrap();
+        assert_eq!(reopened.query("people", &phones).unwrap().len(), 1);
         std::fs::remove_dir_all(dir).unwrap();
     }
 
